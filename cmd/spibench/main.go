@@ -1,0 +1,127 @@
+// Command spibench regenerates the paper's tables and figures from the
+// simulated platform. With no flags it prints everything; -exp selects one
+// experiment (fig1, fig3, fig5, fig6, fig7, table1, table2, spivsmpi,
+// bbsvsubs, vtspadding); -dot prints the Graphviz form of the
+// synchronization-graph figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/lpc"
+	"repro/internal/particle"
+	"repro/internal/spi"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, fig1, fig3, fig5, fig6, fig7, table1, table2, spivsmpi, bbsvsubs, vtspadding, framing)")
+	dot := flag.Bool("dot", false, "print Graphviz DOT for fig3/fig5 instead of tables")
+	gantt := flag.Bool("gantt", false, "print a Gantt timeline of the 3-PE actor-D deployment")
+	tree := flag.Bool("tree", false, "print the HDL module hierarchies behind tables 1 and 2")
+	flag.Parse()
+
+	if *tree {
+		if err := printTrees(); err != nil {
+			fmt.Fprintln(os.Stderr, "spibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *gantt {
+		if err := printGantt(); err != nil {
+			fmt.Fprintln(os.Stderr, "spibench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *dot {
+		b3, a3 := experiments.Fig3DOT(3)
+		b5, a5 := experiments.Fig5DOT()
+		fmt.Println(b3)
+		fmt.Println(a3)
+		fmt.Println(b5)
+		fmt.Println(a5)
+		return
+	}
+
+	builders := map[string]func() (*experiments.Table, error){
+		"fig1":       experiments.Fig1VTS,
+		"fig3":       experiments.Fig3,
+		"fig5":       experiments.Fig5,
+		"fig6":       experiments.Fig6,
+		"fig7":       experiments.Fig7,
+		"table1":     experiments.Table1,
+		"table2":     experiments.Table2,
+		"spivsmpi":   experiments.SPIvsMPI,
+		"bbsvsubs":   experiments.BBSvsUBS,
+		"vtspadding": experiments.VTSPadding,
+		"framing":    experiments.Framing,
+		"resync":     experiments.ResyncPlatform,
+	}
+	if *exp == "all" {
+		tables, err := experiments.All()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spibench:", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		return
+	}
+	b, ok := builders[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spibench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	t, err := b()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spibench:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t)
+}
+
+// printTrees prints the synthesis-style module hierarchy reports of the
+// two hardware models.
+func printTrees() error {
+	top1, err := lpc.HardwareModel(lpc.DefaultDeploy(512, 4))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 1 hierarchy (Fmax %.0f MHz):\n%s\n", top1.FmaxMHz(), top1.Report())
+	top2, err := particle.HardwareModel(particle.DefaultDeploy(300, 2))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Table 2 hierarchy (Fmax %.0f MHz):\n%s", top2.FmaxMHz(), top2.Report())
+	return nil
+}
+
+// printGantt runs a short 3-PE actor-D deployment with tracing and renders
+// the per-PE timeline ('#' compute, '>' send, '<' recv, '.' idle).
+func printGantt() error {
+	sys, err := lpc.ErrorGenSystem(lpc.DefaultDeploy(256, 3))
+	if err != nil {
+		return err
+	}
+	dep, err := spi.Build(sys)
+	if err != nil {
+		return err
+	}
+	dep.Sim.EnableTrace()
+	st, err := dep.Sim.Run(4)
+	if err != nil {
+		return err
+	}
+	cfg := dep.Sim.Config()
+	fmt.Printf("3-PE actor D (N=256), 4 frames, %.1f us total\n",
+		st.Microseconds(cfg, st.Finish))
+	fmt.Print(dep.Sim.LastTrace().Gantt(cfg.NumPEs, 100))
+	return nil
+}

@@ -1,0 +1,146 @@
+// Command spirun executes the paper's two applications end-to-end on the
+// software SPI runtime (goroutines + SPI edges) and reports application
+// quality plus communication statistics.
+//
+//	spirun -app speech -pes 4 -frames 16
+//	spirun -app crack  -pes 2 -particles 200 -steps 150
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dsp"
+	"repro/internal/lpc"
+	"repro/internal/particle"
+	"repro/internal/signal"
+)
+
+func main() {
+	app := flag.String("app", "speech", "application: speech (LPC compression) or crack (particle filter)")
+	pes := flag.Int("pes", 2, "number of processing elements")
+	frames := flag.Int("frames", 8, "speech: number of frames to process")
+	particles := flag.Int("particles", 200, "crack: total particle count")
+	steps := flag.Int("steps", 150, "crack: tracking steps")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	adaptive := flag.Float64("adaptive", 0, "crack: ESS resampling threshold fraction (0 = resample every step)")
+	hw := flag.Bool("hw", false, "speech: also run the bit-true Q15 hardware model of actor D")
+	flag.Parse()
+
+	var err error
+	switch *app {
+	case "speech":
+		err = runSpeech(*pes, *frames, *seed, *hw)
+	case "crack":
+		err = runCrack(*pes, *particles, *steps, *seed, *adaptive)
+	default:
+		err = fmt.Errorf("unknown application %q", *app)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spirun:", err)
+		os.Exit(1)
+	}
+}
+
+func runSpeech(pes, frames int, seed uint64, hw bool) error {
+	p := lpc.DefaultParams()
+	codec, err := lpc.NewCodec(p)
+	if err != nil {
+		return err
+	}
+	x := signal.Speech(p.FrameSize*frames, seed)
+	rep, err := codec.Analyze(x)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("LPC speech compression (application 1)\n")
+	fmt.Printf("  frames:            %d x %d samples, order %d\n", rep.Frames, p.FrameSize, p.Order)
+	fmt.Printf("  compression ratio: %.2fx vs 16-bit PCM\n", rep.Ratio)
+	fmt.Printf("  reconstruction:    %.1f dB SNR\n", rep.SNRdB)
+
+	// Container roundtrip through the wire format.
+	var stream bytes.Buffer
+	n, err := codec.EncodeStream(&stream, x)
+	if err != nil {
+		return err
+	}
+	decoded, _, err := lpc.DecodeStream(&stream)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  container stream:  %d bytes, %d samples decoded\n", n, len(decoded))
+
+	// Parallel actor D across the SPI runtime, verified against serial.
+	frame := x[:p.FrameSize]
+	model, err := dsp.LPCAnalyze(frame, p.Order)
+	if err != nil {
+		return err
+	}
+	serial := model.Residual(frame)
+	parallel, stats, err := lpc.ParallelResidual(model, frame, pes)
+	if err != nil {
+		return err
+	}
+	var maxDiff float64
+	for i := range serial {
+		if d := abs(serial[i] - parallel[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges\n", stats.PEs)
+	fmt.Printf("  messages: %d, wire bytes: %d\n", stats.Messages, stats.WireBytes)
+	fmt.Printf("  max |serial - parallel| = %g (bit-identical split)\n", maxDiff)
+	if hw {
+		hwRes := lpc.HardwareResidual(model, frame)
+		var hwErr float64
+		for i := range serial {
+			if d := abs(serial[i] - hwRes[i]); d > hwErr {
+				hwErr = d
+			}
+		}
+		fmt.Printf("bit-true Q15 hardware model of actor D\n")
+		fmt.Printf("  max |float - Q15 hardware| = %.5f (coefficient shift %d)\n",
+			hwErr, lpc.QuantizeModel(model).Shift)
+	}
+	return nil
+}
+
+func runCrack(pes, particles, steps int, seed uint64, adaptive float64) error {
+	p := signal.DefaultCrackParams()
+	truth := signal.CrackTruth(steps, p, seed)
+	obs := signal.CrackObservations(truth, p, seed+1)
+	d, err := particle.NewDistributed(particle.Model{P: p}, particles, pes, seed+2)
+	if err != nil {
+		return err
+	}
+	if adaptive > 0 {
+		d.SetResampleThreshold(adaptive)
+	}
+	ests, err := d.Run(obs)
+	if err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("Crack-length tracking particle filter (application 2)\n")
+	fmt.Printf("  particles: %d on %d PEs (%d each)\n", particles, d.PEs(), d.PerPE())
+	fmt.Printf("  steps:     %d\n", steps)
+	fmt.Printf("  final:     truth %.3f, estimate %.3f\n", truth[steps-1], ests[steps-1])
+	fmt.Printf("  RMSE:      %.4f (observation noise %.2f)\n", particle.RMSE(ests, truth), p.MeasureNoise)
+	fmt.Printf("distributed resampling over SPI\n")
+	fmt.Printf("  messages: %d (sums on SPI_static, migrations on SPI_dynamic)\n", st.Messages)
+	fmt.Printf("  wire bytes: %d, UBS acks: %d\n", st.WireBytes, st.Acks)
+	if adaptive > 0 {
+		fmt.Printf("  adaptive resampling: %d of %d steps resampled (ESS threshold %.2f)\n",
+			d.Resamplings(), steps, adaptive)
+	}
+	return nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

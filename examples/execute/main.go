@@ -1,0 +1,116 @@
+// Execute example: the SPI programming model. Describe the system as a
+// dataflow graph, map actors to processors, and supply one kernel per
+// actor — spi.Execute synthesizes all communication (SPI_static/SPI_dynamic
+// framing, BBS/UBS protocols, delay preloading) from the VTS analysis and
+// runs the processors as goroutines.
+//
+// The system here is a small beamformer-style pipeline: a source emits
+// sample blocks, two channel filters process them in parallel on their own
+// processors, and a combiner sums the results.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+	"repro/internal/spi"
+)
+
+const blockSamples = 64
+
+func encode(x []float64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decode(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func main() {
+	g := dataflow.New("beamformer")
+	src := g.AddActor("source", 100)
+	f1 := g.AddActor("filter1", 500)
+	f2 := g.AddActor("filter2", 500)
+	comb := g.AddActor("combiner", 100)
+	blockBytes := blockSamples * 8
+	e1 := g.AddEdge("in1", src, f1, 1, 1, dataflow.EdgeSpec{TokenBytes: blockBytes})
+	e2 := g.AddEdge("in2", src, f2, 1, 1, dataflow.EdgeSpec{TokenBytes: blockBytes})
+	o1 := g.AddEdge("out1", f1, comb, 1, 1, dataflow.EdgeSpec{TokenBytes: blockBytes})
+	o2 := g.AddEdge("out2", f2, comb, 1, 1, dataflow.EdgeSpec{TokenBytes: blockBytes})
+
+	m := &sched.Mapping{
+		NumProcs: 3,
+		Proc:     []sched.Processor{0, 1, 2, 0},
+		Order:    [][]dataflow.ActorID{{src, comb}, {f1}, {f2}},
+	}
+
+	var combined []float64
+	kernels := map[dataflow.ActorID]spi.Kernel{
+		src: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			block := make([]float64, blockSamples)
+			for i := range block {
+				block[i] = math.Sin(2 * math.Pi * float64(iter*blockSamples+i) / 32)
+			}
+			payload := encode(block)
+			return map[dataflow.EdgeID][]byte{e1: payload, e2: payload}, nil
+		},
+		f1: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			x := decode(in[e1])
+			for i := range x {
+				x[i] *= 0.5 // channel weight
+			}
+			return map[dataflow.EdgeID][]byte{o1: encode(x)}, nil
+		},
+		f2: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			x := decode(in[e2])
+			for i := range x {
+				x[i] *= -0.25
+			}
+			return map[dataflow.EdgeID][]byte{o2: encode(x)}, nil
+		},
+		comb: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			a := decode(in[o1])
+			b := decode(in[o2])
+			sum := make([]float64, len(a))
+			for i := range sum {
+				sum[i] = a[i] + b[i]
+			}
+			combined = append(combined, sum...)
+			return nil, nil
+		},
+	}
+
+	const iterations = 8
+	stats, err := spi.Execute(g, m, kernels, iterations)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed %d iterations over 3 processors\n", stats.Iterations)
+	fmt.Printf("SPI traffic: %d messages, %d wire bytes\n", stats.SPI.Messages, stats.SPI.WireBytes)
+	fmt.Printf("combined %d samples; first few: ", len(combined))
+	for i := 0; i < 4; i++ {
+		fmt.Printf("%.3f ", combined[i])
+	}
+	fmt.Println()
+	// Verify against the direct computation: 0.5x - 0.25x = 0.25x.
+	var maxErr float64
+	for i, v := range combined {
+		want := 0.25 * math.Sin(2*math.Pi*float64(i)/32)
+		if d := math.Abs(v - want); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max deviation from direct computation: %g\n", maxErr)
+}

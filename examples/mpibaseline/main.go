@@ -1,0 +1,118 @@
+// MPI baseline example: the overhead argument that motivates SPI, shown
+// both at the software level (full self-describing headers and tag
+// matching vs SPI's 2/6-byte headers) and at the simulated-platform level
+// (per-message latency including the rendezvous handshake).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+	"repro/internal/platform"
+	"repro/internal/spi"
+)
+
+func main() {
+	fmt.Println("wire overhead per message:")
+	fmt.Printf("  SPI_static : %d bytes (edge ID)\n", spi.StaticHeaderBytes)
+	fmt.Printf("  SPI_dynamic: %d bytes (edge ID + size)\n", spi.DynamicHeaderBytes)
+	fmt.Printf("  MPI        : %d bytes (tag, src, dst, datatype, count, size)\n", mpi.HeaderBytes)
+	fmt.Printf("  MPI (rendezvous, > %d B payload): %d bytes incl. RTS/CTS\n\n",
+		mpi.EagerLimit, 3*mpi.HeaderBytes)
+
+	// Software level: move the same payloads through both stacks.
+	const messages = 1000
+	payload := make([]byte, 64)
+
+	rt := spi.NewRuntime()
+	tx, rx, err := rt.Init(spi.EdgeConfig{
+		ID: 1, Mode: spi.Static, PayloadBytes: len(payload),
+		Protocol: spi.BBS, Capacity: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < messages; i++ {
+			if _, err := rx.Receive(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+	for i := 0; i < messages; i++ {
+		if err := tx.Send(payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	<-done
+	spiStats, _ := rt.Stats(1)
+
+	comm, err := mpi.NewComm(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdone := make(chan struct{})
+	go func() {
+		defer close(mdone)
+		for i := 0; i < messages; i++ {
+			if _, _, err := comm.Recv(0, 1, 7); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}()
+	for i := 0; i < messages; i++ {
+		if err := comm.Send(0, 1, 7, mpi.Byte, payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	<-mdone
+	mpiStats := comm.Stats()
+
+	fmt.Printf("software runtimes, %d x %d-byte messages:\n", messages, len(payload))
+	fmt.Printf("  SPI wire bytes: %d\n", spiStats.WireBytes)
+	fmt.Printf("  MPI wire bytes: %d (%.1f%% more)\n\n", mpiStats.WireBytes,
+		100*float64(mpiStats.WireBytes-spiStats.WireBytes)/float64(spiStats.WireBytes))
+
+	// Platform level: simulated per-message latency.
+	fmt.Println("simulated per-message latency (us at 100 MHz):")
+	fmt.Printf("%-10s %-12s %-12s %s\n", "payload", "spi_static", "spi_dynamic", "mpi")
+	for _, size := range []int{4, 64, 512, 4096} {
+		fmt.Printf("%-10d", size)
+		for _, cfg := range []struct {
+			header int
+			isMPI  bool
+		}{{spi.StaticHeaderBytes, false}, {spi.DynamicHeaderBytes, false}, {0, true}} {
+			pc := platform.DefaultConfig(2)
+			sim, err := platform.NewSim(pc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cfg.isMPI {
+				l, err := mpi.NewLink(sim, 0, 1, "mpi")
+				if err != nil {
+					log.Fatal(err)
+				}
+				sim.SetProgram(0, platform.Program(l.SendOps(size)))
+				sim.SetProgram(1, platform.Program(l.RecvOps(size)))
+			} else {
+				ch, err := sim.AddChannel(platform.ChannelSpec{
+					From: 0, To: 1, Name: "e", HeaderBytes: cfg.header, Capacity: 4,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				sim.SetProgram(0, platform.Program{platform.Send(ch, size)})
+				sim.SetProgram(1, platform.Program{platform.Recv(ch)})
+			}
+			st, err := sim.Run(200)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %-12.3f", st.Microseconds(pc, st.Finish)/200)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,254 @@
+// Package bdf implements Boolean dataflow (Buck's token-flow model), one of
+// the dynamic-dataflow extensions the paper positions VTS against (§3.1):
+// in BDF an actor's production/consumption is either fixed or a two-valued
+// function of a control token. The canonical dynamic actors are SWITCH
+// (route a data token to one of two outputs according to a control token)
+// and SELECT (pick a data token from one of two inputs).
+//
+// BDF graphs generally defeat static scheduling — bounded memory is
+// undecidable in general — so this package provides a run-time token-flow
+// interpreter plus queue-growth monitoring. The VTS comparison: the same
+// data-dependent behaviour expressed with VTS packed tokens stays statically
+// analyzable (repetitions vector, PASS, buffer bounds), which is the
+// paper's argument for VTS within the SPI framework.
+package bdf
+
+import (
+	"fmt"
+)
+
+// NodeID identifies a node in a Graph.
+type NodeID int
+
+// EdgeID identifies an edge in a Graph.
+type EdgeID int
+
+// NodeKind enumerates the interpreter's node types.
+type NodeKind uint8
+
+const (
+	// SourceNode emits one preloaded token per firing until exhausted.
+	SourceNode NodeKind = iota
+	// FuncNode consumes one token from every input and produces one output.
+	FuncNode
+	// SwitchNode consumes a data token and a control token, and copies the
+	// data token to the true-output or false-output per the control value.
+	SwitchNode
+	// SelectNode consumes a control token, then one data token from the
+	// true-input or false-input per the control value, and forwards it.
+	SelectNode
+	// SinkNode consumes one token per firing and records it.
+	SinkNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case SourceNode:
+		return "source"
+	case FuncNode:
+		return "func"
+	case SwitchNode:
+		return "switch"
+	case SelectNode:
+		return "select"
+	case SinkNode:
+		return "sink"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Token is a BDF data or control token. Control edges carry 0 (false) or
+// non-zero (true).
+type Token = float64
+
+type node struct {
+	kind NodeKind
+	name string
+	// inputs/outputs by role. Semantics per kind:
+	//   Func:   ins = data inputs, outs[0] = output
+	//   Switch: ins[0] = data, ins[1] = control; outs[0] = true, outs[1] = false
+	//   Select: ins[0] = true, ins[1] = false, ins[2] = control; outs[0] = output
+	//   Source: outs[0]; Sink: ins[0]
+	ins, outs []EdgeID
+	fn        func([]Token) Token
+	feed      []Token // source data
+	fed       int
+	collected []Token // sink data
+}
+
+// Graph is a BDF graph plus its run-time queue state.
+type Graph struct {
+	nodes []*node
+	// queues[e] is the FIFO of edge e.
+	queues [][]Token
+	// MaxQueue records the peak occupancy per edge.
+	maxQueue []int
+	firings  int64
+}
+
+// NewGraph returns an empty BDF graph.
+func NewGraph() *Graph { return &Graph{} }
+
+func (g *Graph) addNode(n *node) NodeID {
+	g.nodes = append(g.nodes, n)
+	return NodeID(len(g.nodes) - 1)
+}
+
+// newEdge allocates a queue and returns its ID.
+func (g *Graph) newEdge() EdgeID {
+	g.queues = append(g.queues, nil)
+	g.maxQueue = append(g.maxQueue, 0)
+	return EdgeID(len(g.queues) - 1)
+}
+
+// AddSource adds a source that emits the given tokens one per firing.
+func (g *Graph) AddSource(name string, data []Token) (NodeID, EdgeID) {
+	out := g.newEdge()
+	id := g.addNode(&node{kind: SourceNode, name: name, outs: []EdgeID{out}, feed: data})
+	return id, out
+}
+
+// AddFunc adds a function node over the given input edges; returns its
+// output edge.
+func (g *Graph) AddFunc(name string, fn func([]Token) Token, inputs ...EdgeID) (NodeID, EdgeID) {
+	out := g.newEdge()
+	id := g.addNode(&node{kind: FuncNode, name: name, ins: inputs, outs: []EdgeID{out}, fn: fn})
+	return id, out
+}
+
+// AddSwitch adds a SWITCH: data tokens from `data` are routed to the
+// returned (trueOut, falseOut) edges according to control tokens from
+// `ctrl`.
+func (g *Graph) AddSwitch(name string, data, ctrl EdgeID) (NodeID, EdgeID, EdgeID) {
+	t, f := g.newEdge(), g.newEdge()
+	id := g.addNode(&node{kind: SwitchNode, name: name, ins: []EdgeID{data, ctrl}, outs: []EdgeID{t, f}})
+	return id, t, f
+}
+
+// AddSelect adds a SELECT: per control token from `ctrl`, one token is
+// consumed from trueIn or falseIn and forwarded to the returned edge.
+func (g *Graph) AddSelect(name string, trueIn, falseIn, ctrl EdgeID) (NodeID, EdgeID) {
+	out := g.newEdge()
+	id := g.addNode(&node{kind: SelectNode, name: name, ins: []EdgeID{trueIn, falseIn, ctrl}, outs: []EdgeID{out}})
+	return id, out
+}
+
+// AddSink adds a sink collecting from the given edge.
+func (g *Graph) AddSink(name string, in EdgeID) NodeID {
+	return g.addNode(&node{kind: SinkNode, name: name, ins: []EdgeID{in}})
+}
+
+// Collected returns the tokens a sink has gathered.
+func (g *Graph) Collected(id NodeID) []Token {
+	return g.nodes[id].collected
+}
+
+// Firings returns the total firing count of the last Run.
+func (g *Graph) Firings() int64 { return g.firings }
+
+// PeakQueue returns the maximum observed occupancy of an edge — the
+// quantity that is statically bounded in SDF/VTS but only observable at run
+// time in BDF.
+func (g *Graph) PeakQueue(e EdgeID) int { return g.maxQueue[e] }
+
+func (g *Graph) push(e EdgeID, v Token) {
+	g.queues[e] = append(g.queues[e], v)
+	if len(g.queues[e]) > g.maxQueue[e] {
+		g.maxQueue[e] = len(g.queues[e])
+	}
+}
+
+func (g *Graph) pop(e EdgeID) Token {
+	v := g.queues[e][0]
+	g.queues[e] = g.queues[e][1:]
+	return v
+}
+
+func (g *Graph) ready(e EdgeID) bool { return len(g.queues[e]) > 0 }
+
+// tryFire attempts one firing of the node; reports whether it fired.
+func (g *Graph) tryFire(n *node) bool {
+	switch n.kind {
+	case SourceNode:
+		if n.fed >= len(n.feed) {
+			return false
+		}
+		g.push(n.outs[0], n.feed[n.fed])
+		n.fed++
+	case FuncNode:
+		for _, e := range n.ins {
+			if !g.ready(e) {
+				return false
+			}
+		}
+		args := make([]Token, len(n.ins))
+		for i, e := range n.ins {
+			args[i] = g.pop(e)
+		}
+		g.push(n.outs[0], n.fn(args))
+	case SwitchNode:
+		if !g.ready(n.ins[0]) || !g.ready(n.ins[1]) {
+			return false
+		}
+		data := g.pop(n.ins[0])
+		if g.pop(n.ins[1]) != 0 {
+			g.push(n.outs[0], data)
+		} else {
+			g.push(n.outs[1], data)
+		}
+	case SelectNode:
+		if !g.ready(n.ins[2]) {
+			return false
+		}
+		// Peek the control to know which data input must be ready.
+		ctrl := g.queues[n.ins[2]][0]
+		which := 1
+		if ctrl != 0 {
+			which = 0
+		}
+		if !g.ready(n.ins[which]) {
+			return false
+		}
+		g.pop(n.ins[2])
+		g.push(n.outs[0], g.pop(n.ins[which]))
+	case SinkNode:
+		if !g.ready(n.ins[0]) {
+			return false
+		}
+		n.collected = append(n.collected, g.pop(n.ins[0]))
+	default:
+		return false
+	}
+	g.firings++
+	return true
+}
+
+// Run executes the token-flow interpreter until quiescence (no node can
+// fire) or the firing budget is exhausted (a safety net: BDF admits graphs
+// that never quiesce). Returns an error when the budget trips or any queue
+// exceeds maxQueueLimit (unbounded-buffer detection).
+func (g *Graph) Run(maxFirings int64, maxQueueLimit int) error {
+	g.firings = 0
+	for {
+		fired := false
+		for _, n := range g.nodes {
+			for g.tryFire(n) {
+				fired = true
+				if g.firings >= maxFirings {
+					return fmt.Errorf("bdf: firing budget %d exhausted (non-quiescent graph?)", maxFirings)
+				}
+				if maxQueueLimit > 0 {
+					for e := range g.queues {
+						if len(g.queues[e]) > maxQueueLimit {
+							return fmt.Errorf("bdf: edge %d exceeded queue limit %d — unbounded buffering", e, maxQueueLimit)
+						}
+					}
+				}
+			}
+		}
+		if !fired {
+			return nil
+		}
+	}
+}

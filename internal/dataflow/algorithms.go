@@ -1,0 +1,229 @@
+package dataflow
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// TopologicalOrder returns the actors in a topological order of the
+// zero-delay precedence structure: edge e imposes src(e) before snk(e)
+// unless it carries enough initial delay to satisfy the sink's first-
+// iteration demand (delay >= consume). Edges with sufficient delay do not
+// constrain the order — they are the feedback edges that make a cyclic SDF
+// graph schedulable.
+//
+// Returns an error if the zero-delay precedence structure is cyclic (the
+// graph deadlocks within one iteration at actor granularity).
+func (g *Graph) TopologicalOrder() ([]ActorID, error) {
+	n := len(g.actors)
+	indeg := make([]int, n)
+	blocking := func(e *Edge) bool {
+		need := e.Consume.Rate
+		if e.Consume.Kind == DynamicPort {
+			need = 1
+		}
+		return e.Delay < need
+	}
+	for i := range g.edges {
+		if blocking(&g.edges[i]) {
+			indeg[g.edges[i].Snk]++
+		}
+	}
+	queue := make([]ActorID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, ActorID(i))
+		}
+	}
+	order := make([]ActorID, 0, n)
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		order = append(order, a)
+		for _, eid := range g.out[a] {
+			e := &g.edges[eid]
+			if !blocking(e) {
+				continue
+			}
+			indeg[e.Snk]--
+			if indeg[e.Snk] == 0 {
+				queue = append(queue, e.Snk)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dataflow: zero-delay precedence structure of %q is cyclic", g.name)
+	}
+	return order, nil
+}
+
+// StronglyConnectedComponents returns the SCCs of the directed graph in
+// reverse topological order of the condensation (Tarjan's algorithm).
+// All edges participate regardless of delay.
+func (g *Graph) StronglyConnectedComponents() [][]ActorID {
+	n := len(g.actors)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []ActorID
+	var sccs [][]ActorID
+	counter := 0
+
+	// Iterative Tarjan to avoid deep recursion on long chains.
+	type frame struct {
+		v    ActorID
+		edge int // next outgoing edge index to examine
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: ActorID(root)}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, ActorID(root))
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.edge < len(g.out[v]) {
+				e := &g.edges[g.out[v][f.edge]]
+				f.edge++
+				w := e.Snk
+				if index[w] == -1 {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// all edges of v examined
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var scc []ActorID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// InfiniteDelay is returned by MinDelayPaths for unreachable actors.
+const InfiniteDelay = int64(math.MaxInt64)
+
+type delayItem struct {
+	actor ActorID
+	dist  int64
+	index int
+}
+
+type delayHeap []*delayItem
+
+func (h delayHeap) Len() int           { return len(h) }
+func (h delayHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h delayHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *delayHeap) Push(x interface{}) {
+	it := x.(*delayItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// MinDelayPaths returns, for every actor, the minimum total edge delay on
+// any directed path from src to that actor (Dijkstra; delays are
+// non-negative). Unreachable actors get InfiniteDelay. The source itself
+// gets 0. This is the Γ quantity in the SPI buffer bound
+// B(e) = (Γ(src,snk) + delay(e)) * c(e).
+func (g *Graph) MinDelayPaths(src ActorID) []int64 {
+	n := len(g.actors)
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = InfiniteDelay
+	}
+	dist[src] = 0
+	h := &delayHeap{}
+	heap.Init(h)
+	heap.Push(h, &delayItem{actor: src, dist: 0})
+	done := make([]bool, n)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(*delayItem)
+		if done[it.actor] {
+			continue
+		}
+		done[it.actor] = true
+		for _, eid := range g.out[it.actor] {
+			e := &g.edges[eid]
+			nd := it.dist + int64(e.Delay)
+			if nd < dist[e.Snk] {
+				dist[e.Snk] = nd
+				heap.Push(h, &delayItem{actor: e.Snk, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// IsWeaklyConnected reports whether the graph is connected when edge
+// direction is ignored. Single-actor graphs are connected; the empty graph
+// is not.
+func (g *Graph) IsWeaklyConnected() bool {
+	n := len(g.actors)
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	queue := []ActorID{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		a := queue[0]
+		queue = queue[1:]
+		for _, eid := range g.out[a] {
+			if w := g.edges[eid].Snk; !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+		for _, eid := range g.in[a] {
+			if w := g.edges[eid].Src; !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	return count == n
+}

@@ -1,0 +1,177 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopologicalOrderChain(t *testing.T) {
+	g := chain(t, [][2]int{{1, 1}, {1, 1}})
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("order = %v, want [0 1 2]", order)
+	}
+}
+
+func TestTopologicalOrderDelayBreaksCycle(t *testing.T) {
+	g := New("cycle")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 1, 1, EdgeSpec{})
+	g.AddEdge("ba", b, a, 1, 1, EdgeSpec{Delay: 1}) // delay satisfies A's demand
+	order, err := g.TopologicalOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != a || order[1] != b {
+		t.Errorf("order = %v, want [A B]", order)
+	}
+}
+
+func TestTopologicalOrderDeadlockedCycle(t *testing.T) {
+	g := New("dead")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 1, 1, EdgeSpec{})
+	g.AddEdge("ba", b, a, 1, 1, EdgeSpec{}) // no delay anywhere: cyclic
+	if _, err := g.TopologicalOrder(); err == nil {
+		t.Fatal("expected cyclic error")
+	}
+}
+
+func TestTopologicalOrderInsufficientDelay(t *testing.T) {
+	// Sink needs 3 tokens per firing; delay of 2 still blocks.
+	g := New("d")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 3, 3, EdgeSpec{Delay: 2})
+	g.AddEdge("ba", b, a, 1, 1, EdgeSpec{})
+	if _, err := g.TopologicalOrder(); err == nil {
+		t.Fatal("delay 2 < consume 3 should still block")
+	}
+}
+
+func TestSCCChainIsSingletons(t *testing.T) {
+	g := chain(t, [][2]int{{1, 1}, {1, 1}})
+	sccs := g.StronglyConnectedComponents()
+	if len(sccs) != 3 {
+		t.Fatalf("got %d SCCs, want 3: %v", len(sccs), sccs)
+	}
+	for _, s := range sccs {
+		if len(s) != 1 {
+			t.Errorf("chain SCC not singleton: %v", s)
+		}
+	}
+}
+
+func TestSCCCycle(t *testing.T) {
+	g := New("c")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	c := g.AddActor("C", 1)
+	g.AddEdge("ab", a, b, 1, 1, EdgeSpec{})
+	g.AddEdge("ba", b, a, 1, 1, EdgeSpec{})
+	g.AddEdge("bc", b, c, 1, 1, EdgeSpec{})
+	sccs := g.StronglyConnectedComponents()
+	if len(sccs) != 2 {
+		t.Fatalf("got %d SCCs, want 2: %v", len(sccs), sccs)
+	}
+	// Find the SCC containing A; it must also contain B.
+	for _, s := range sccs {
+		has := map[ActorID]bool{}
+		for _, v := range s {
+			has[v] = true
+		}
+		if has[a] && !has[b] {
+			t.Errorf("A and B should share an SCC: %v", sccs)
+		}
+		if has[c] && len(s) != 1 {
+			t.Errorf("C should be alone: %v", sccs)
+		}
+	}
+}
+
+func TestSCCCoversAllActorsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New("rand")
+		n := 1 + r.Intn(10)
+		for i := 0; i < n; i++ {
+			g.AddActor("a"+string(rune('0'+i)), 1)
+		}
+		m := r.Intn(2 * n)
+		for i := 0; i < m; i++ {
+			src := ActorID(r.Intn(n))
+			snk := ActorID(r.Intn(n))
+			g.AddEdge("e"+string(rune('0'+i)), src, snk, 1, 1, EdgeSpec{})
+		}
+		sccs := g.StronglyConnectedComponents()
+		seen := map[ActorID]int{}
+		for _, s := range sccs {
+			for _, v := range s {
+				seen[v]++
+			}
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false // each actor in exactly one SCC
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDelayPaths(t *testing.T) {
+	g := New("d")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	c := g.AddActor("C", 1)
+	d := g.AddActor("D", 1)
+	g.AddEdge("ab", a, b, 1, 1, EdgeSpec{Delay: 2})
+	g.AddEdge("bc", b, c, 1, 1, EdgeSpec{Delay: 3})
+	g.AddEdge("ac", a, c, 1, 1, EdgeSpec{Delay: 7})
+	_ = d // unreachable
+
+	dist := g.MinDelayPaths(a)
+	if dist[a] != 0 {
+		t.Errorf("dist[A] = %d, want 0", dist[a])
+	}
+	if dist[b] != 2 {
+		t.Errorf("dist[B] = %d, want 2", dist[b])
+	}
+	if dist[c] != 5 { // via B: 2+3 beats direct 7
+		t.Errorf("dist[C] = %d, want 5", dist[c])
+	}
+	if dist[d] != InfiniteDelay {
+		t.Errorf("dist[D] = %d, want InfiniteDelay", dist[d])
+	}
+}
+
+func TestIsWeaklyConnected(t *testing.T) {
+	g := New("empty")
+	if g.IsWeaklyConnected() {
+		t.Error("empty graph should not be connected")
+	}
+	g.AddActor("A", 1)
+	if !g.IsWeaklyConnected() {
+		t.Error("single actor should be connected")
+	}
+	g.AddActor("B", 1)
+	if g.IsWeaklyConnected() {
+		t.Error("two isolated actors should not be connected")
+	}
+	g.AddEdge("ab", 0, 1, 1, 1, EdgeSpec{})
+	if !g.IsWeaklyConnected() {
+		t.Error("connected pair reported disconnected")
+	}
+}

@@ -1,0 +1,114 @@
+package dataflow
+
+import (
+	"fmt"
+)
+
+// Homogeneous SDF (HSDF) expansion: every actor a is replaced by q[a]
+// firing instances a_0..a_{q[a]-1}, and every multirate edge becomes a set
+// of single-token edges connecting the producing firing of each token to
+// its consuming firing. The expansion exposes firing-level parallelism that
+// block-granularity scheduling cannot see, at the cost of graph size
+// (sum(q) vertices) — the standard precision/size trade of the
+// Lee/Messerschmitt and Sriram/Bhattacharyya constructions.
+
+// Expansion is the result of expanding a multirate graph.
+type Expansion struct {
+	// Graph is the homogeneous graph: all rates are 1.
+	Graph *Graph
+	// Instance maps (original actor, firing index) to the HSDF actor.
+	Instance map[ActorID][]ActorID
+	// Origin maps each HSDF actor back to its original actor.
+	Origin []ActorID
+}
+
+// Expand builds the HSDF expansion of a consistent graph. Dynamic ports are
+// expanded at their VTS packed rate (one token per firing), matching the
+// rest of the analysis chain.
+//
+// Token k of edge e (k = 0,1,... within one iteration, after the initial
+// delays) is produced by firing floor(k/produce) and consumed by firing
+// floor((k+delay)/consume) — tokens pushed past the iteration boundary by
+// delays wrap to the next iteration and appear as inter-iteration edges
+// with one unit of (iteration) delay.
+func Expand(g *Graph) (*Expansion, error) {
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		return nil, err
+	}
+	h := New(g.Name() + "+hsdf")
+	ex := &Expansion{
+		Graph:    h,
+		Instance: make(map[ActorID][]ActorID, g.NumActors()),
+	}
+	for _, a := range g.Actors() {
+		src := g.Actor(a)
+		for k := int64(0); k < q[a]; k++ {
+			id := h.AddActor(fmt.Sprintf("%s#%d", src.Name, k), src.ExecCycles)
+			ex.Instance[a] = append(ex.Instance[a], id)
+			ex.Origin = append(ex.Origin, a)
+		}
+	}
+	rate := func(p Port) int64 {
+		if p.Kind == DynamicPort {
+			return 1
+		}
+		return int64(p.Rate)
+	}
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		prod := rate(e.Produce)
+		cons := rate(e.Consume)
+		total := q[e.Src] * prod // tokens per iteration
+		delay := int64(e.Delay)
+		for k := int64(0); k < total; k++ {
+			producer := ex.Instance[e.Src][(k/prod)%q[e.Src]]
+			// Token k lands at in-order position k+delay on the edge;
+			// positions wrap across iterations.
+			pos := k + delay
+			consFiring := (pos / cons) % q[e.Snk]
+			iterSkip := (pos / cons) / q[e.Snk] // whole iterations of delay
+			consumer := ex.Instance[e.Snk][consFiring]
+			h.AddEdge(fmt.Sprintf("%s.t%d", e.Name, k), producer, consumer, 1, 1, EdgeSpec{
+				Delay:      int(iterSkip),
+				TokenBytes: e.TokenBytes,
+			})
+		}
+	}
+	return ex, nil
+}
+
+// CriticalPath returns the longest chain of execution times through the
+// zero-delay precedence structure of a homogeneous graph — the minimum
+// possible makespan of one iteration with unlimited processors. Errors on
+// graphs whose zero-delay structure is cyclic.
+func (ex *Expansion) CriticalPath() (int64, error) {
+	h := ex.Graph
+	order, err := h.TopologicalOrder()
+	if err != nil {
+		return 0, err
+	}
+	longest := make([]int64, h.NumActors())
+	var best int64
+	for _, a := range order {
+		cost := h.Actor(a).ExecCycles
+		if cost <= 0 {
+			cost = 1
+		}
+		start := int64(0)
+		for _, eid := range h.In(a) {
+			e := h.Edge(eid)
+			if e.Delay > 0 {
+				continue
+			}
+			if longest[e.Src] > start {
+				start = longest[e.Src]
+			}
+		}
+		longest[a] = start + cost
+		if longest[a] > best {
+			best = longest[a]
+		}
+	}
+	return best, nil
+}

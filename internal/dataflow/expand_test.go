@@ -1,0 +1,207 @@
+package dataflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandSizes(t *testing.T) {
+	// A -(2)->(3)- B: q = [3 2]; expansion has 5 actors and 6 edges
+	// (one per token).
+	g := chain(t, [][2]int{{2, 3}})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Graph.NumActors() != 5 {
+		t.Errorf("actors = %d, want 5", ex.Graph.NumActors())
+	}
+	if ex.Graph.NumEdges() != 6 {
+		t.Errorf("edges = %d, want 6 (one per token)", ex.Graph.NumEdges())
+	}
+	// All rates are 1.
+	for _, eid := range ex.Graph.Edges() {
+		e := ex.Graph.Edge(eid)
+		if e.Produce.Rate != 1 || e.Consume.Rate != 1 {
+			t.Fatalf("non-homogeneous edge %+v", e)
+		}
+	}
+	// Repetitions of the expansion are all 1.
+	q, err := ex.Graph.RepetitionsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q {
+		if v != 1 {
+			t.Fatalf("HSDF repetitions = %v", q)
+		}
+	}
+}
+
+func TestExpandInstanceMapping(t *testing.T) {
+	g := chain(t, [][2]int{{2, 3}})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Instance[0]) != 3 || len(ex.Instance[1]) != 2 {
+		t.Fatalf("instances = %v", ex.Instance)
+	}
+	for a, instances := range ex.Instance {
+		for _, h := range instances {
+			if ex.Origin[h] != a {
+				t.Fatalf("origin mismatch for %d", h)
+			}
+		}
+	}
+}
+
+func TestExpandTokenWiring(t *testing.T) {
+	// A -(2)->(3)- B: tokens 0,1 from A#0; 2,3 from A#1; 4,5 from A#2.
+	// B#0 consumes tokens 0..2, B#1 tokens 3..5.
+	g := chain(t, [][2]int{{2, 3}})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ex.Graph
+	type conn struct{ src, snk string }
+	want := map[conn]int{
+		{"a0#0", "a1#0"}: 2, // tokens 0,1
+		{"a0#1", "a1#0"}: 1, // token 2
+		{"a0#1", "a1#1"}: 1, // token 3
+		{"a0#2", "a1#1"}: 2, // tokens 4,5
+	}
+	got := map[conn]int{}
+	for _, eid := range h.Edges() {
+		e := h.Edge(eid)
+		got[conn{h.Actor(e.Src).Name, h.Actor(e.Snk).Name}]++
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("connection %v count %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+}
+
+func TestExpandDelayCreatesInterIterationEdges(t *testing.T) {
+	// A -(1)->(1)- B with 1 delay: the single token A produces is consumed
+	// by B in the NEXT iteration, so the HSDF edge carries 1 delay.
+	g := New("d")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 1, 1, EdgeSpec{Delay: 1})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := ex.Graph.Edges()
+	if len(edges) != 1 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	if ex.Graph.Edge(edges[0]).Delay != 1 {
+		t.Errorf("delay = %d, want 1 (inter-iteration)", ex.Graph.Edge(edges[0]).Delay)
+	}
+}
+
+func TestExpandPartialDelayShiftsConsumers(t *testing.T) {
+	// A -(1)->(2)- B with 1 delay: q = [2 1]. Positions: initial token at
+	// 0; produced tokens at positions 1, 2. B#0 consumes positions 0,1 —
+	// so token 0 goes to B#0 same iteration, token 1 goes to B#0 of the
+	// NEXT iteration (position 2 -> firing 1 -> wraps).
+	g := New("pd")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 1, 2, EdgeSpec{Delay: 1})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sameIter, nextIter int
+	for _, eid := range ex.Graph.Edges() {
+		if ex.Graph.Edge(eid).Delay == 0 {
+			sameIter++
+		} else {
+			nextIter++
+		}
+	}
+	if sameIter != 1 || nextIter != 1 {
+		t.Errorf("same=%d next=%d, want 1/1", sameIter, nextIter)
+	}
+}
+
+func TestCriticalPathExposesFiringParallelism(t *testing.T) {
+	// A -(2)->(1)- B with costs 10/50: q = [1 2]. Block-serial time is
+	// 10 + 2*50 = 110, but the two B firings are independent, so the
+	// firing-level critical path is 10 + 50 = 60.
+	g := New("par")
+	a := g.AddActor("A", 10)
+	b := g.AddActor("B", 50)
+	g.AddEdge("ab", a, b, 2, 1, EdgeSpec{})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ex.CriticalPath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 60 {
+		t.Errorf("critical path = %d, want 60", cp)
+	}
+}
+
+func TestExpandDynamicPortsAsPacked(t *testing.T) {
+	g := New("dyn")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 10, 8, EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true})
+	ex, err := Expand(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packed rate 1: one instance each, one edge.
+	if ex.Graph.NumActors() != 2 || ex.Graph.NumEdges() != 1 {
+		t.Errorf("expansion = %d actors %d edges", ex.Graph.NumActors(), ex.Graph.NumEdges())
+	}
+}
+
+// Property: for random chains, the expansion is consistent, homogeneous,
+// admits a PASS, and its actor count equals sum(q).
+func TestExpandProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New("p")
+		n := 2 + r.Intn(4)
+		prev := g.AddActor("a0", int64(1+r.Intn(20)))
+		for i := 1; i < n; i++ {
+			next := g.AddActor("a"+string(rune('0'+i)), int64(1+r.Intn(20)))
+			g.AddEdge("e"+string(rune('0'+i)), prev, next,
+				1+r.Intn(4), 1+r.Intn(4), EdgeSpec{Delay: r.Intn(3)})
+			prev = next
+		}
+		q, err := g.RepetitionsVector()
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, v := range q {
+			total += v
+		}
+		ex, err := Expand(g)
+		if err != nil {
+			return false
+		}
+		if int64(ex.Graph.NumActors()) != total {
+			return false
+		}
+		if _, err := ex.Graph.FindPASS(); err != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package dataflow
+
+import (
+	"fmt"
+
+	"repro/internal/signal"
+)
+
+// RandomSpec parameterizes synthetic SDF graph generation for stress and
+// property testing. Generated graphs are always sample-rate consistent and
+// deadlock-free by construction: actors are laid out in a topological
+// order, forward edges get rates derived from a pre-chosen repetitions
+// vector, and optional feedback edges carry enough delay to cover one full
+// iteration.
+type RandomSpec struct {
+	// Actors is the number of actors (>= 2).
+	Actors int
+	// ExtraEdges adds forward edges beyond the spanning chain.
+	ExtraEdges int
+	// FeedbackEdges adds delayed backward edges (bounding feedback loops).
+	FeedbackEdges int
+	// MaxRepetition bounds the per-actor repetition counts (>= 1).
+	MaxRepetition int
+	// MaxExecCycles bounds actor execution times.
+	MaxExecCycles int64
+	// DynamicFraction (0..1 scaled by 100) makes roughly that percentage
+	// of forward edges dynamic.
+	DynamicPercent int
+}
+
+// DefaultRandomSpec returns a mid-size stress configuration.
+func DefaultRandomSpec() RandomSpec {
+	return RandomSpec{
+		Actors:         8,
+		ExtraEdges:     6,
+		FeedbackEdges:  2,
+		MaxRepetition:  4,
+		MaxExecCycles:  200,
+		DynamicPercent: 25,
+	}
+}
+
+// Random generates a consistent, schedulable SDF graph from the spec and
+// seed. The same (spec, seed) pair always yields the same graph.
+func Random(spec RandomSpec, seed uint64) (*Graph, error) {
+	if spec.Actors < 2 {
+		return nil, fmt.Errorf("dataflow: random graph needs >= 2 actors")
+	}
+	if spec.MaxRepetition < 1 {
+		spec.MaxRepetition = 1
+	}
+	if spec.MaxExecCycles < 1 {
+		spec.MaxExecCycles = 1
+	}
+	rng := signal.NewRNG(seed)
+	g := New(fmt.Sprintf("random-%d", seed))
+
+	// Pre-chosen repetitions vector: forward edge (a, b) then carries
+	// produce = q[b]/gcd, consume = q[a]/gcd — consistent by construction.
+	reps := make([]int64, spec.Actors)
+	for i := range reps {
+		reps[i] = int64(1 + rng.Intn(spec.MaxRepetition))
+		g.AddActor(fmt.Sprintf("a%d", i), 1+int64(rng.Uint64()%uint64(spec.MaxExecCycles)))
+	}
+	gcd := func(a, b int64) int64 {
+		for b != 0 {
+			a, b = b, a%b
+		}
+		return a
+	}
+	edgeCount := 0
+	addForward := func(src, snk int) {
+		d := gcd(reps[src], reps[snk])
+		produce := int(reps[snk] / d)
+		consume := int(reps[src] / d)
+		spec2 := EdgeSpec{TokenBytes: 1 + rng.Intn(8)}
+		if rng.Intn(100) < spec.DynamicPercent {
+			// Dynamic ports require equal packed rates; only 1:1 edges
+			// qualify (both reps equal).
+			if produce == consume {
+				spec2.ProduceDynamic = true
+				spec2.ConsumeDynamic = true
+				// Interpret the rate as the bound on a variable burst.
+				produce = 2 + rng.Intn(16)
+				consume = produce
+			}
+		}
+		g.AddEdge(fmt.Sprintf("e%d", edgeCount), ActorID(src), ActorID(snk), produce, consume, spec2)
+		edgeCount++
+	}
+	// Spanning chain keeps the graph connected.
+	for i := 1; i < spec.Actors; i++ {
+		addForward(i-1, i)
+	}
+	for i := 0; i < spec.ExtraEdges; i++ {
+		src := rng.Intn(spec.Actors - 1)
+		snk := src + 1 + rng.Intn(spec.Actors-src-1)
+		addForward(src, snk)
+	}
+	// Feedback edges with one full iteration of delay: snk fires reps[snk]
+	// times per iteration consuming produce' tokens each... keep rates
+	// consistent the same way and set delay = tokens moved per iteration.
+	for i := 0; i < spec.FeedbackEdges; i++ {
+		snk := rng.Intn(spec.Actors - 1)
+		src := snk + 1 + rng.Intn(spec.Actors-snk-1)
+		d := gcd(reps[src], reps[snk])
+		produce := int(reps[snk] / d)
+		consume := int(reps[src] / d)
+		perIter := reps[src] * int64(produce)
+		g.AddEdge(fmt.Sprintf("fb%d", i), ActorID(src), ActorID(snk), produce, consume, EdgeSpec{
+			Delay:      int(perIter),
+			TokenBytes: 1 + rng.Intn(4),
+		})
+		edgeCount++
+	}
+	if _, err := g.RepetitionsVector(); err != nil {
+		return nil, fmt.Errorf("dataflow: generated graph inconsistent (bug): %w", err)
+	}
+	return g, nil
+}

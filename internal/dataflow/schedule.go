@@ -1,0 +1,195 @@
+package dataflow
+
+import (
+	"fmt"
+)
+
+// FlatSchedule is a periodic admissible sequential schedule (PASS): a
+// sequence of actor firings that returns every edge to its initial token
+// count. Its length equals the sum of the repetitions vector.
+type FlatSchedule []ActorID
+
+// DeadlockError reports that the graph cannot complete one iteration: some
+// actors still owe firings but none is enabled.
+type DeadlockError struct {
+	// Remaining maps actor names to outstanding firing counts at the point
+	// the simulation stalled.
+	Remaining map[string]int64
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("dataflow: graph deadlocks; %d actors have unfinished firings", len(e.Remaining))
+}
+
+// FindPASS constructs a periodic admissible sequential schedule for one
+// iteration of the graph using Lee & Messerschmitt's class-S simulation:
+// repeatedly fire any enabled actor that has not yet completed its
+// repetitions-vector quota. If the simulation stalls, the graph deadlocks
+// and a *DeadlockError is returned.
+//
+// The firing policy is deterministic (lowest actor ID first among enabled
+// actors), which favours data-driven pipelining and keeps golden tests
+// stable. Dynamic ports are treated at their VTS packed rate of one token
+// per firing.
+func (g *Graph) FindPASS() (FlatSchedule, error) {
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		return nil, err
+	}
+	return g.findPASSWith(q)
+}
+
+func (g *Graph) findPASSWith(q Repetitions) (FlatSchedule, error) {
+	n := len(g.actors)
+	tokens := make([]int64, len(g.edges))
+	for i := range g.edges {
+		tokens[i] = int64(g.edges[i].Delay)
+	}
+	remaining := make([]int64, n)
+	var total int64
+	for i := range remaining {
+		remaining[i] = q[i]
+		total += q[i]
+	}
+	prod := func(e *Edge) int64 {
+		if e.Produce.Kind == DynamicPort {
+			return 1
+		}
+		return int64(e.Produce.Rate)
+	}
+	cons := func(e *Edge) int64 {
+		if e.Consume.Kind == DynamicPort {
+			return 1
+		}
+		return int64(e.Consume.Rate)
+	}
+	enabled := func(a ActorID) bool {
+		if remaining[a] == 0 {
+			return false
+		}
+		for _, eid := range g.in[a] {
+			if tokens[eid] < cons(&g.edges[eid]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	sched := make(FlatSchedule, 0, total)
+	for int64(len(sched)) < total {
+		fired := false
+		for a := 0; a < n; a++ {
+			if !enabled(ActorID(a)) {
+				continue
+			}
+			for _, eid := range g.in[a] {
+				tokens[eid] -= cons(&g.edges[eid])
+			}
+			for _, eid := range g.out[a] {
+				tokens[eid] += prod(&g.edges[eid])
+			}
+			remaining[a]--
+			sched = append(sched, ActorID(a))
+			fired = true
+			break
+		}
+		if !fired {
+			rem := make(map[string]int64)
+			for a := 0; a < n; a++ {
+				if remaining[a] > 0 {
+					rem[g.actors[a].Name] = remaining[a]
+				}
+			}
+			return nil, &DeadlockError{Remaining: rem}
+		}
+	}
+	return sched, nil
+}
+
+// BufferBounds simulates the given flat schedule and returns, per edge, the
+// maximum number of tokens that coexist on the edge at any instant
+// (measured after each production). This is the c_sdf(e) quantity the VTS
+// bound of eq. 1 builds on: any buffer at least this large admits the
+// schedule without overflow.
+//
+// The schedule must be admissible (it is re-simulated; a token underflow
+// returns an error).
+func (g *Graph) BufferBounds(sched FlatSchedule) (map[EdgeID]int64, error) {
+	tokens := make([]int64, len(g.edges))
+	maxTokens := make([]int64, len(g.edges))
+	for i := range g.edges {
+		tokens[i] = int64(g.edges[i].Delay)
+		maxTokens[i] = tokens[i]
+	}
+	prod := func(e *Edge) int64 {
+		if e.Produce.Kind == DynamicPort {
+			return 1
+		}
+		return int64(e.Produce.Rate)
+	}
+	cons := func(e *Edge) int64 {
+		if e.Consume.Kind == DynamicPort {
+			return 1
+		}
+		return int64(e.Consume.Rate)
+	}
+	for step, a := range sched {
+		for _, eid := range g.in[a] {
+			tokens[eid] -= cons(&g.edges[eid])
+			if tokens[eid] < 0 {
+				return nil, fmt.Errorf("dataflow: schedule not admissible: edge %q underflows at step %d (actor %s)",
+					g.edges[eid].Name, step, g.actors[a].Name)
+			}
+		}
+		for _, eid := range g.out[a] {
+			tokens[eid] += prod(&g.edges[eid])
+			if tokens[eid] > maxTokens[eid] {
+				maxTokens[eid] = tokens[eid]
+			}
+		}
+	}
+	out := make(map[EdgeID]int64, len(g.edges))
+	for i := range g.edges {
+		out[EdgeID(i)] = maxTokens[i]
+	}
+	return out, nil
+}
+
+// ScheduleReturnsToInitialState verifies the PASS property: simulating the
+// schedule returns every edge to its initial token count. Used by tests and
+// by callers that construct schedules by hand.
+func (g *Graph) ScheduleReturnsToInitialState(sched FlatSchedule) (bool, error) {
+	tokens := make([]int64, len(g.edges))
+	for i := range g.edges {
+		tokens[i] = int64(g.edges[i].Delay)
+	}
+	prod := func(e *Edge) int64 {
+		if e.Produce.Kind == DynamicPort {
+			return 1
+		}
+		return int64(e.Produce.Rate)
+	}
+	cons := func(e *Edge) int64 {
+		if e.Consume.Kind == DynamicPort {
+			return 1
+		}
+		return int64(e.Consume.Rate)
+	}
+	for step, a := range sched {
+		for _, eid := range g.in[a] {
+			tokens[eid] -= cons(&g.edges[eid])
+			if tokens[eid] < 0 {
+				return false, fmt.Errorf("dataflow: edge %q underflows at step %d", g.edges[eid].Name, step)
+			}
+		}
+		for _, eid := range g.out[a] {
+			tokens[eid] += prod(&g.edges[eid])
+		}
+	}
+	for i := range g.edges {
+		if tokens[i] != int64(g.edges[i].Delay) {
+			return false, nil
+		}
+	}
+	return true, nil
+}

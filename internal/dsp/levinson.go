@@ -1,0 +1,77 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Levinson-Durbin recursion: the O(M^2) solver for the Toeplitz normal
+// equations that LPC analysis produces. The paper's actor C uses a general
+// LU decomposition (O(M^3)) — a natural choice when the FPGA datapath
+// already provides an LU engine — but Levinson-Durbin is the classic
+// software alternative, so the library offers both and the benchmarks
+// compare them. Both produce the same predictor for a positive-definite
+// autocorrelation sequence.
+
+// LevinsonDurbin solves the order-m normal equations R a = r from
+// autocorrelation values r[0..m] and returns the predictor coefficients
+// plus the final prediction-error power. It fails if the recursion
+// encounters a non-positive error power (non-positive-definite input).
+func LevinsonDurbin(r []float64, m int) (coeffs []float64, errPower float64, err error) {
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("dsp: Levinson order %d", m)
+	}
+	if len(r) < m+1 {
+		return nil, 0, fmt.Errorf("dsp: need %d autocorrelation lags, have %d", m+1, len(r))
+	}
+	if r[0] <= 0 {
+		return nil, 0, fmt.Errorf("dsp: non-positive zero-lag autocorrelation %v", r[0])
+	}
+	a := make([]float64, m+1) // a[0] unused; predictor x[i] ~= sum a[k] x[i-k]
+	e := r[0]
+	for i := 1; i <= m; i++ {
+		acc := r[i]
+		for k := 1; k < i; k++ {
+			acc -= a[k] * r[i-k]
+		}
+		if e <= 0 {
+			return nil, 0, fmt.Errorf("dsp: Levinson error power %v at order %d (not positive definite)", e, i)
+		}
+		k := acc / e
+		// Update coefficients: a'_j = a_j - k*a_{i-j}.
+		prev := make([]float64, i)
+		copy(prev, a[1:i])
+		a[i] = k
+		for j := 1; j < i; j++ {
+			a[j] = prev[j-1] - k*prev[i-1-j]
+		}
+		e *= 1 - k*k
+	}
+	if math.IsNaN(e) || math.IsInf(e, 0) {
+		return nil, 0, fmt.Errorf("dsp: Levinson diverged")
+	}
+	return a[1 : m+1], e, nil
+}
+
+// LPCAnalyzeLevinson is LPCAnalyze with the Levinson-Durbin solver in place
+// of LU decomposition. For well-conditioned frames the two produce the same
+// model (the normal equations have a unique solution); Levinson is O(M^2)
+// and additionally yields the reflection coefficients implicitly.
+func LPCAnalyzeLevinson(frame []float64, m int) (*LPCModel, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("dsp: LPC order %d", m)
+	}
+	if len(frame) <= m {
+		return nil, fmt.Errorf("dsp: frame of %d samples too short for order %d", len(frame), m)
+	}
+	r, err := AutocorrelationFFT(frame, m)
+	if err != nil {
+		return nil, err
+	}
+	r[0] = r[0]*(1+1e-6) + 1e-12
+	coeffs, _, err := LevinsonDurbin(r, m)
+	if err != nil {
+		return nil, err
+	}
+	return &LPCModel{Coeffs: coeffs}, nil
+}

@@ -1,0 +1,131 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/signal"
+)
+
+func TestLevinsonValidation(t *testing.T) {
+	if _, _, err := LevinsonDurbin([]float64{1, 0.5}, 0); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, _, err := LevinsonDurbin([]float64{1}, 2); err == nil {
+		t.Error("too few lags should fail")
+	}
+	if _, _, err := LevinsonDurbin([]float64{0, 0.5, 0.2}, 2); err == nil {
+		t.Error("non-positive r[0] should fail")
+	}
+	if _, err := LPCAnalyzeLevinson(make([]float64, 4), 10); err == nil {
+		t.Error("short frame should fail")
+	}
+	if _, err := LPCAnalyzeLevinson(make([]float64, 100), 0); err == nil {
+		t.Error("order 0 should fail")
+	}
+}
+
+func TestLevinsonKnownAR1(t *testing.T) {
+	// AR(1) with coefficient a: r[k] = a^k * r[0]. Levinson must recover a
+	// exactly with zero residual gain loss... up to the recursion's algebra.
+	a := 0.8
+	r := []float64{1, a, a * a, a * a * a}
+	coeffs, e, err := LevinsonDurbin(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coeffs[0]-a) > 1e-12 {
+		t.Errorf("coeffs[0] = %v, want %v", coeffs[0], a)
+	}
+	for k := 1; k < 3; k++ {
+		if math.Abs(coeffs[k]) > 1e-12 {
+			t.Errorf("coeffs[%d] = %v, want 0 (AR(1) source)", k, coeffs[k])
+		}
+	}
+	if want := 1 - a*a; math.Abs(e-want) > 1e-12 {
+		t.Errorf("error power = %v, want %v", e, want)
+	}
+}
+
+func TestLevinsonMatchesLU(t *testing.T) {
+	// Both solvers target the same normal equations; on a well-conditioned
+	// speech frame they must agree.
+	x := signal.Speech(1024, 33)
+	lu, err := LPCAnalyze(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lev, err := LPCAnalyzeLevinson(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range lu.Coeffs {
+		if math.Abs(lu.Coeffs[k]-lev.Coeffs[k]) > 1e-8 {
+			t.Errorf("coeff %d: LU %v vs Levinson %v", k, lu.Coeffs[k], lev.Coeffs[k])
+		}
+	}
+}
+
+func TestLevinsonMatchesLUProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := signal.Speech(512, seed)
+		lu, err := LPCAnalyze(x, 8)
+		if err != nil {
+			return false
+		}
+		lev, err := LPCAnalyzeLevinson(x, 8)
+		if err != nil {
+			return false
+		}
+		for k := range lu.Coeffs {
+			if math.Abs(lu.Coeffs[k]-lev.Coeffs[k]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevinsonErrorPowerDecreasesWithOrder(t *testing.T) {
+	x := signal.Speech(2048, 9)
+	r, err := AutocorrelationFFT(x, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r[0] = r[0]*(1+1e-6) + 1e-12
+	var prev float64 = math.Inf(1)
+	for m := 1; m <= 16; m++ {
+		_, e, err := LevinsonDurbin(r, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > prev+1e-12 {
+			t.Fatalf("error power rose at order %d: %v -> %v", m, prev, e)
+		}
+		prev = e
+	}
+}
+
+func BenchmarkLUvsLevinson(b *testing.B) {
+	x := signal.Speech(512, 3)
+	for _, m := range []int{10, 32} {
+		b.Run("lu/m="+string(rune('0'+m/10))+string(rune('0'+m%10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := LPCAnalyze(x, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("levinson/m="+string(rune('0'+m/10))+string(rune('0'+m%10)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := LPCAnalyzeLevinson(x, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

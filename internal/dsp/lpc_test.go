@@ -1,0 +1,176 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/signal"
+)
+
+func TestLPCAnalyzeRecoversARCoefficients(t *testing.T) {
+	// An AR(2) source driven by small noise: the order-2 LPC solution
+	// should be close to the true coefficients.
+	truth := []float64{1.2, -0.4}
+	x := signal.AR(8000, truth, 0.05, 17)
+	m, err := LPCAnalyze(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range truth {
+		if math.Abs(m.Coeffs[i]-c) > 0.05 {
+			t.Errorf("coeff[%d] = %v, want ~%v", i, m.Coeffs[i], c)
+		}
+	}
+}
+
+func TestLPCValidation(t *testing.T) {
+	if _, err := LPCAnalyze(make([]float64, 100), 0); err == nil {
+		t.Error("order 0 should fail")
+	}
+	if _, err := LPCAnalyze(make([]float64, 5), 10); err == nil {
+		t.Error("short frame should fail")
+	}
+}
+
+func TestLPCSilentFrameStillSolvable(t *testing.T) {
+	// Regularization keeps the all-zero frame from blowing up.
+	m, err := LPCAnalyze(make([]float64, 256), 8)
+	if err != nil {
+		t.Fatalf("silent frame: %v", err)
+	}
+	for _, c := range m.Coeffs {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("non-finite coefficient %v", c)
+		}
+	}
+}
+
+func TestResidualReconstructRoundtrip(t *testing.T) {
+	x := signal.Speech(512, 4)
+	m, err := LPCAnalyze(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Residual(x)
+	y := m.Reconstruct(e)
+	for i := range x {
+		if math.Abs(x[i]-y[i]) > 1e-9 {
+			t.Fatalf("reconstruction diverged at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestResidualRangeMatchesFull(t *testing.T) {
+	x := signal.Speech(400, 8)
+	m, err := LPCAnalyze(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := m.Residual(x)
+	// Split into 4 PE-style sections; each must match the full residual.
+	n := 4
+	for p := 0; p < n; p++ {
+		start := p * len(x) / n
+		end := (p + 1) * len(x) / n
+		part := m.ResidualRange(x, start, end)
+		for i := range part {
+			if math.Abs(part[i]-full[start+i]) > 1e-12 {
+				t.Fatalf("PE %d sample %d: %v vs %v", p, i, part[i], full[start+i])
+			}
+		}
+	}
+}
+
+func TestResidualRangeClamps(t *testing.T) {
+	x := []float64{1, 2, 3}
+	m := &LPCModel{Coeffs: []float64{0.5}}
+	if got := m.ResidualRange(x, -5, 100); len(got) != 3 {
+		t.Errorf("clamped range length %d, want 3", len(got))
+	}
+	if got := m.ResidualRange(x, 2, 1); got != nil {
+		t.Errorf("empty range should be nil, got %v", got)
+	}
+}
+
+func TestPredictionGainPositiveOnSpeech(t *testing.T) {
+	x := signal.Speech(2048, 12)
+	m, err := LPCAnalyze(x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.Residual(x)
+	g := PredictionGain(x, e)
+	if g < 6 {
+		t.Errorf("prediction gain %v dB too low for a speech-like source", g)
+	}
+}
+
+func TestPredictionGainEdgeCases(t *testing.T) {
+	if g := PredictionGain([]float64{1, 1}, []float64{0, 0}); !math.IsInf(g, 1) {
+		t.Errorf("zero residual gain = %v, want +Inf", g)
+	}
+	if g := PredictionGain([]float64{0, 0}, []float64{1, 1}); g != 0 {
+		t.Errorf("zero signal gain = %v, want 0", g)
+	}
+}
+
+func TestQuantizerValidation(t *testing.T) {
+	if _, err := NewQuantizer(1, 1); err == nil {
+		t.Error("1 bit should fail")
+	}
+	if _, err := NewQuantizer(17, 1); err == nil {
+		t.Error("17 bits should fail")
+	}
+	if _, err := NewQuantizer(8, 0); err == nil {
+		t.Error("zero range should fail")
+	}
+}
+
+func TestQuantizerRoundtripAccuracy(t *testing.T) {
+	q, err := NewQuantizer(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := 2.0 / 1024
+	for _, v := range []float64{0, 0.5, -0.5, 0.999, -0.999, 0.123456} {
+		got := q.Dequantize(q.Quantize(v))
+		if math.Abs(got-v) > step {
+			t.Errorf("roundtrip %v -> %v, error > step %v", v, got, step)
+		}
+	}
+}
+
+func TestQuantizerClips(t *testing.T) {
+	q, _ := NewQuantizer(8, 1.0)
+	hi := q.Quantize(100)
+	lo := q.Quantize(-100)
+	if hi != 255 || lo != 0 {
+		t.Errorf("clipping: hi=%d lo=%d, want 255/0", hi, lo)
+	}
+}
+
+func TestQuantizeAllRoundtripProperty(t *testing.T) {
+	q, _ := NewQuantizer(12, 2.0)
+	f := func(vals []float64) bool {
+		// clamp inputs into range
+		in := make([]float64, len(vals))
+		for i, v := range vals {
+			in[i] = math.Mod(v, 2.0)
+			if math.IsNaN(in[i]) {
+				in[i] = 0
+			}
+		}
+		idx := q.QuantizeAll(in)
+		out := q.DequantizeAll(idx)
+		for i := range in {
+			if math.Abs(out[i]-in[i]) > 4.0/4096+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/lpc"
+	"repro/internal/particle"
+	"repro/internal/platform"
+	"repro/internal/spi"
+)
+
+// Iterations per timing measurement: enough for the self-timed pipeline to
+// reach steady state.
+const timingIterations = 50
+
+// runSystem lowers and runs an SPI system, returning per-iteration
+// execution time in microseconds (steady-state average) plus the stats.
+func runSystem(sys *spi.System, iterations int) (usPerIter float64, st *platform.Stats, err error) {
+	dep, err := spi.Build(sys)
+	if err != nil {
+		return 0, nil, err
+	}
+	st, err = dep.Sim.Run(iterations)
+	if err != nil {
+		return 0, nil, err
+	}
+	cfg := dep.Sim.Config()
+	warm := iterations / 5
+	span := st.IterationFinish[iterations-1] - st.IterationFinish[warm]
+	usPerIter = st.Microseconds(cfg, span) / float64(iterations-1-warm)
+	return usPerIter, st, nil
+}
+
+// Fig6SampleSizes are the frame sizes swept on figure 6's x axis.
+var Fig6SampleSizes = []int{64, 128, 256, 400, 512}
+
+// Fig6PEs are the PE counts of figure 6's series.
+var Fig6PEs = []int{1, 2, 3, 4}
+
+// Fig6 regenerates figure 6: execution time (µs) of actor D of
+// application 1 versus sample size, one series per PE count.
+func Fig6() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 6 — actor D execution time (us) vs sample size",
+		Header: []string{"sample_size"},
+		Notes: []string{
+			"paper shape: time grows with sample size; more PEs are faster with diminishing returns",
+		},
+	}
+	for _, n := range Fig6PEs {
+		t.Header = append(t.Header, fmt.Sprintf("n=%d", n))
+	}
+	for _, N := range Fig6SampleSizes {
+		row := []string{fmt.Sprintf("%d", N)}
+		for _, n := range Fig6PEs {
+			sys, err := lpc.ErrorGenSystem(lpc.DefaultDeploy(N, n))
+			if err != nil {
+				return nil, err
+			}
+			us, _, err := runSystem(sys, timingIterations)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", us))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Fig7Particles are the particle counts swept on figure 7's x axis (the
+// paper: "varies from 50 to 300").
+var Fig7Particles = []int{50, 100, 150, 200, 250, 300}
+
+// Fig7PEs are the PE counts of figure 7's series.
+var Fig7PEs = []int{1, 2}
+
+// Fig7 regenerates figure 7: execution time (µs) of the particle filter
+// versus particle count, for 1 and 2 PEs.
+func Fig7() (*Table, error) {
+	t := &Table{
+		Title:  "Figure 7 — particle filter execution time (us) vs particles",
+		Header: []string{"particles"},
+		Notes: []string{
+			"paper shape: near-linear in N; 2 PEs approach 2x at large N, less at small N",
+		},
+	}
+	for _, n := range Fig7PEs {
+		t.Header = append(t.Header, fmt.Sprintf("n=%d", n))
+	}
+	for _, N := range Fig7Particles {
+		row := []string{fmt.Sprintf("%d", N)}
+		for _, n := range Fig7PEs {
+			sys, err := particle.FilterSystem(particle.DefaultDeploy(N, n), nil)
+			if err != nil {
+				return nil, err
+			}
+			us, _, err := runSystem(sys, timingIterations)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", us))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

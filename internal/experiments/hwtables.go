@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hdl"
+	"repro/internal/lpc"
+	"repro/internal/particle"
+)
+
+// resourceTable renders the table-1/table-2 format: full-system utilization
+// of the device, and the SPI library's share of the full system.
+func resourceTable(title string, top *hdl.Module, device hdl.Resources, paperNote string) *Table {
+	system := top.Total()
+	lib := top.TotalOf("spi_")
+	sysPct := system.PercentOf(device)
+	libPct := lib.PercentOf(system)
+	t := &Table{
+		Title:  title,
+		Header: []string{"resource", "full_system", "system_%_of_device", "spi_library", "spi_%_of_system"},
+		Notes:  []string{paperNote},
+	}
+	add := func(name string, sys, l int, sp, lp float64) {
+		t.AddRow(name, fmt.Sprintf("%d", sys), fmt.Sprintf("%.2f%%", sp),
+			fmt.Sprintf("%d", l), fmt.Sprintf("%.2f%%", lp))
+	}
+	add("Slices", system.Slices, lib.Slices, sysPct.Slices, libPct.Slices)
+	add("Slice_FFs", system.SliceFFs, lib.SliceFFs, sysPct.SliceFFs, libPct.SliceFFs)
+	add("4-input_LUTs", system.LUT4s, lib.LUT4s, sysPct.LUT4s, libPct.LUT4s)
+	add("Block_RAMs", system.BRAMs, lib.BRAMs, sysPct.BRAMs, libPct.BRAMs)
+	add("DSP48s", system.DSP48s, lib.DSP48s, sysPct.DSP48s, libPct.DSP48s)
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"achievable clock %.0f MHz (fabric supports %.0f MHz; the paper notes the maximum could not be attained)",
+		top.FmaxMHz(), hdl.FabricMaxMHz))
+	return t
+}
+
+// Table1 regenerates table 1: FPGA resource requirements of the 4-PE
+// implementation of actor D of application 1, with the SPI library's share.
+func Table1() (*Table, error) {
+	top, err := lpc.HardwareModel(lpc.DefaultDeploy(512, 4))
+	if err != nil {
+		return nil, err
+	}
+	return resourceTable(
+		"Table 1 — 4-PE actor D resources (Virtex-4 SX35 class)",
+		top, hdl.VirtexSX35(),
+		"paper: system small on device (2.63% slices); SPI share modest (11.88% slices, 50% BRAMs)",
+	), nil
+}
+
+// Table2 regenerates table 2: FPGA resource requirements of the 2-PE
+// particle-filter implementation, with the SPI library's share.
+func Table2() (*Table, error) {
+	top, err := particle.HardwareModel(particle.DefaultDeploy(300, 2))
+	if err != nil {
+		return nil, err
+	}
+	return resourceTable(
+		"Table 2 — 2-PE particle filter resources (Virtex-4 SX35 class)",
+		top, hdl.VirtexSX35(),
+		"paper: system dominates device (65.48% slices, only 2 PEs fit); SPI share tiny (0.2% slices, 11.43% BRAMs, 0% DSP)",
+	), nil
+}

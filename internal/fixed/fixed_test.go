@@ -1,0 +1,158 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFloatBasics(t *testing.T) {
+	cases := map[float64]Q15{
+		0:           0,
+		0.5:         1 << 14,
+		-0.5:        -(1 << 14),
+		-1.0:        MinusOne,
+		1.0:         One, // saturates
+		2.0:         One,
+		-2.0:        MinusOne,
+		1.0 / 32768: 1,
+	}
+	for f, want := range cases {
+		if got := FromFloat(f); got != want {
+			t.Errorf("FromFloat(%v) = %d, want %d", f, got, want)
+		}
+	}
+}
+
+func TestRoundtripPrecision(t *testing.T) {
+	for _, f := range []float64{0, 0.25, -0.75, 0.123, -0.999} {
+		got := FromFloat(f).Float()
+		if math.Abs(got-f) > 1.0/scale {
+			t.Errorf("roundtrip %v -> %v, error beyond 1 LSB", f, got)
+		}
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if Add(One, One) != One {
+		t.Error("positive overflow should saturate")
+	}
+	if Add(MinusOne, MinusOne) != MinusOne {
+		t.Error("negative overflow should saturate")
+	}
+	if Add(FromFloat(0.25), FromFloat(0.25)) != FromFloat(0.5) {
+		t.Error("in-range add wrong")
+	}
+}
+
+func TestSubSaturates(t *testing.T) {
+	if Sub(One, MinusOne) != One {
+		t.Error("positive overflow should saturate")
+	}
+	if Sub(MinusOne, One) != MinusOne {
+		t.Error("negative overflow should saturate")
+	}
+}
+
+func TestMulCases(t *testing.T) {
+	if got := Mul(FromFloat(0.5), FromFloat(0.5)); math.Abs(got.Float()-0.25) > 1.0/scale {
+		t.Errorf("0.5*0.5 = %v", got.Float())
+	}
+	// The classic Q15 corner: -1 * -1 overflows to +1 and must saturate.
+	if Mul(MinusOne, MinusOne) != One {
+		t.Error("-1 * -1 should saturate to One")
+	}
+	if got := Mul(FromFloat(-0.5), FromFloat(0.5)); math.Abs(got.Float()+0.25) > 1.0/scale {
+		t.Errorf("-0.5*0.5 = %v", got.Float())
+	}
+}
+
+func TestAccumulatorPrecision(t *testing.T) {
+	// Summing many small products through the wide accumulator loses less
+	// precision than chaining saturating Q15 multiplies/adds.
+	n := 1000
+	a := make([]Q15, n)
+	b := make([]Q15, n)
+	var want float64
+	for i := range a {
+		a[i] = FromFloat(0.02)
+		b[i] = FromFloat(0.03)
+		want += a[i].Float() * b[i].Float()
+	}
+	got := DotProduct(a, b).Float()
+	if math.Abs(got-want) > 2.0/scale {
+		t.Errorf("dot product = %v, want %v", got, want)
+	}
+}
+
+func TestAccQ15Saturates(t *testing.T) {
+	var acc Acc
+	for i := 0; i < 100; i++ {
+		acc = acc.MAC(One, One) // ~+1 each
+	}
+	if acc.Q15() != One {
+		t.Error("accumulated overflow should saturate at conversion")
+	}
+	acc = 0
+	for i := 0; i < 100; i++ {
+		acc = acc.MAC(One, MinusOne)
+	}
+	if acc.Q15() != MinusOne {
+		t.Error("negative accumulation should saturate")
+	}
+}
+
+func TestAddQ15(t *testing.T) {
+	var acc Acc
+	acc = acc.AddQ15(FromFloat(0.5))
+	acc = acc.AddQ15(FromFloat(0.25))
+	if got := acc.Q15().Float(); math.Abs(got-0.75) > 2.0/scale {
+		t.Errorf("acc = %v, want 0.75", got)
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	f := []float64{0.1, -0.2, 0.3}
+	q := FromFloats(f)
+	back := ToFloats(q)
+	for i := range f {
+		if math.Abs(back[i]-f[i]) > 1.0/scale {
+			t.Errorf("slice roundtrip %v -> %v", f[i], back[i])
+		}
+	}
+}
+
+func TestDotProductLengthMismatch(t *testing.T) {
+	got := DotProduct([]Q15{FromFloat(0.5), FromFloat(0.5)}, []Q15{FromFloat(0.5)})
+	if math.Abs(got.Float()-0.25) > 1.0/scale {
+		t.Errorf("short-slice dot = %v", got.Float())
+	}
+}
+
+// Property: Add/Mul results always stay within Q15 range and match float
+// arithmetic within rounding wherever the float result is in range.
+func TestArithmeticMatchesFloatProperty(t *testing.T) {
+	f := func(x, y int16) bool {
+		a, b := Q15(x), Q15(y)
+		sum := Add(a, b).Float()
+		fsum := a.Float() + b.Float()
+		if fsum > 1-1.0/scale {
+			fsum = (One).Float()
+		}
+		if fsum < -1 {
+			fsum = -1
+		}
+		if math.Abs(sum-fsum) > 2.0/scale {
+			return false
+		}
+		prod := Mul(a, b).Float()
+		fprod := a.Float() * b.Float()
+		if fprod > 1-1.0/scale {
+			fprod = (One).Float()
+		}
+		return math.Abs(prod-fprod) <= 2.0/scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

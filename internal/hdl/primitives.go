@@ -1,0 +1,134 @@
+package hdl
+
+import "fmt"
+
+// Primitive cost model. Virtex-4 slice = 2 flip-flops + 2 four-input LUTs;
+// occupied-slice estimates assume FF/LUT pairs pack together, i.e.
+// slices = ceil(max(FFs, LUTs)/2). An 18 Kbit block RAM stores 2 KiB of
+// data; a DSP48 provides one 18x18 multiplier with accumulate.
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func packed(ffs, luts int) Resources {
+	m := ffs
+	if luts > m {
+		m = luts
+	}
+	return Resources{Slices: ceilDiv(m, 2), SliceFFs: ffs, LUT4s: luts}
+}
+
+// Register returns a width-bit register bank.
+func Register(name string, bits int) *Module {
+	mustPositive("Register", bits)
+	return NewModule(name).AddOwn(packed(bits, 0)).SetDepth(0)
+}
+
+// LUTLogic returns raw combinational logic of the given LUT count (control
+// FSM decode, muxing, glue).
+func LUTLogic(name string, luts int) *Module {
+	mustPositive("LUTLogic", luts)
+	return NewModule(name).AddOwn(packed(0, luts)).SetDepth(log4ceil(luts))
+}
+
+// Counter returns a width-bit binary counter: one FF and roughly one LUT
+// per bit for the increment chain.
+func Counter(name string, bits int) *Module {
+	mustPositive("Counter", bits)
+	return NewModule(name).AddOwn(packed(bits, bits)).SetDepth(1 + bits/8)
+}
+
+// Comparator returns a width-bit equality/magnitude comparator: about one
+// LUT per two bits plus carry logic.
+func Comparator(name string, bits int) *Module {
+	mustPositive("Comparator", bits)
+	return NewModule(name).AddOwn(packed(0, ceilDiv(bits, 2)+1)).SetDepth(1 + bits/16)
+}
+
+// Adder returns a width-bit ripple/carry-chain adder: one LUT per bit, one
+// FF per bit for the registered output.
+func Adder(name string, bits int) *Module {
+	mustPositive("Adder", bits)
+	return NewModule(name).AddOwn(packed(bits, bits)).SetDepth(1 + bits/16)
+}
+
+// Multiplier returns a pipelined multiplier on DSP48 slices: one DSP48 per
+// 18x18 partial product tile, plus pipeline registers.
+func Multiplier(name string, aBits, bBits int) *Module {
+	mustPositive("Multiplier", aBits)
+	mustPositive("Multiplier", bBits)
+	tiles := ceilDiv(aBits, 18) * ceilDiv(bBits, 18)
+	r := packed(aBits+bBits, 0)
+	r.DSP48s = tiles
+	// DSP48s are pipelined; the tile-combining adder tree sets the depth.
+	return NewModule(name).AddOwn(r).SetDepth(2 + log4ceil(tiles))
+}
+
+// MAC returns a multiply-accumulate unit (the error-generation workhorse of
+// application 1): a multiplier plus an accumulator register/adder.
+func MAC(name string, bits int) *Module {
+	m := NewModule(name)
+	m.Add(Multiplier(name+".mul", bits, bits))
+	m.Add(Adder(name+".acc", 2*bits))
+	return m
+}
+
+// BlockRAMBytes is the data capacity of one 18 Kbit BRAM.
+const BlockRAMBytes = 2048
+
+// FIFOBRAM returns a FIFO buffered in block RAM with the given byte
+// capacity: BRAMs for storage plus read/write pointers and full/empty
+// logic. This is the message buffer of an SPI edge whose VTS bound exceeds
+// distributed-RAM reach.
+func FIFOBRAM(name string, capacityBytes int) *Module {
+	mustPositive("FIFOBRAM", capacityBytes)
+	brams := ceilDiv(capacityBytes, BlockRAMBytes)
+	m := NewModule(name)
+	m.AddOwn(Resources{BRAMs: brams})
+	addrBits := 1
+	for (1 << addrBits) < capacityBytes {
+		addrBits++
+	}
+	m.Add(Counter(name+".wptr", addrBits))
+	m.Add(Counter(name+".rptr", addrBits))
+	m.Add(Comparator(name+".fullempty", addrBits))
+	return m
+}
+
+// FIFODistributed returns a small FIFO in distributed (LUT) RAM: 16 bits of
+// storage per LUT, plus pointers.
+func FIFODistributed(name string, capacityBytes int) *Module {
+	mustPositive("FIFODistributed", capacityBytes)
+	luts := ceilDiv(capacityBytes*8, 16)
+	m := NewModule(name).AddOwn(packed(0, luts))
+	addrBits := 1
+	for (1 << addrBits) < capacityBytes {
+		addrBits++
+	}
+	m.Add(Counter(name+".wptr", addrBits))
+	m.Add(Counter(name+".rptr", addrBits))
+	return m
+}
+
+// RAM returns raw block RAM storage of the given byte capacity (sample and
+// particle memories).
+func RAM(name string, capacityBytes int) *Module {
+	mustPositive("RAM", capacityBytes)
+	return NewModule(name).AddOwn(Resources{BRAMs: ceilDiv(capacityBytes, BlockRAMBytes)})
+}
+
+// FSM returns a control finite-state machine with the given state count:
+// state register plus next-state/output decode LUTs.
+func FSM(name string, states int) *Module {
+	mustPositive("FSM", states)
+	bits := 1
+	for (1 << bits) < states {
+		bits++
+	}
+	return NewModule(name).AddOwn(packed(bits, 4*states)).SetDepth(1 + log4ceil(states))
+}
+
+func mustPositive(what string, v int) {
+	if v <= 0 {
+		panic(fmt.Sprintf("hdl: %s with non-positive parameter %d", what, v))
+	}
+}

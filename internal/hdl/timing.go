@@ -1,0 +1,65 @@
+package hdl
+
+// Timing model: each module carries a combinational logic depth (LUT
+// levels between registers); the achievable clock is set by the deepest
+// path anywhere in the hierarchy. This stands in for a synthesis tool's
+// static timing analysis and reproduces the paper's observation that "the
+// FPGA board could support a clock frequency of 500 MHz, [but] this
+// frequency could not be attained in most cases": realistic datapaths have
+// multi-level logic that caps the clock well below the fabric maximum.
+
+// Virtex-4-class timing constants (speed grade -10-ish, first order).
+const (
+	// LUTLevelNS is the delay of one LUT level plus local routing.
+	LUTLevelNS = 0.65
+	// ClockOverheadNS covers clock-to-out, setup, and global routing.
+	ClockOverheadNS = 1.0
+	// FabricMaxMHz is the board/fabric ceiling the paper mentions.
+	FabricMaxMHz = 500.0
+)
+
+// SetDepth records the module's own combinational depth in LUT levels and
+// returns m for chaining.
+func (m *Module) SetDepth(levels int) *Module {
+	if levels < 0 {
+		levels = 0
+	}
+	m.ownDepth = levels
+	return m
+}
+
+// Depth returns the maximum combinational depth of the module and its
+// descendants.
+func (m *Module) Depth() int {
+	d := m.ownDepth
+	for _, c := range m.children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d
+}
+
+// FmaxMHz estimates the achievable clock frequency of the module tree:
+// limited by the deepest combinational path, capped at the fabric maximum.
+func (m *Module) FmaxMHz() float64 {
+	d := m.Depth()
+	periodNS := ClockOverheadNS + float64(d)*LUTLevelNS
+	f := 1000.0 / periodNS
+	if f > FabricMaxMHz {
+		return FabricMaxMHz
+	}
+	return f
+}
+
+// log4ceil returns ceil(log4(n)) for n >= 1 — the natural LUT-tree depth of
+// an n-input function built from 4-input LUTs.
+func log4ceil(n int) int {
+	d := 0
+	width := 1
+	for width < n {
+		width *= 4
+		d++
+	}
+	return d
+}

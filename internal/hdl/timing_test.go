@@ -1,0 +1,76 @@
+package hdl
+
+import "testing"
+
+func TestLog4Ceil(t *testing.T) {
+	for n, want := range map[int]int{1: 0, 2: 1, 4: 1, 5: 2, 16: 2, 17: 3, 64: 3, 65: 4} {
+		if got := log4ceil(n); got != want {
+			t.Errorf("log4ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDepthAggregatesMax(t *testing.T) {
+	m := NewModule("top").SetDepth(2)
+	m.Add(NewModule("shallow").SetDepth(1))
+	deep := NewModule("deep").SetDepth(5)
+	deep.Add(NewModule("deeper").SetDepth(9))
+	m.Add(deep)
+	if got := m.Depth(); got != 9 {
+		t.Errorf("Depth = %d, want 9", got)
+	}
+}
+
+func TestSetDepthClampsNegative(t *testing.T) {
+	m := NewModule("x").SetDepth(-3)
+	if m.Depth() != 0 {
+		t.Errorf("Depth = %d, want 0", m.Depth())
+	}
+}
+
+func TestFmaxCappedAtFabric(t *testing.T) {
+	m := NewModule("regs").SetDepth(0)
+	if got := m.FmaxMHz(); got != FabricMaxMHz {
+		t.Errorf("zero-depth Fmax = %v, want fabric cap %v", got, FabricMaxMHz)
+	}
+}
+
+func TestFmaxDropsWithDepth(t *testing.T) {
+	shallow := NewModule("a").SetDepth(2)
+	deep := NewModule("b").SetDepth(12)
+	if shallow.FmaxMHz() <= deep.FmaxMHz() {
+		t.Errorf("deeper logic should be slower: %v vs %v", shallow.FmaxMHz(), deep.FmaxMHz())
+	}
+	if deep.FmaxMHz() <= 0 {
+		t.Error("Fmax must be positive")
+	}
+}
+
+func TestPrimitiveDepthsOrdering(t *testing.T) {
+	// Wide logic is deeper than narrow logic; registers are depth 0.
+	if Register("r", 64).Depth() != 0 {
+		t.Error("register should have no combinational depth")
+	}
+	if LUTLogic("small", 4).Depth() >= LUTLogic("big", 1024).Depth() {
+		t.Error("wider logic should be deeper")
+	}
+	if Adder("narrow", 8).Depth() >= Adder("wide", 64).Depth() {
+		t.Error("wider adders should be deeper")
+	}
+}
+
+func TestRealisticDatapathBelowFabricMax(t *testing.T) {
+	// The paper's observation: realistic datapaths do not reach the
+	// board's 500 MHz. A 32x32 multiplier feeding a 64-bit adder through
+	// saturation logic is such a datapath.
+	m := NewModule("datapath")
+	m.Add(Multiplier("mul", 32, 32))
+	m.Add(Adder("acc", 64))
+	m.Add(LUTLogic("sat", 256))
+	if f := m.FmaxMHz(); f >= FabricMaxMHz {
+		t.Errorf("realistic datapath Fmax %v should be below the %v MHz fabric cap", f, FabricMaxMHz)
+	}
+	if f := m.FmaxMHz(); f < 50 {
+		t.Errorf("Fmax %v implausibly low", f)
+	}
+}

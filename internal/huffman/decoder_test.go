@@ -1,0 +1,119 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecoderMatchesDecode(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	syms := make([]uint16, 2000)
+	for i := range syms {
+		syms[i] = uint16(r.Intn(40))
+	}
+	cb, err := Build(Histogram(syms, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w BitWriter
+	if err := cb.Encode(&w, syms); err != nil {
+		t.Fatal(err)
+	}
+	dec := cb.NewDecoder()
+	got, err := dec.Decode(NewBitReader(w.Bytes()), len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: %d vs %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestDecoderReusable(t *testing.T) {
+	cb, _ := Build([]int64{5, 3, 2, 1})
+	dec := cb.NewDecoder()
+	for trial := 0; trial < 5; trial++ {
+		var w BitWriter
+		msg := []uint16{0, 1, 2, 3, 0}
+		if err := cb.Encode(&w, msg); err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(NewBitReader(w.Bytes()), len(msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range msg {
+			if got[i] != msg[i] {
+				t.Fatalf("trial %d symbol %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeSymbolTruncatedStream(t *testing.T) {
+	cb, _ := Build([]int64{1, 1, 1, 1, 1})
+	dec := cb.NewDecoder()
+	if _, err := dec.DecodeSymbol(NewBitReader(nil)); err == nil {
+		t.Fatal("empty stream should fail")
+	}
+}
+
+// Property: canonical decoder roundtrips arbitrary frequency shapes.
+func TestDecoderRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		alphabet := 2 + r.Intn(60)
+		syms := make([]uint16, 1+r.Intn(300))
+		for i := range syms {
+			// Skewed distribution to produce varied code lengths.
+			v := 0
+			for v < alphabet-1 && r.Float64() < 0.5 {
+				v++
+			}
+			syms[i] = uint16(v)
+		}
+		cb, err := Build(Histogram(syms, alphabet))
+		if err != nil {
+			return false
+		}
+		var w BitWriter
+		if err := cb.Encode(&w, syms); err != nil {
+			return false
+		}
+		got, err := cb.NewDecoder().Decode(NewBitReader(w.Bytes()), len(syms))
+		if err != nil {
+			return false
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDecoderDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	syms := make([]uint16, 4096)
+	for i := range syms {
+		syms[i] = uint16(r.Intn(64))
+	}
+	cb, _ := Build(Histogram(syms, 64))
+	var w BitWriter
+	cb.Encode(&w, syms)
+	dec := cb.NewDecoder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(NewBitReader(w.Bytes()), len(syms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

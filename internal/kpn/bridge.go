@@ -1,0 +1,54 @@
+package kpn
+
+import (
+	"repro/internal/spi"
+)
+
+// Bridge runs a KPN channel segment over an SPI edge: a pump process reads
+// tokens from the upstream KPN channel, serializes them, and sends them
+// through the SPI_dynamic edge; a second pump receives, deserializes, and
+// writes into the downstream KPN channel. This realizes the paper's
+// suggested SPI+KPN integration: the KPN keeps its blocking-read semantics
+// while the interprocessor hop uses SPI framing and protocols.
+//
+// count tokens are transported; the pumps then finish (KPN processes
+// terminate by returning).
+func Bridge[T any](
+	up *Channel[T],
+	down *Channel[T],
+	tx *spi.Sender,
+	rx *spi.Receiver,
+	count int,
+	marshal func(T) []byte,
+	unmarshal func([]byte) (T, error),
+) (send Process, recv Process) {
+	send = func() error {
+		for i := 0; i < count; i++ {
+			v, err := up.Read()
+			if err != nil {
+				return err
+			}
+			if err := tx.Send(marshal(v)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	recv = func() error {
+		for i := 0; i < count; i++ {
+			b, err := rx.Receive()
+			if err != nil {
+				return err
+			}
+			v, err := unmarshal(b)
+			if err != nil {
+				return err
+			}
+			if err := down.Write(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return send, recv
+}

@@ -1,0 +1,321 @@
+// Package kpn implements Kahn process networks — the modeling paradigm the
+// paper names as the promising direction for extending SPI ("integration of
+// SPI with KPN ... is a promising direction for future work", §3.1).
+//
+// A KPN is a set of deterministic sequential processes communicating over
+// unbounded FIFO channels with blocking reads. Kahn's theorem guarantees
+// the network's input/output behaviour is independent of scheduling. In
+// practice channels must be bounded; this implementation runs processes as
+// goroutines over bounded channels and applies Parks' algorithm: when the
+// network reaches an *artificial* deadlock (every process blocked, at least
+// one on a full channel), the smallest full channel grows. A deadlock with
+// every process blocked on reads is a *true* deadlock and is reported.
+//
+// The SPI bridge (Bridge) runs a KPN channel over an SPI edge, carrying the
+// network's tokens through SPI_dynamic messages — the integration the paper
+// sketches.
+package kpn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDeadlock reports a true deadlock: every process blocked on a read.
+var ErrDeadlock = errors.New("kpn: true deadlock — all processes blocked reading")
+
+// ErrTerminated is returned by channel operations after the network stops.
+var ErrTerminated = errors.New("kpn: network terminated")
+
+type blockKind uint8
+
+const (
+	blockedRead blockKind = iota
+	blockedWrite
+)
+
+// Network coordinates processes and channels, detects deadlock, and applies
+// Parks' capacity growth.
+type Network struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	processes int
+	blocked   int
+	channels  []*chanState
+	stopped   bool
+	err       error
+	growths   int
+}
+
+type chanState struct {
+	name     string
+	capacity int
+	length   func() int
+	grow     func()
+	writers  int // processes currently blocked writing this channel
+	readers  int // processes currently blocked reading this channel
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	n := &Network{}
+	n.cond = sync.NewCond(&n.mu)
+	return n
+}
+
+// Growths returns how many Parks capacity expansions occurred.
+func (n *Network) Growths() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.growths
+}
+
+// Err returns the terminal network error, if any.
+func (n *Network) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// enterBlocked marks a process blocked; if every process is now blocked the
+// network either grows a channel (artificial deadlock) or dies (true
+// deadlock). Called with n.mu held.
+func (n *Network) enterBlocked(kind blockKind, ch *chanState) {
+	n.blocked++
+	if kind == blockedWrite {
+		ch.writers++
+	} else {
+		ch.readers++
+	}
+	if n.blocked == n.processes && n.processes > 0 {
+		n.resolve()
+	}
+}
+
+func (n *Network) exitBlocked(kind blockKind, ch *chanState) {
+	n.blocked--
+	if kind == blockedWrite {
+		ch.writers--
+	} else {
+		ch.readers--
+	}
+}
+
+// resolve handles an apparent global block. Called with n.mu held. The
+// blocked counter can be momentarily stale — a broadcast-woken process
+// stays counted until it reschedules — so resolve first checks whether any
+// blocked operation can in fact proceed; only a genuinely stuck network is
+// grown (artificial deadlock) or terminated (true deadlock).
+func (n *Network) resolve() {
+	for _, c := range n.channels {
+		ln := c.length()
+		if (c.readers > 0 && ln > 0) || (c.writers > 0 && ln < c.capacity) {
+			// Progress is possible: the able process was already woken by
+			// the state-changing operation's broadcast (every Write/Read/
+			// growth broadcasts, and blockers re-check before sleeping),
+			// so nothing to do. Re-broadcasting here would wake the whole
+			// network on every spurious wakeup — a broadcast storm.
+			return
+		}
+	}
+	// Find the smallest-capacity channel with a blocked writer.
+	var best *chanState
+	for _, c := range n.channels {
+		if c.writers > 0 && (best == nil || c.capacity < best.capacity) {
+			best = c
+		}
+	}
+	if best == nil {
+		// Everyone blocked on reads of empty channels: true deadlock.
+		n.stopped = true
+		n.err = ErrDeadlock
+		n.cond.Broadcast()
+		return
+	}
+	best.capacity *= 2
+	best.grow()
+	n.growths++
+	n.cond.Broadcast()
+}
+
+// Channel is a typed FIFO between exactly one producer and one consumer
+// process.
+type Channel[T any] struct {
+	net *Network
+	st  *chanState
+	q   []T
+	// peak tracks the maximum occupancy.
+	peak int
+	// reads/writes count completed operations.
+	reads, writes int64
+}
+
+// NewChannel adds a channel with the given initial capacity (>=1).
+func NewChannel[T any](n *Network, name string, capacity int) *Channel[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Channel[T]{net: n}
+	c.st = &chanState{
+		name:     name,
+		capacity: capacity,
+		length:   func() int { return len(c.q) },
+		grow:     func() {}, // capacity lives in st; queue is a slice
+	}
+	n.mu.Lock()
+	n.channels = append(n.channels, c.st)
+	n.mu.Unlock()
+	return c
+}
+
+// Write appends a token, blocking while the channel is full. Under Parks'
+// algorithm a full channel can grow instead of deadlocking the network.
+func (c *Channel[T]) Write(v T) error {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(c.q) >= c.st.capacity && !n.stopped {
+		n.enterBlocked(blockedWrite, c.st)
+		// enterBlocked may have resolved the global block in our favour
+		// (grown this channel or stopped the network); re-check before
+		// sleeping or the resolve broadcast is lost.
+		if len(c.q) >= c.st.capacity && !n.stopped {
+			n.cond.Wait()
+		}
+		n.exitBlocked(blockedWrite, c.st)
+	}
+	if n.stopped {
+		if n.err != nil {
+			return n.err
+		}
+		return ErrTerminated
+	}
+	c.q = append(c.q, v)
+	if len(c.q) > c.peak {
+		c.peak = len(c.q)
+	}
+	c.writes++
+	n.cond.Broadcast()
+	return nil
+}
+
+// Read removes and returns the next token, blocking while the channel is
+// empty. Blocking reads are the defining KPN primitive: a process may not
+// poll for data.
+func (c *Channel[T]) Read() (T, error) {
+	n := c.net
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for len(c.q) == 0 && !n.stopped {
+		n.enterBlocked(blockedRead, c.st)
+		// See Write: resolve may have run inside enterBlocked.
+		if len(c.q) == 0 && !n.stopped {
+			n.cond.Wait()
+		}
+		n.exitBlocked(blockedRead, c.st)
+	}
+	var zero T
+	if len(c.q) == 0 {
+		if n.err != nil {
+			return zero, n.err
+		}
+		return zero, ErrTerminated
+	}
+	v := c.q[0]
+	c.q = c.q[1:]
+	c.reads++
+	n.cond.Broadcast()
+	return v, nil
+}
+
+// Peak returns the maximum observed occupancy.
+func (c *Channel[T]) Peak() int {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return c.peak
+}
+
+// Reads returns the number of completed Read operations.
+func (c *Channel[T]) Reads() int64 {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return c.reads
+}
+
+// Writes returns the number of completed Write operations.
+func (c *Channel[T]) Writes() int64 {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return c.writes
+}
+
+// Capacity returns the current (possibly grown) capacity.
+func (c *Channel[T]) Capacity() int {
+	c.net.mu.Lock()
+	defer c.net.mu.Unlock()
+	return c.st.capacity
+}
+
+// Process is a deterministic sequential KPN process; it runs until it
+// returns. Returning a nil error is normal completion.
+type Process func() error
+
+// Run launches the processes and waits for all to finish. If a process
+// returns a non-nil error, or a true deadlock occurs, the network stops and
+// Run returns the first error. A process blocked forever at network
+// termination receives ErrTerminated from its channel operation.
+func (n *Network) Run(procs ...Process) error {
+	n.mu.Lock()
+	n.processes = len(procs)
+	n.mu.Unlock()
+
+	errs := make([]error, len(procs))
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i int, p Process) {
+			defer wg.Done()
+			errs[i] = p()
+			n.mu.Lock()
+			n.processes--
+			// A finishing process may leave everyone else blocked: re-check.
+			if n.blocked == n.processes && n.processes > 0 {
+				n.resolve()
+			}
+			n.mu.Unlock()
+		}(i, p)
+	}
+	wg.Wait()
+	n.mu.Lock()
+	n.stopped = true
+	n.cond.Broadcast()
+	netErr := n.err
+	n.mu.Unlock()
+	// A process's own failure is the root cause; deadlock errors that
+	// cascade from it (the network stopping strands its peers) are
+	// secondary.
+	var procErr error
+	for _, e := range errs {
+		if e != nil && !errors.Is(e, ErrTerminated) && !errors.Is(e, ErrDeadlock) {
+			procErr = e
+			break
+		}
+	}
+	firstErr := procErr
+	if firstErr == nil {
+		firstErr = netErr
+	}
+	n.mu.Lock()
+	n.err = firstErr
+	n.mu.Unlock()
+	return firstErr
+}
+
+// String summarizes the network's channels.
+func (n *Network) String() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := fmt.Sprintf("kpn: %d channels, %d growths", len(n.channels), n.growths)
+	return s
+}

@@ -1,0 +1,403 @@
+package kpn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/spi"
+)
+
+func TestProducerConsumer(t *testing.T) {
+	n := NewNetwork()
+	ch := NewChannel[int](n, "c", 2)
+	const count = 100
+	var got []int
+	err := n.Run(
+		func() error {
+			for i := 0; i < count; i++ {
+				if err := ch.Write(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			for i := 0; i < count; i++ {
+				v, err := ch.Read()
+				if err != nil {
+					return err
+				}
+				got = append(got, v)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("token %d = %d (FIFO order violated)", i, v)
+		}
+	}
+	if ch.Peak() > ch.Capacity() {
+		t.Errorf("peak %d exceeded capacity %d", ch.Peak(), ch.Capacity())
+	}
+}
+
+// TestKahnDeterminism: a split-merge network computes the same output
+// regardless of goroutine scheduling (run repeatedly).
+func TestKahnDeterminism(t *testing.T) {
+	run := func() []int {
+		n := NewNetwork()
+		in1 := NewChannel[int](n, "in1", 4)
+		in2 := NewChannel[int](n, "in2", 4)
+		out := NewChannel[int](n, "out", 4)
+		const count = 50
+		var result []int
+		err := n.Run(
+			func() error { // source 1: evens
+				for i := 0; i < count; i++ {
+					if err := in1.Write(2 * i); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func() error { // source 2: odds
+				for i := 0; i < count; i++ {
+					if err := in2.Write(2*i + 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func() error { // deterministic merge: alternate reads
+				for i := 0; i < count; i++ {
+					a, err := in1.Read()
+					if err != nil {
+						return err
+					}
+					b, err := in2.Read()
+					if err != nil {
+						return err
+					}
+					if err := out.Write(a + b); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+			func() error {
+				for i := 0; i < count; i++ {
+					v, err := out.Read()
+					if err != nil {
+						return err
+					}
+					result = append(result, v)
+				}
+				return nil
+			},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result
+	}
+	first := run()
+	for trial := 0; trial < 10; trial++ {
+		if got := fmt.Sprint(run()); got != fmt.Sprint(first) {
+			t.Fatalf("non-deterministic output on trial %d", trial)
+		}
+	}
+}
+
+func TestParksGrowsOnArtificialDeadlock(t *testing.T) {
+	// The classic artificial-deadlock diamond: the source alternates
+	// writes to two branches, but the joiner drains branch 1 completely
+	// before touching branch 2. With tiny capacities the source blocks
+	// writing branch 2 while the joiner blocks reading branch 1 — an
+	// artificial deadlock Parks' algorithm resolves by growing branch 2.
+	const rounds = 10
+	n := NewNetwork()
+	b1 := NewChannel[int](n, "b1", 1)
+	b2 := NewChannel[int](n, "b2", 1)
+	sum := 0
+	err := n.Run(
+		func() error {
+			for i := 0; i < rounds; i++ {
+				if err := b1.Write(i); err != nil {
+					return err
+				}
+				if err := b2.Write(100 + i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			for i := 0; i < rounds; i++ { // drain branch 1 first
+				v, err := b1.Read()
+				if err != nil {
+					return err
+				}
+				sum += v
+			}
+			for i := 0; i < rounds; i++ {
+				v, err := b2.Read()
+				if err != nil {
+					return err
+				}
+				sum += v
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for i := 0; i < rounds; i++ {
+		want += i + 100 + i
+	}
+	if sum != want {
+		t.Errorf("sum = %d, want %d", sum, want)
+	}
+	if n.Growths() == 0 {
+		t.Error("expected Parks capacity growth")
+	}
+	if b2.Capacity() < rounds-1 {
+		t.Errorf("branch-2 capacity %d, expected growth toward %d", b2.Capacity(), rounds)
+	}
+}
+
+func TestTrueDeadlockDetected(t *testing.T) {
+	// Two processes each reading the channel the other never writes.
+	n := NewNetwork()
+	a := NewChannel[int](n, "a", 1)
+	b := NewChannel[int](n, "b", 1)
+	err := n.Run(
+		func() error {
+			if _, err := a.Read(); err != nil {
+				return err
+			}
+			return b.Write(1)
+		},
+		func() error {
+			if _, err := b.Read(); err != nil {
+				return err
+			}
+			return a.Write(1)
+		},
+	)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestProcessErrorPropagates(t *testing.T) {
+	n := NewNetwork()
+	ch := NewChannel[int](n, "c", 1)
+	boom := errors.New("boom")
+	err := n.Run(
+		func() error { return boom },
+		func() error {
+			// Blocked forever; must be released at termination.
+			_, err := ch.Read()
+			return err
+		},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestSieveOfEratosthenes(t *testing.T) {
+	// The classic KPN: a chain of filter processes, each removing the
+	// multiples of the first prime it sees.
+	n := NewNetwork()
+	const limit = 50
+	want := []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47}
+
+	src := NewChannel[int](n, "src", 4)
+	primes := NewChannel[int](n, "primes", 4)
+	procs := []Process{
+		func() error {
+			for i := 2; i <= limit; i++ {
+				if err := src.Write(i); err != nil {
+					return err
+				}
+			}
+			src.Write(-1) // end marker
+			return nil
+		},
+	}
+	// Build a fixed chain of filters (enough for primes up to 50).
+	in := src
+	for f := 0; f < len(want); f++ {
+		out := NewChannel[int](n, fmt.Sprintf("f%d", f), 4)
+		in2 := in
+		procs = append(procs, func() error {
+			p, err := in2.Read()
+			if err != nil {
+				return err
+			}
+			if p == -1 {
+				return out.Write(-1)
+			}
+			if err := primes.Write(p); err != nil {
+				return err
+			}
+			for {
+				v, err := in2.Read()
+				if err != nil {
+					return err
+				}
+				if v == -1 {
+					return out.Write(-1)
+				}
+				if v%p != 0 {
+					if err := out.Write(v); err != nil {
+						return err
+					}
+				}
+			}
+		})
+		in = out
+	}
+	last := in
+	procs = append(procs, func() error {
+		// Drain the tail of the chain.
+		for {
+			v, err := last.Read()
+			if err != nil || v == -1 {
+				return err
+			}
+		}
+	})
+	var got []int
+	procs = append(procs, func() error {
+		for i := 0; i < len(want); i++ {
+			v, err := primes.Read()
+			if err != nil {
+				return err
+			}
+			got = append(got, v)
+		}
+		return nil
+	})
+	if err := n.Run(procs...); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("primes = %v, want %v", got, want)
+	}
+}
+
+func TestBridgeOverSPI(t *testing.T) {
+	// A KPN whose middle hop crosses an SPI_dynamic edge.
+	net := NewNetwork()
+	up := NewChannel[int32](net, "up", 4)
+	down := NewChannel[int32](net, "down", 4)
+	rt := spi.NewRuntime()
+	tx, rx, err := rt.Init(spi.EdgeConfig{
+		ID: 9, Mode: spi.Dynamic, MaxBytes: 8, Protocol: spi.BBS, Capacity: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 64
+	send, recv := Bridge(up, down, tx, rx, count,
+		func(v int32) []byte {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(v))
+			return b[:]
+		},
+		func(b []byte) (int32, error) {
+			if len(b) != 4 {
+				return 0, fmt.Errorf("bad token")
+			}
+			return int32(binary.LittleEndian.Uint32(b)), nil
+		},
+	)
+	var got []int32
+	err = net.Run(
+		func() error {
+			for i := int32(0); i < count; i++ {
+				if err := up.Write(i * i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		send, recv,
+		func() error {
+			for i := 0; i < count; i++ {
+				v, err := down.Read()
+				if err != nil {
+					return err
+				}
+				got = append(got, v)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != int32(i*i) {
+			t.Fatalf("token %d = %d, want %d", i, v, i*i)
+		}
+	}
+	st, _ := rt.Stats(9)
+	if st.Messages != count {
+		t.Errorf("SPI messages = %d, want %d", st.Messages, count)
+	}
+}
+
+func TestChannelAccessors(t *testing.T) {
+	n := NewNetwork()
+	ch := NewChannel[int](n, "c", 2)
+	err := n.Run(
+		func() error {
+			for i := 0; i < 5; i++ {
+				if err := ch.Write(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func() error {
+			for i := 0; i < 5; i++ {
+				if _, err := ch.Read(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Reads() != 5 || ch.Writes() != 5 {
+		t.Errorf("reads=%d writes=%d, want 5/5", ch.Reads(), ch.Writes())
+	}
+	if n.Err() != nil {
+		t.Errorf("network err = %v", n.Err())
+	}
+	if s := n.String(); !strings.Contains(s, "1 channels") {
+		t.Errorf("network string = %q", s)
+	}
+}
+
+func TestChannelMinimumCapacity(t *testing.T) {
+	n := NewNetwork()
+	ch := NewChannel[int](n, "c", 0) // clamped to 1
+	if ch.Capacity() != 1 {
+		t.Errorf("capacity = %d, want 1", ch.Capacity())
+	}
+}

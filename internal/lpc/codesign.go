@@ -1,0 +1,123 @@
+package lpc
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+	"repro/internal/spi"
+)
+
+// Hardware/software co-design deployment. The paper notes the FPGA could
+// not fit a multiprocessor version of the whole application, so only actor
+// D runs in hardware: "this experiment of SPI is in the context of an
+// overall hardware/software co-design solution". CoDesignSystem models the
+// complete figure-2 pipeline with A, B, C and E on an embedded CPU and D
+// split across n hardware PEs, all connected by SPI edges.
+
+// CoDesignParams configures the co-design deployment.
+type CoDesignParams struct {
+	// Codec carries the frame size and model order.
+	Codec Params
+	// HWPEs is the number of hardware PEs actor D is split across.
+	HWPEs int
+	// CPUSlowdown scales the software actors' cycle costs relative to the
+	// hardware datapath (an embedded CPU retires the same arithmetic in
+	// many more cycles than a dedicated pipeline).
+	CPUSlowdown int64
+	// SampleBytes is the wire width of one sample.
+	SampleBytes int
+}
+
+// DefaultCoDesign returns the evaluation defaults.
+func DefaultCoDesign(frameSize, hwPEs int) CoDesignParams {
+	p := DefaultParams()
+	p.FrameSize = frameSize
+	return CoDesignParams{Codec: p, HWPEs: hwPEs, CPUSlowdown: 8, SampleBytes: 2}
+}
+
+// Validate checks the parameters.
+func (c CoDesignParams) Validate() error {
+	if err := c.Codec.Validate(); err != nil {
+		return err
+	}
+	if c.HWPEs <= 0 || c.CPUSlowdown <= 0 || c.SampleBytes <= 0 {
+		return fmt.Errorf("lpc: bad co-design params %+v", c)
+	}
+	return nil
+}
+
+// CoDesignSystem builds the SPI system of the co-design deployment:
+// processor 0 is the CPU running A (read), B (FFT), C (LU), the D-scatter/
+// gather glue, and E (Huffman); processors 1..n are hardware PEs each
+// computing a section of the prediction error. Edges from the CPU to the
+// PEs carry the coefficients and frame sections (SPI_dynamic: N and M are
+// run-time values); the PEs return error sections.
+func CoDesignSystem(c CoDesignParams) (*spi.System, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := c.Codec.FrameSize, c.Codec.Order
+	log2n := 0
+	for 1<<log2n < n {
+		log2n++
+	}
+	g := dataflow.New(fmt.Sprintf("app1codesign-N%d-n%d", n, c.HWPEs))
+	s := c.CPUSlowdown
+	a := g.AddActor("A_read", int64(n)*s)
+	b := g.AddActor("B_fft", int64(5*n*log2n)*s)
+	cc := g.AddActor("C_lu", (int64(2*m*m*m/3)+int64(m*m*10))*s)
+	// The scatter/gather glue on the CPU side (figure 3's I/O interface).
+	scat := g.AddActor("D_scatter", int64(n)/2*s+50)
+	gath := g.AddActor("D_gather", int64(n)/2*s+50)
+	e := g.AddActor("E_huffman", int64(8*n)*s)
+
+	payload := map[dataflow.EdgeID]func(int) int{}
+	// Software pipeline edges (same processor; no SPI channel emitted).
+	g.AddEdge("frameAB", a, b, 1, 1, dataflow.EdgeSpec{TokenBytes: n * c.SampleBytes})
+	g.AddEdge("frameAS", a, scat, 1, 1, dataflow.EdgeSpec{TokenBytes: n * c.SampleBytes})
+	g.AddEdge("specBC", b, cc, 1, 1, dataflow.EdgeSpec{TokenBytes: n * 8})
+	g.AddEdge("coeffCS", cc, scat, 1, 1, dataflow.EdgeSpec{TokenBytes: m * c.SampleBytes})
+	g.AddEdge("errGE", gath, e, 1, 1, dataflow.EdgeSpec{TokenBytes: n * c.SampleBytes})
+
+	// Hardware PEs with dynamic SPI edges.
+	for i := 0; i < c.HWPEs; i++ {
+		start := i * n / c.HWPEs
+		end := (i + 1) * n / c.HWPEs
+		sl := end - start
+		hist := m
+		if start < hist {
+			hist = start
+		}
+		pe := g.AddActor(fmt.Sprintf("pe%d", i), int64(sl)*int64(m)*2+50)
+		coeffBytes := m * c.SampleBytes
+		sectBytes := 4 + (sl+hist)*c.SampleBytes
+		errBytes := sl * c.SampleBytes
+		ce := g.AddEdge(fmt.Sprintf("coeffs%d", i), scat, pe, coeffBytes, coeffBytes,
+			dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 1})
+		se := g.AddEdge(fmt.Sprintf("sect%d", i), scat, pe, sectBytes, sectBytes,
+			dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 1})
+		ee := g.AddEdge(fmt.Sprintf("errs%d", i), pe, gath, errBytes, errBytes,
+			dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 1})
+		cb, sb, eb := coeffBytes, sectBytes, errBytes
+		payload[ce] = func(int) int { return cb }
+		payload[se] = func(int) int { return sb }
+		payload[ee] = func(int) int { return eb }
+	}
+
+	mp := &sched.Mapping{
+		NumProcs: c.HWPEs + 1,
+		Proc:     make([]sched.Processor, g.NumActors()),
+		Order:    make([][]dataflow.ActorID, c.HWPEs+1),
+	}
+	mp.Order[0] = []dataflow.ActorID{a, b, cc, scat, gath, e}
+	for _, act := range mp.Order[0] {
+		mp.Proc[act] = 0
+	}
+	for i := 0; i < c.HWPEs; i++ {
+		pe, _ := g.ActorByName(fmt.Sprintf("pe%d", i))
+		mp.Proc[pe] = sched.Processor(i + 1)
+		mp.Order[i+1] = []dataflow.ActorID{pe}
+	}
+	return &spi.System{Graph: g, Mapping: mp, PayloadFn: payload}, nil
+}

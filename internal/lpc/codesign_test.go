@@ -1,0 +1,100 @@
+package lpc
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/spi"
+)
+
+func TestCoDesignValidate(t *testing.T) {
+	bad := DefaultCoDesign(256, 0)
+	if bad.Validate() == nil {
+		t.Error("0 HW PEs should fail")
+	}
+	if _, err := CoDesignSystem(bad); err == nil {
+		t.Error("CoDesignSystem should reject bad params")
+	}
+}
+
+func TestCoDesignBuildsAndRuns(t *testing.T) {
+	for _, n := range []int{1, 2, 4} {
+		sys, err := CoDesignSystem(DefaultCoDesign(256, n))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		dep, err := spi.Build(sys)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		st, err := dep.Sim.Run(8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Only the CPU<->HW edges become SPI channels: 3 per hardware PE.
+		if len(dep.Plans) != 3*n {
+			t.Errorf("n=%d: %d SPI channels, want %d", n, len(dep.Plans), 3*n)
+		}
+		for _, p := range dep.Plans {
+			if p.Mode != spi.Dynamic {
+				t.Errorf("n=%d: edge %d not dynamic", n, p.Edge)
+			}
+		}
+		if st.Messages[platform.DataMsg] != int64(3*n*8) {
+			t.Errorf("n=%d: %d data messages, want %d", n, st.Messages[platform.DataMsg], 3*n*8)
+		}
+	}
+}
+
+func TestCoDesignAmdahl(t *testing.T) {
+	// Only actor D is accelerated, so speedup saturates well below the PE
+	// count (Amdahl): the software pipeline (A, B, C, E) bounds it.
+	run := func(n int) platform.Time {
+		sys, err := CoDesignSystem(DefaultCoDesign(512, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep, err := spi.Build(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := dep.Sim.Run(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Finish
+	}
+	t1, t2, t4 := run(1), run(2), run(4)
+	if !(t4 <= t2 && t2 <= t1) {
+		t.Errorf("no monotone improvement: %d %d %d", t1, t2, t4)
+	}
+	speedup := float64(t1) / float64(t4)
+	if speedup >= 2.0 {
+		t.Errorf("co-design speedup %v implausibly high: software stages dominate", speedup)
+	}
+	if speedup < 1.0 {
+		t.Errorf("adding PEs made it slower: %v", speedup)
+	}
+}
+
+func TestCoDesignCPUDominates(t *testing.T) {
+	// The CPU (PE 0) should be the busiest processor — the motivation for
+	// accelerating D in hardware in the first place.
+	sys, err := CoDesignSystem(DefaultCoDesign(256, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := spi.Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dep.Sim.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pe := 1; pe < len(st.PEBusy); pe++ {
+		if st.PEBusy[pe] >= st.PEBusy[0] {
+			t.Errorf("HW PE %d busier than the CPU: %d vs %d", pe, st.PEBusy[pe], st.PEBusy[0])
+		}
+	}
+}

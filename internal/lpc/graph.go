@@ -1,0 +1,55 @@
+package lpc
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// FullGraph builds the complete application-1 dataflow graph of the paper's
+// figure 2:
+//
+//	A (read input) → B (FFT) → C (LU predictor design) → D (error
+//	generation) → E (Huffman coding)
+//
+// with the input frame also feeding D directly (D needs the samples as
+// well as the coefficients). Rates are in samples/coefficients per frame;
+// the coefficient edge is dynamic (the model order depends on run-time
+// configuration, the paper's motivation for SPI_dynamic). Execution costs
+// are first-order cycle estimates of each actor's work on an FPGA PE.
+func FullGraph(p Params) (*dataflow.Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n, m := p.FrameSize, p.Order
+	g := dataflow.New(fmt.Sprintf("app1-N%d-M%d", n, m))
+
+	// Cost model per frame (cycles): A streams N samples; B is an
+	// N log2 N FFT; C assembles and LU-solves an MxM system (~2/3 M^3);
+	// D runs N*M MACs; E quantizes and entropy-codes N samples.
+	log2n := 0
+	for 1<<log2n < n {
+		log2n++
+	}
+	a := g.AddActor("A_read", int64(n))
+	b := g.AddActor("B_fft", int64(5*n*log2n))
+	c := g.AddActor("C_lu", int64(2*m*m*m/3+m*m*10))
+	d := g.AddActor("D_error", int64(2*n*m))
+	e := g.AddActor("E_huffman", int64(8*n))
+
+	sampleBytes := 2
+	// A produces the frame once; B consumes it whole.
+	g.AddEdge("frameAB", a, b, 1, 1, dataflow.EdgeSpec{TokenBytes: n * sampleBytes})
+	// A also feeds the raw frame to D (samples for error generation).
+	g.AddEdge("frameAD", a, d, 1, 1, dataflow.EdgeSpec{TokenBytes: n * sampleBytes})
+	// B hands the spectrum to C.
+	g.AddEdge("specBC", b, c, 1, 1, dataflow.EdgeSpec{TokenBytes: n * 8})
+	// C delivers M coefficients to D; the count varies with the model
+	// order at run time, hence a dynamic edge bounded by M packed bytes.
+	g.AddEdge("coeffCD", c, d, m*sampleBytes, m*sampleBytes, dataflow.EdgeSpec{
+		ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 1,
+	})
+	// D streams the error frame to E.
+	g.AddEdge("errDE", d, e, 1, 1, dataflow.EdgeSpec{TokenBytes: n * sampleBytes})
+	return g, nil
+}

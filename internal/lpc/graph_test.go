@@ -1,0 +1,121 @@
+package lpc
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/vts"
+)
+
+func TestFullGraphStructure(t *testing.T) {
+	g, err := FullGraph(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumActors() != 5 {
+		t.Fatalf("actors = %d, want 5 (A..E)", g.NumActors())
+	}
+	if g.NumEdges() != 5 {
+		t.Fatalf("edges = %d, want 5", g.NumEdges())
+	}
+	if !g.HasDynamicEdges() {
+		t.Error("coefficient edge should be dynamic")
+	}
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range q {
+		if v != 1 {
+			t.Fatalf("q = %v, want all ones (frame granularity)", q)
+		}
+	}
+}
+
+func TestFullGraphRejectsBadParams(t *testing.T) {
+	if _, err := FullGraph(Params{}); err == nil {
+		t.Error("zero params should fail")
+	}
+}
+
+func TestFullGraphVTSAnalyzable(t *testing.T) {
+	g, err := FullGraph(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv, err := vts.Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conv.Graph.FindPASS(); err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := vts.ComputeBounds(conv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed-forward graph: no feedback path, so buffers are statically
+	// unbounded (UBS) — which is exactly why the paper's deployment adds
+	// back-pressure at the I/O interface.
+	for _, b := range bounds {
+		if b.CE <= 0 {
+			t.Errorf("edge %s has no c(e) bound", conv.Graph.Edge(b.Edge).Name)
+		}
+	}
+}
+
+func TestFullGraphSAS(t *testing.T) {
+	g, err := FullGraph(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sas, err := sched.SingleAppearanceSchedule(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sas.Appearances() != 5 {
+		t.Errorf("SAS appearances = %d, want 5: %s", sas.Appearances(), sas.Notation(g))
+	}
+	flat := sas.Flatten()
+	ok, err := g.ScheduleReturnsToInitialState(flat)
+	if err != nil || !ok {
+		t.Errorf("SAS invalid: %v %v", ok, err)
+	}
+}
+
+func TestFullGraphDIsComputeHotspot(t *testing.T) {
+	// The paper parallelizes D because it dominates; with defaults,
+	// check D's cost is the largest compute among the pipeline stages
+	// downstream of the FFT (B can rival it at small M).
+	p := DefaultParams()
+	g, err := FullGraph(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dID, _ := g.ActorByName("D_error")
+	cID, _ := g.ActorByName("C_lu")
+	eID, _ := g.ActorByName("E_huffman")
+	d := g.Actor(dID).ExecCycles
+	if d <= g.Actor(cID).ExecCycles || d <= g.Actor(eID).ExecCycles {
+		t.Errorf("D (%d) should outweigh C (%d) and E (%d)",
+			d, g.Actor(cID).ExecCycles, g.Actor(eID).ExecCycles)
+	}
+}
+
+func TestFullGraphListSchedule(t *testing.T) {
+	g, err := FullGraph(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sched.ListSchedule(g, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.SelfTimed(g, m, sched.SelfTimedConfig{Iterations: 10, Warmup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Period <= 0 {
+		t.Error("no steady-state period")
+	}
+}

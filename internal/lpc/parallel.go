@@ -1,0 +1,208 @@
+package lpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/dsp"
+	"repro/internal/spi"
+)
+
+// Parallel error generation — the paper's hardware/software co-design
+// experiment: only actor D is parallelized, across n PEs. The I/O interface
+// splits the frame into overlapping sections (each PE needs M samples of
+// history to predict its first sample), sends each PE its section and the
+// predictor coefficients, and collects the error values.
+//
+// The number of coefficients (model order M) and the frame size are not
+// known before run time, so both transfers use SPI_dynamic (paper §5.2).
+
+// encodeFloats packs float64 samples little-endian.
+func encodeFloats(x []float64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodeFloats unpacks float64 samples.
+func decodeFloats(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("lpc: float payload of %d bytes", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// sectionMsg frames a PE's input: a u32 history-sample count followed by
+// history+section samples.
+func encodeSection(hist int, samples []float64) []byte {
+	out := make([]byte, 4+8*len(samples))
+	binary.LittleEndian.PutUint32(out, uint32(hist))
+	copy(out[4:], encodeFloats(samples))
+	return out
+}
+
+func decodeSection(b []byte) (hist int, samples []float64, err error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("lpc: section payload of %d bytes", len(b))
+	}
+	hist = int(binary.LittleEndian.Uint32(b))
+	samples, err = decodeFloats(b[4:])
+	if err != nil {
+		return 0, nil, err
+	}
+	if hist > len(samples) {
+		return 0, nil, fmt.Errorf("lpc: history %d exceeds %d samples", hist, len(samples))
+	}
+	return hist, samples, nil
+}
+
+// ParallelStats reports the communication activity of one parallel run.
+type ParallelStats struct {
+	// Messages and WireBytes aggregate all SPI edges.
+	Messages, WireBytes int64
+	// PEs is the worker count used.
+	PEs int
+}
+
+// ParallelResidual computes model.Residual(frame) by distributing the work
+// across nPE worker goroutines connected with SPI_dynamic edges, exactly as
+// the paper's n-PE hardware configuration does. The result is bit-identical
+// to the serial computation (workers receive the overlapping history they
+// need). Also returns communication statistics.
+func ParallelResidual(model *dsp.LPCModel, frame []float64, nPE int) ([]float64, *ParallelStats, error) {
+	if nPE <= 0 {
+		return nil, nil, fmt.Errorf("lpc: nPE = %d", nPE)
+	}
+	if nPE > len(frame) {
+		nPE = len(frame)
+	}
+	m := model.Order()
+	rt := spi.NewRuntime()
+
+	// Upper bounds for the dynamic edges: a full frame plus history for
+	// sections, the order for coefficients.
+	maxSection := 4 + 8*(len(frame)+m)
+	maxCoeffs := 8 * m
+	maxErrs := 8 * len(frame)
+
+	type peEdges struct {
+		coeffTx, sectTx *spi.Sender
+		coeffRx, sectRx *spi.Receiver
+		errTx           *spi.Sender
+		errRx           *spi.Receiver
+	}
+	edges := make([]peEdges, nPE)
+	for i := 0; i < nPE; i++ {
+		var err error
+		var e peEdges
+		e.coeffTx, e.coeffRx, err = rt.Init(spi.EdgeConfig{
+			ID: spi.EdgeID(3 * i), Mode: spi.Dynamic, MaxBytes: maxCoeffs, Protocol: spi.UBS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		e.sectTx, e.sectRx, err = rt.Init(spi.EdgeConfig{
+			ID: spi.EdgeID(3*i + 1), Mode: spi.Dynamic, MaxBytes: maxSection, Protocol: spi.UBS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		e.errTx, e.errRx, err = rt.Init(spi.EdgeConfig{
+			ID: spi.EdgeID(3*i + 2), Mode: spi.Dynamic, MaxBytes: maxErrs, Protocol: spi.UBS,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		edges[i] = e
+	}
+
+	// Workers: receive coefficients and section, compute, send errors back.
+	var wg sync.WaitGroup
+	errCh := make(chan error, nPE)
+	for i := 0; i < nPE; i++ {
+		wg.Add(1)
+		go func(e peEdges) {
+			defer wg.Done()
+			cb, err := e.coeffRx.Receive()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			coeffs, err := decodeFloats(cb)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			sb, err := e.sectRx.Receive()
+			if err != nil {
+				errCh <- err
+				return
+			}
+			hist, samples, err := decodeSection(sb)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			wm := &dsp.LPCModel{Coeffs: coeffs}
+			errs := wm.ResidualRange(samples, hist, len(samples))
+			if err := e.errTx.Send(encodeFloats(errs)); err != nil {
+				errCh <- err
+			}
+		}(edges[i])
+	}
+
+	// I/O interface: scatter, then gather.
+	out := make([]float64, len(frame))
+	starts := make([]int, nPE)
+	for i := 0; i < nPE; i++ {
+		start := i * len(frame) / nPE
+		end := (i + 1) * len(frame) / nPE
+		starts[i] = start
+		hist := m
+		if start < m {
+			hist = start
+		}
+		if err := edges[i].coeffTx.Send(encodeFloats(model.Coeffs)); err != nil {
+			return nil, nil, err
+		}
+		if err := edges[i].sectTx.Send(encodeSection(hist, frame[start-hist:end])); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 0; i < nPE; i++ {
+		eb, err := edges[i].errRx.Receive()
+		if err != nil {
+			return nil, nil, err
+		}
+		errs, err := decodeFloats(eb)
+		if err != nil {
+			return nil, nil, err
+		}
+		copy(out[starts[i]:], errs)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, nil, err
+	}
+
+	total := rt.TotalStats()
+	return out, &ParallelStats{
+		Messages:  total.Messages,
+		WireBytes: total.WireBytes,
+		PEs:       nPE,
+	}, nil
+}
+
+// boundary semantics note: prediction of sample start uses history
+// [start-M, start); the first section has no history before sample 0, so
+// its first predictions use the zero-extended past, matching
+// dsp.LPCModel.Residual exactly.

@@ -1,0 +1,43 @@
+package lpc
+
+import (
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func TestCompressFrameParallelIdentical(t *testing.T) {
+	c, err := NewCodec(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := signal.Speech(c.Params().FrameSize, 41)
+	serial, err := c.CompressFrame(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 4} {
+		par, stats, err := c.CompressFrameParallel(x, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sb, _ := serial.MarshalBinary()
+		pb, _ := par.MarshalBinary()
+		if string(sb) != string(pb) {
+			t.Errorf("n=%d: parallel frame differs from serial", n)
+		}
+		if stats.Messages != int64(3*n) {
+			t.Errorf("n=%d: messages = %d", n, stats.Messages)
+		}
+	}
+}
+
+func TestCompressFrameParallelValidation(t *testing.T) {
+	c, _ := NewCodec(DefaultParams())
+	if _, _, err := c.CompressFrameParallel(make([]float64, 3), 2); err == nil {
+		t.Error("wrong frame size should fail")
+	}
+	if _, _, err := c.CompressFrameParallel(signal.Speech(256, 1), 0); err == nil {
+		t.Error("0 PEs should fail")
+	}
+}

@@ -1,0 +1,206 @@
+package lpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"repro/internal/huffman"
+)
+
+// Binary serialization of compressed frames — the actual bitstream a
+// deployed codec would emit. Prediction residuals concentrate on a
+// contiguous band of quantizer levels around zero, so the Huffman
+// code-length table is stored as the band's first symbol plus 5-bit-packed
+// lengths over the band.
+
+const frameMagic = 0x5350 // "SP"
+
+// lengthBits is the field width of one stored code length. Canonical codes
+// over a few hundred frame samples stay far below 31 bits deep.
+const lengthBits = 5
+
+// MarshalBinary serializes the frame.
+func (f *Frame) MarshalBinary() ([]byte, error) {
+	if len(f.CoeffQ) != f.M {
+		return nil, fmt.Errorf("lpc: frame has %d coefficients, order %d", len(f.CoeffQ), f.M)
+	}
+	first, last := -1, -1
+	for sym, l := range f.Lengths {
+		if l > 0 {
+			if l >= 1<<lengthBits {
+				return nil, fmt.Errorf("lpc: code length %d does not fit %d bits", l, lengthBits)
+			}
+			if first == -1 {
+				first = sym
+			}
+			last = sym
+		}
+	}
+	if first == -1 {
+		return nil, fmt.Errorf("lpc: frame has an empty code table")
+	}
+	band := last - first + 1
+	out := make([]byte, 0, 64+2*f.M+(band*lengthBits+7)/8+len(f.Stream))
+	var b [8]byte
+	put16 := func(v uint16) {
+		binary.LittleEndian.PutUint16(b[:2], v)
+		out = append(out, b[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		out = append(out, b[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		out = append(out, b[:]...)
+	}
+	put16(frameMagic)
+	put16(uint16(f.N))
+	put16(uint16(f.M))
+	put64(math.Float64bits(f.CoeffScale))
+	put64(math.Float64bits(f.ErrScale))
+	for _, c := range f.CoeffQ {
+		put16(c)
+	}
+	put16(uint16(first))
+	put16(uint16(band))
+	var lw huffman.BitWriter
+	for sym := first; sym <= last; sym++ {
+		lw.WriteBits(uint32(f.Lengths[sym]), lengthBits)
+	}
+	put16(uint16(len(lw.Bytes())))
+	out = append(out, lw.Bytes()...)
+	put32(uint32(f.StreamSymbols))
+	put32(uint32(len(f.Stream)))
+	out = append(out, f.Stream...)
+	return out, nil
+}
+
+// UnmarshalFrame deserializes a frame produced by MarshalBinary. The
+// quantizer alphabet size (1 << ErrorBits) must be supplied to rebuild the
+// dense length table.
+func UnmarshalFrame(data []byte, alphabet int) (*Frame, error) {
+	pos := 0
+	need := func(n int) error {
+		if len(data)-pos < n {
+			return fmt.Errorf("lpc: frame truncated at offset %d", pos)
+		}
+		return nil
+	}
+	get16 := func() (uint16, error) {
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint16(data[pos:])
+		pos += 2
+		return v, nil
+	}
+	get32 := func() (uint32, error) {
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	get64 := func() (uint64, error) {
+		if err := need(8); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint64(data[pos:])
+		pos += 8
+		return v, nil
+	}
+	magic, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	if magic != frameMagic {
+		return nil, fmt.Errorf("lpc: bad frame magic %#x", magic)
+	}
+	f := &Frame{}
+	n16, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	m16, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	f.N, f.M = int(n16), int(m16)
+	cs, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	es, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	f.CoeffScale = math.Float64frombits(cs)
+	f.ErrScale = math.Float64frombits(es)
+	if f.CoeffScale <= 0 || f.ErrScale <= 0 ||
+		math.IsNaN(f.CoeffScale) || math.IsNaN(f.ErrScale) {
+		return nil, fmt.Errorf("lpc: corrupt quantizer scales")
+	}
+	f.CoeffQ = make([]uint16, f.M)
+	for i := range f.CoeffQ {
+		if f.CoeffQ[i], err = get16(); err != nil {
+			return nil, err
+		}
+	}
+	first, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	band, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	if int(first)+int(band) > alphabet {
+		return nil, fmt.Errorf("lpc: code band [%d,%d) outside alphabet %d", first, int(first)+int(band), alphabet)
+	}
+	tblBytes, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	if err := need(int(tblBytes)); err != nil {
+		return nil, err
+	}
+	if int(tblBytes)*8 < int(band)*lengthBits {
+		return nil, fmt.Errorf("lpc: code table of %d bytes too small for band %d", tblBytes, band)
+	}
+	lr := huffman.NewBitReader(data[pos : pos+int(tblBytes)])
+	pos += int(tblBytes)
+	f.Lengths = make([]uint8, alphabet)
+	for i := 0; i < int(band); i++ {
+		v, err := lr.ReadBits(lengthBits)
+		if err != nil {
+			return nil, err
+		}
+		f.Lengths[int(first)+i] = uint8(v)
+	}
+	ns, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	f.StreamSymbols = int(ns)
+	sb, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if err := need(int(sb)); err != nil {
+		return nil, err
+	}
+	// Every coded symbol costs at least one bit: a symbol count beyond the
+	// stream's bit length is corruption (and would otherwise drive huge
+	// decoder allocations).
+	if uint64(ns) > uint64(sb)*8 {
+		return nil, fmt.Errorf("lpc: %d symbols cannot fit %d stream bytes", ns, sb)
+	}
+	f.Stream = append([]byte(nil), data[pos:pos+int(sb)]...)
+	pos += int(sb)
+	if pos != len(data) {
+		return nil, fmt.Errorf("lpc: %d trailing bytes after frame", len(data)-pos)
+	}
+	return f, nil
+}

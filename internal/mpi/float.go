@@ -1,0 +1,8 @@
+package mpi
+
+import "math"
+
+// float64bits / float64frombits wrap math to keep encoding call sites
+// readable.
+func float64bits(v float64) uint64     { return math.Float64bits(v) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,83 @@
+package mpi
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Link lowers one MPI-style point-to-point connection onto the platform
+// simulator: a data channel with the full generic header, plus a reverse
+// control channel for the rendezvous handshake. Compare spi.Build, which
+// needs only the data channel with a 2- or 6-byte header.
+type Link struct {
+	Data platform.ChannelID // from -> to, HeaderBytes header
+	RTS  platform.ChannelID // from -> to, control
+	CTS  platform.ChannelID // to -> from, control
+	// Eager is the payload threshold above which SendOps emit the
+	// rendezvous handshake.
+	Eager int
+}
+
+// NewLink adds the channels of one MPI connection to the simulator.
+func NewLink(sim *platform.Sim, from, to int, name string) (*Link, error) {
+	data, err := sim.AddChannel(platform.ChannelSpec{
+		From: from, To: to, Name: name + ".data", HeaderBytes: HeaderBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rts, err := sim.AddChannel(platform.ChannelSpec{
+		From: from, To: to, Name: name + ".rts", HeaderBytes: HeaderBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cts, err := sim.AddChannel(platform.ChannelSpec{
+		From: to, To: from, Name: name + ".cts", HeaderBytes: HeaderBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Link{Data: data, RTS: rts, CTS: cts, Eager: EagerLimit}, nil
+}
+
+// SendOps returns the sender-side program fragment for one message of the
+// given payload size: eager messages are a single data send; larger ones
+// perform RTS, wait for CTS, then send the data.
+func (l *Link) SendOps(payloadBytes int) []platform.Op {
+	if payloadBytes < 0 {
+		panic(fmt.Sprintf("mpi: negative payload %d", payloadBytes))
+	}
+	if payloadBytes <= l.Eager {
+		return []platform.Op{platform.Send(l.Data, payloadBytes)}
+	}
+	return []platform.Op{
+		platform.SendKind(l.RTS, 0, platform.CtrlMsg),
+		platform.Recv(l.CTS),
+		platform.Send(l.Data, payloadBytes),
+	}
+}
+
+// RecvOps returns the receiver-side program fragment matching SendOps for
+// the same payload size.
+func (l *Link) RecvOps(payloadBytes int) []platform.Op {
+	if payloadBytes <= l.Eager {
+		return []platform.Op{platform.Recv(l.Data)}
+	}
+	return []platform.Op{
+		platform.Recv(l.RTS),
+		platform.SendKind(l.CTS, 0, platform.CtrlMsg),
+		platform.Recv(l.Data),
+	}
+}
+
+// WireOverhead returns the total protocol bytes one message of the given
+// payload costs beyond the payload itself: the data header plus, above the
+// eager limit, the two control messages.
+func WireOverhead(payloadBytes int) int {
+	if payloadBytes <= EagerLimit {
+		return HeaderBytes
+	}
+	return 3 * HeaderBytes
+}

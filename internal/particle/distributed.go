@@ -1,0 +1,419 @@
+package particle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/signal"
+	"repro/internal/spi"
+)
+
+// Distributed is the paper's n-PE particle filter. Particles are equally
+// distributed among PEs; all steps execute in parallel and PEs communicate
+// only during resampling, which splits into three sub-steps (paper §5.3):
+//
+//  1. calculate a partial (weight) sum and communicate it to the other PEs
+//     — fixed-length message, SPI_static;
+//  2. local resampling against the globally agreed per-PE offspring quota;
+//  3. intra-resampling: excess new particle values are communicated to
+//     deficit PEs so all PEs again hold N/n particles — the message length
+//     varies at run time, so SPI_dynamic is used.
+//
+// All communication rides on the spi software runtime; per-edge statistics
+// are exposed through Stats.
+type Distributed struct {
+	model Model
+	pes   int
+	perPE int
+
+	peState []peFilter
+	// sum edges: fixed 24-byte messages (partial weight sum, partial
+	// weighted state sum, partial squared-weight sum), one per ordered
+	// PE pair.
+	sumTx map[[2]int]*spi.Sender
+	sumRx map[[2]int]*spi.Receiver
+	// particle-migration edges: variable-size, one per ordered pair.
+	migTx map[[2]int]*spi.Sender
+	migRx map[[2]int]*spi.Receiver
+
+	rt *spi.Runtime
+
+	// adaptive resampling (ESS-gated): see SetResampleThreshold.
+	adaptive     bool
+	resampleFrac float64
+	resamplings  int64
+}
+
+type peFilter struct {
+	particles []float64
+	weights   []float64
+	rng       *signal.RNG
+}
+
+// NewDistributed creates an n-PE filter over nParticles total. nParticles
+// must divide evenly among PEs (the paper's equal distribution).
+func NewDistributed(model Model, nParticles, pes int, seed uint64) (*Distributed, error) {
+	if pes <= 0 {
+		return nil, fmt.Errorf("particle: %d PEs", pes)
+	}
+	if nParticles <= 0 || nParticles%pes != 0 {
+		return nil, fmt.Errorf("particle: %d particles not divisible across %d PEs", nParticles, pes)
+	}
+	d := &Distributed{
+		model: model,
+		pes:   pes,
+		perPE: nParticles / pes,
+		rt:    spi.NewRuntime(),
+		sumTx: map[[2]int]*spi.Sender{},
+		sumRx: map[[2]int]*spi.Receiver{},
+		migTx: map[[2]int]*spi.Sender{},
+		migRx: map[[2]int]*spi.Receiver{},
+	}
+	for p := 0; p < pes; p++ {
+		pf := peFilter{
+			particles: make([]float64, d.perPE),
+			weights:   make([]float64, d.perPE),
+			rng:       signal.NewRNG(seed + uint64(p)*0x9E37),
+		}
+		for i := range pf.particles {
+			pf.particles[i] = model.P.A0 * (1 + 0.05*pf.rng.NormFloat64())
+			if pf.particles[i] < model.P.A0 {
+				pf.particles[i] = model.P.A0
+			}
+			pf.weights[i] = 1
+		}
+		d.peState = append(d.peState, pf)
+	}
+	id := spi.EdgeID(0)
+	for p := 0; p < pes; p++ {
+		for q := 0; q < pes; q++ {
+			if p == q {
+				continue
+			}
+			tx, rx, err := d.rt.Init(spi.EdgeConfig{
+				ID: id, Mode: spi.Static, PayloadBytes: 24, Protocol: spi.BBS, Capacity: 2,
+			})
+			if err != nil {
+				return nil, err
+			}
+			id++
+			d.sumTx[[2]int{p, q}] = tx
+			d.sumRx[[2]int{p, q}] = rx
+
+			mtx, mrx, err := d.rt.Init(spi.EdgeConfig{
+				ID: id, Mode: spi.Dynamic, MaxBytes: 8 * nParticles, Protocol: spi.UBS,
+			})
+			if err != nil {
+				return nil, err
+			}
+			id++
+			d.migTx[[2]int{p, q}] = mtx
+			d.migRx[[2]int{p, q}] = mrx
+		}
+	}
+	return d, nil
+}
+
+// PEs returns the PE count; PerPE the particles each PE holds.
+func (d *Distributed) PEs() int   { return d.pes }
+func (d *Distributed) PerPE() int { return d.perPE }
+
+// Stats returns the aggregated SPI traffic so far.
+func (d *Distributed) Stats() spi.EdgeStats { return d.rt.TotalStats() }
+
+// SetResampleThreshold makes the distributed filter adaptive: the full
+// resampling exchange (local resampling + particle migration) runs only
+// when the global effective sample size falls below frac * N. All PEs
+// compute the same ESS from the exchanged partial sums, so the decision is
+// consistent without extra coordination. Skipped iterations still exchange
+// the fixed-size partial sums (SPI_static) but send no migration messages —
+// an adaptive saving on the SPI_dynamic traffic.
+func (d *Distributed) SetResampleThreshold(frac float64) {
+	d.adaptive = true
+	d.resampleFrac = frac
+}
+
+// Resamplings returns how many distributed resampling rounds have run.
+func (d *Distributed) Resamplings() int64 { return d.resamplings }
+
+func encodeSums(s, w, sq float64) []byte {
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint64(out, math.Float64bits(s))
+	binary.LittleEndian.PutUint64(out[8:], math.Float64bits(w))
+	binary.LittleEndian.PutUint64(out[16:], math.Float64bits(sq))
+	return out
+}
+
+func decodeSums(b []byte) (s, w, sq float64, err error) {
+	if len(b) != 24 {
+		return 0, 0, 0, fmt.Errorf("particle: sum message of %d bytes", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		math.Float64frombits(binary.LittleEndian.Uint64(b[16:])), nil
+}
+
+func encodeParticles(x []float64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func decodeParticles(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("particle: particle message of %d bytes", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// quotas computes, identically on every PE, the per-PE offspring counts
+// from the partial weight sums using the largest-remainder method: counts
+// are proportional to partial sums and total exactly N.
+func quotas(partialSums []float64, total int) []int {
+	n := len(partialSums)
+	out := make([]int, n)
+	var sum float64
+	for _, s := range partialSums {
+		sum += s
+	}
+	if sum <= 0 {
+		// Degenerate weights: keep the equal split.
+		for i := range out {
+			out[i] = total / n
+		}
+		rem := total - (total/n)*n
+		for i := 0; i < rem; i++ {
+			out[i]++
+		}
+		return out
+	}
+	type frac struct {
+		pe int
+		f  float64
+	}
+	fracs := make([]frac, n)
+	assigned := 0
+	for i, s := range partialSums {
+		exact := float64(total) * s / sum
+		fl := math.Floor(exact)
+		out[i] = int(fl)
+		assigned += int(fl)
+		fracs[i] = frac{pe: i, f: exact - fl}
+	}
+	// Largest remainders get the leftover counts; ties resolve by PE index
+	// so all PEs agree.
+	for assigned < total {
+		best := -1
+		for i := range fracs {
+			if best == -1 || fracs[i].f > fracs[best].f ||
+				(fracs[i].f == fracs[best].f && fracs[i].pe < fracs[best].pe) {
+				if fracs[i].f >= 0 {
+					best = i
+				}
+			}
+		}
+		out[fracs[best].pe]++
+		fracs[best].f = -1
+		assigned++
+	}
+	return out
+}
+
+// migrationPlan decides, identically on every PE, how many particles flow
+// from each surplus PE to each deficit PE: greedy in PE order.
+func migrationPlan(quota []int, perPE int) map[[2]int]int {
+	plan := map[[2]int]int{}
+	type entry struct{ pe, amount int }
+	var surplus, deficit []entry
+	for p, q := range quota {
+		switch {
+		case q > perPE:
+			surplus = append(surplus, entry{p, q - perPE})
+		case q < perPE:
+			deficit = append(deficit, entry{p, perPE - q})
+		}
+	}
+	si, di := 0, 0
+	for si < len(surplus) && di < len(deficit) {
+		k := surplus[si].amount
+		if deficit[di].amount < k {
+			k = deficit[di].amount
+		}
+		plan[[2]int{surplus[si].pe, deficit[di].pe}] += k
+		surplus[si].amount -= k
+		deficit[di].amount -= k
+		if surplus[si].amount == 0 {
+			si++
+		}
+		if deficit[di].amount == 0 {
+			di++
+		}
+	}
+	return plan
+}
+
+// Step runs one distributed E-U-S iteration against an observation. All
+// PEs execute concurrently as goroutines; the returned estimate is the
+// global weighted mean every PE computes from the exchanged partial sums.
+func (d *Distributed) Step(observation float64) (float64, error) {
+	ests := make([]float64, d.pes)
+	errs := make([]error, d.pes)
+	var wg sync.WaitGroup
+	for p := 0; p < d.pes; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ests[p], errs[p] = d.stepPE(p, observation)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return ests[0], nil
+}
+
+func (d *Distributed) stepPE(p int, observation float64) (float64, error) {
+	pf := &d.peState[p]
+	// E: propagate; U: multiplicative weight update (weights are all 1
+	// after a resampling round, so this equals assignment in the default
+	// always-resample configuration).
+	var localSum, localWeighted, localSumSq float64
+	for i, a := range pf.particles {
+		pf.particles[i] = d.model.Propagate(a, pf.rng)
+		pf.weights[i] *= d.model.Likelihood(observation, pf.particles[i])
+		w := pf.weights[i]
+		localSum += w
+		localWeighted += w * pf.particles[i]
+		localSumSq += w * w
+	}
+	// Resampling sub-step 1: exchange partial sums (SPI_static).
+	sums := make([]float64, d.pes)
+	weighted := make([]float64, d.pes)
+	sumSqs := make([]float64, d.pes)
+	sums[p], weighted[p], sumSqs[p] = localSum, localWeighted, localSumSq
+	for q := 0; q < d.pes; q++ {
+		if q == p {
+			continue
+		}
+		if err := d.sumTx[[2]int{p, q}].Send(encodeSums(localSum, localWeighted, localSumSq)); err != nil {
+			return 0, err
+		}
+	}
+	for q := 0; q < d.pes; q++ {
+		if q == p {
+			continue
+		}
+		b, err := d.sumRx[[2]int{q, p}].Receive()
+		if err != nil {
+			return 0, err
+		}
+		sums[q], weighted[q], sumSqs[q], err = decodeSums(b)
+		if err != nil {
+			return 0, err
+		}
+	}
+	var totalSum, totalWeighted, totalSumSq float64
+	for q := 0; q < d.pes; q++ {
+		totalSum += sums[q]
+		totalWeighted += weighted[q]
+		totalSumSq += sumSqs[q]
+	}
+	est := totalWeighted / totalSum
+	if totalSum <= 0 {
+		var s float64
+		for _, a := range pf.particles {
+			s += a
+		}
+		est = s / float64(len(pf.particles))
+	}
+
+	// Adaptive gate: all PEs compute the same global ESS from the
+	// exchanged sums; a healthy weight distribution skips the whole
+	// resampling exchange (and its SPI_dynamic migration traffic).
+	if d.adaptive && totalSumSq > 0 {
+		ess := totalSum * totalSum / totalSumSq
+		if ess >= d.resampleFrac*float64(d.pes*d.perPE) {
+			return est, nil
+		}
+	}
+	if p == 0 {
+		d.resamplings++ // counted once per round, on PE 0
+	}
+
+	// Resampling sub-step 2: local resampling against the global quota.
+	quota := quotas(sums, d.pes*d.perPE)
+	local := SystematicResample(pf.particles, pf.weights, localSum, quota[p], pf.rng)
+
+	// Resampling sub-step 3: intra-resampling (SPI_dynamic). Every PE
+	// sends one (possibly empty) migration message to every other PE: a
+	// static message *rate* with variable token size — exactly the VTS
+	// pattern.
+	plan := migrationPlan(quota, d.perPE)
+	kept := local
+	if len(kept) > d.perPE {
+		kept = local[:d.perPE]
+	}
+	exportFrom := d.perPE
+	for q := 0; q < d.pes; q++ {
+		if q == p {
+			continue
+		}
+		k := plan[[2]int{p, q}]
+		var payload []byte
+		if k > 0 {
+			payload = encodeParticles(local[exportFrom : exportFrom+k])
+			exportFrom += k
+		}
+		if err := d.migTx[[2]int{p, q}].Send(payload); err != nil {
+			return 0, err
+		}
+	}
+	next := make([]float64, 0, d.perPE)
+	next = append(next, kept...)
+	for q := 0; q < d.pes; q++ {
+		if q == p {
+			continue
+		}
+		b, err := d.migRx[[2]int{q, p}].Receive()
+		if err != nil {
+			return 0, err
+		}
+		imported, err := decodeParticles(b)
+		if err != nil {
+			return 0, err
+		}
+		next = append(next, imported...)
+	}
+	if len(next) != d.perPE {
+		return 0, fmt.Errorf("particle: PE %d ended iteration with %d particles, want %d", p, len(next), d.perPE)
+	}
+	pf.particles = next
+	for i := range pf.weights {
+		pf.weights[i] = 1
+	}
+	return est, nil
+}
+
+// Run tracks a whole observation sequence and returns per-step estimates.
+func (d *Distributed) Run(observations []float64) ([]float64, error) {
+	out := make([]float64, len(observations))
+	for i, y := range observations {
+		est, err := d.Step(y)
+		if err != nil {
+			return nil, fmt.Errorf("particle: step %d: %w", i, err)
+		}
+		out[i] = est
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package particle
+
+// Effective sample size (ESS) and adaptive resampling — a standard
+// extension of the bootstrap filter: resampling every iteration (as the
+// paper's implementation does) costs communication in the distributed
+// setting, while skipping it when the weights are still well balanced
+// loses nothing. ESS = 1 / sum(w_norm^2) ranges from 1 (degenerate) to N
+// (uniform); the filter resamples only when ESS falls below a threshold
+// fraction of N.
+
+// ESS returns the effective sample size of a weight vector with the given
+// (unnormalized) sum. A zero sum returns 0 (fully degenerate).
+func ESS(weights []float64, sum float64) float64 {
+	if sum <= 0 {
+		return 0
+	}
+	var s2 float64
+	for _, w := range weights {
+		n := w / sum
+		s2 += n * n
+	}
+	if s2 == 0 {
+		return 0
+	}
+	return 1 / s2
+}
+
+// SetResampleThreshold makes the filter adaptive: resampling happens only
+// when ESS < frac * N. frac = 1 (or any value >= 1) restores per-step
+// resampling; frac <= 0 disables resampling entirely.
+func (f *Filter) SetResampleThreshold(frac float64) {
+	f.resampleFrac = frac
+	f.adaptive = true
+}
+
+// Resamplings returns how many resampling operations the filter has
+// performed.
+func (f *Filter) Resamplings() int64 { return f.resamplings }
+
+// StepAdaptive performs one E-U iteration and resamples only if the ESS
+// test demands it. When the filter skips resampling, weights carry over to
+// the next iteration (sequential importance sampling).
+func (f *Filter) StepAdaptive(observation float64) float64 {
+	// E: propagate.
+	for i, a := range f.particles {
+		f.particles[i] = f.model.Propagate(a, f.rng)
+	}
+	// U: multiplicative weight update (weights persist across steps).
+	var sum float64
+	for i, a := range f.particles {
+		f.weights[i] *= f.model.Likelihood(observation, a)
+		sum += f.weights[i]
+	}
+	est := Estimate(f.particles, f.weights, sum)
+	// S: conditional selection.
+	threshold := f.resampleFrac * float64(len(f.particles))
+	if !f.adaptive || ESS(f.weights, sum) < threshold {
+		f.particles = SystematicResample(f.particles, f.weights, sum, len(f.particles), f.rng)
+		for i := range f.weights {
+			f.weights[i] = 1
+		}
+		f.resamplings++
+	}
+	return est
+}

@@ -1,0 +1,92 @@
+package particle
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func TestESSUniformWeights(t *testing.T) {
+	w := []float64{1, 1, 1, 1}
+	if got := ESS(w, 4); math.Abs(got-4) > 1e-12 {
+		t.Errorf("uniform ESS = %v, want 4", got)
+	}
+}
+
+func TestESSDegenerateWeights(t *testing.T) {
+	w := []float64{0, 0, 5, 0}
+	if got := ESS(w, 5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("degenerate ESS = %v, want 1", got)
+	}
+	if got := ESS([]float64{0, 0}, 0); got != 0 {
+		t.Errorf("zero-sum ESS = %v, want 0", got)
+	}
+}
+
+func TestESSBounds(t *testing.T) {
+	w := []float64{0.5, 1.5, 2.0, 0.1}
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	ess := ESS(w, sum)
+	if ess < 1 || ess > float64(len(w)) {
+		t.Errorf("ESS = %v outside [1, %d]", ess, len(w))
+	}
+}
+
+func TestAdaptiveResamplesLessOften(t *testing.T) {
+	p := signal.DefaultCrackParams()
+	truth := signal.CrackTruth(200, p, 42)
+	obs := signal.CrackObservations(truth, p, 43)
+
+	always, _ := NewFilter(Model{P: p}, 200, 44)
+	for _, y := range obs {
+		always.Step(y)
+	}
+	adaptive, _ := NewFilter(Model{P: p}, 200, 44)
+	adaptive.SetResampleThreshold(0.9)
+	ests := make([]float64, len(obs))
+	for i, y := range obs {
+		ests[i] = adaptive.StepAdaptive(y)
+	}
+	if adaptive.Resamplings() >= always.Resamplings() {
+		t.Errorf("adaptive resampled %d times, always %d — no savings",
+			adaptive.Resamplings(), always.Resamplings())
+	}
+	if adaptive.Resamplings() == 0 {
+		t.Error("adaptive filter never resampled; threshold too weak for this model")
+	}
+	// Tracking quality must remain comparable.
+	rmse := RMSE(ests, truth)
+	if rmse > 2*p.MeasureNoise {
+		t.Errorf("adaptive RMSE %v much worse than noise %v", rmse, p.MeasureNoise)
+	}
+}
+
+func TestAdaptiveThresholdOneMatchesAlways(t *testing.T) {
+	p := signal.DefaultCrackParams()
+	obs := signal.CrackObservations(signal.CrackTruth(50, p, 1), p, 2)
+	f, _ := NewFilter(Model{P: p}, 100, 3)
+	f.SetResampleThreshold(1.1) // ESS < 1.1*N is always true
+	for _, y := range obs {
+		f.StepAdaptive(y)
+	}
+	if f.Resamplings() != int64(len(obs)) {
+		t.Errorf("threshold >= 1 should resample every step: %d/%d", f.Resamplings(), len(obs))
+	}
+}
+
+func TestAdaptiveThresholdZeroNeverResamples(t *testing.T) {
+	p := signal.DefaultCrackParams()
+	obs := signal.CrackObservations(signal.CrackTruth(30, p, 1), p, 2)
+	f, _ := NewFilter(Model{P: p}, 100, 3)
+	f.SetResampleThreshold(0)
+	for _, y := range obs {
+		f.StepAdaptive(y)
+	}
+	if f.Resamplings() != 0 {
+		t.Errorf("threshold 0 resampled %d times", f.Resamplings())
+	}
+}

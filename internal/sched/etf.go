@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// ETFSchedule builds a Mapping using the earliest-task-first heuristic:
+// among all (ready task, processor) pairs, schedule the pair with the
+// earliest achievable start time, breaking ties by the HLF level (so the
+// critical path wins among equals). ETF reacts to communication costs
+// better than pure HLF when interprocessor transfers are expensive,
+// trading O(ready x procs) work per decision.
+func ETFSchedule(g *dataflow.Graph, nprocs int, commCycles int64) (*Mapping, error) {
+	if nprocs <= 0 {
+		return nil, fmt.Errorf("sched: nprocs = %d", nprocs)
+	}
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		return nil, err
+	}
+	levels, err := Levels(g, q)
+	if err != nil {
+		return nil, err
+	}
+	blockCost := func(a dataflow.ActorID) int64 {
+		c := g.Actor(a).ExecCycles
+		if c <= 0 {
+			c = 1
+		}
+		return q[a] * c
+	}
+	blocking := func(e *dataflow.Edge) bool {
+		need := e.Consume.Rate
+		if e.Consume.Kind == dataflow.DynamicPort {
+			need = 1
+		}
+		return e.Delay < need
+	}
+
+	n := g.NumActors()
+	indeg := make([]int, n)
+	for _, eid := range g.Edges() {
+		if e := g.Edge(eid); blocking(e) {
+			indeg[e.Snk]++
+		}
+	}
+	ready := make([]dataflow.ActorID, 0, n)
+	for a := 0; a < n; a++ {
+		if indeg[a] == 0 {
+			ready = append(ready, dataflow.ActorID(a))
+		}
+	}
+	procFree := make([]int64, nprocs)
+	finish := make([]int64, n)
+	m := &Mapping{
+		NumProcs: nprocs,
+		Proc:     make([]Processor, n),
+		Order:    make([][]dataflow.ActorID, nprocs),
+	}
+	startOn := func(a dataflow.ActorID, p int) int64 {
+		start := procFree[p]
+		for _, eid := range g.In(a) {
+			e := g.Edge(eid)
+			if !blocking(e) {
+				continue
+			}
+			avail := finish[e.Src]
+			if m.Proc[e.Src] != Processor(p) {
+				avail += commCycles
+			}
+			if avail > start {
+				start = avail
+			}
+		}
+		return start
+	}
+
+	for scheduled := 0; scheduled < n; scheduled++ {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("sched: precedence structure is cyclic")
+		}
+		bestIdx, bestProc := -1, 0
+		var bestStart int64
+		for i, a := range ready {
+			for p := 0; p < nprocs; p++ {
+				start := startOn(a, p)
+				better := bestIdx == -1 || start < bestStart
+				if !better && start == bestStart {
+					// Ties: higher level first, then lower actor ID.
+					cur := ready[bestIdx]
+					if levels[a] != levels[cur] {
+						better = levels[a] > levels[cur]
+					} else if a != cur {
+						better = a < cur
+					} else {
+						better = p < bestProc
+					}
+				}
+				if better {
+					bestIdx, bestProc, bestStart = i, p, start
+				}
+			}
+		}
+		a := ready[bestIdx]
+		ready = append(ready[:bestIdx], ready[bestIdx+1:]...)
+		m.Proc[a] = Processor(bestProc)
+		m.Order[bestProc] = append(m.Order[bestProc], a)
+		finish[a] = bestStart + blockCost(a)
+		procFree[bestProc] = finish[a]
+		for _, eid := range g.Out(a) {
+			e := g.Edge(eid)
+			if !blocking(e) {
+				continue
+			}
+			indeg[e.Snk]--
+			if indeg[e.Snk] == 0 {
+				ready = append(ready, e.Snk)
+			}
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,201 @@
+package signal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced stuck generator")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(99)
+	n := 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestUniformityRough(t *testing.T) {
+	r := NewRNG(1)
+	buckets := make([]int, 10)
+	n := 100000
+	for i := 0; i < n; i++ {
+		buckets[int(r.Float64()*10)]++
+	}
+	for b, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Errorf("bucket %d count %d far from %d", b, c, n/10)
+		}
+	}
+}
+
+func TestSpeechProperties(t *testing.T) {
+	s := Speech(4096, 3)
+	if len(s) != 4096 {
+		t.Fatalf("len = %d", len(s))
+	}
+	var peak float64
+	for _, v := range s {
+		if math.Abs(v) > peak {
+			peak = math.Abs(v)
+		}
+	}
+	if peak > 0.9001 || peak < 0.5 {
+		t.Errorf("peak = %v, want normalized to 0.9", peak)
+	}
+	// Speech-like signals have strong lag-1 correlation.
+	var c0, c1 float64
+	for i := 1; i < len(s); i++ {
+		c0 += s[i] * s[i]
+		c1 += s[i] * s[i-1]
+	}
+	if c1/c0 < 0.5 {
+		t.Errorf("lag-1 correlation %v too low for a speech-like source", c1/c0)
+	}
+}
+
+func TestSpeechDeterministic(t *testing.T) {
+	a := Speech(256, 5)
+	b := Speech(256, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different signal")
+		}
+	}
+	c := Speech(256, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical signals")
+	}
+}
+
+func TestARProcessPredictability(t *testing.T) {
+	// An AR(1) with small noise is nearly predicted by its own coefficient.
+	a := []float64{0.95}
+	x := AR(5000, a, 0.01, 11)
+	var errE, sigE float64
+	for i := 1; i < len(x); i++ {
+		e := x[i] - 0.95*x[i-1]
+		errE += e * e
+		sigE += x[i] * x[i]
+	}
+	// Theory: error/signal power ratio = 1 - a^2 = 0.0975.
+	ratio := errE / sigE
+	if math.Abs(ratio-0.0975) > 0.02 {
+		t.Errorf("prediction error ratio %v, want ~0.0975 (1-a^2)", ratio)
+	}
+}
+
+func TestCrackTruthMonotoneGrowth(t *testing.T) {
+	p := DefaultCrackParams()
+	truth := CrackTruth(300, p, 21)
+	if truth[0] < p.A0 {
+		t.Errorf("first length %v below A0", truth[0])
+	}
+	if truth[len(truth)-1] <= truth[0] {
+		t.Errorf("crack did not grow: %v -> %v", truth[0], truth[len(truth)-1])
+	}
+	// Growth is noisy but never drops below A0.
+	for i, a := range truth {
+		if a < p.A0 {
+			t.Fatalf("length %v below floor at step %d", a, i)
+		}
+	}
+}
+
+func TestCrackObservationsNoisyButUnbiased(t *testing.T) {
+	p := DefaultCrackParams()
+	truth := CrackTruth(2000, p, 21)
+	obs := CrackObservations(truth, p, 22)
+	var bias, dev float64
+	for i := range truth {
+		d := obs[i] - truth[i]
+		bias += d
+		dev += d * d
+	}
+	bias /= float64(len(truth))
+	rms := math.Sqrt(dev / float64(len(truth)))
+	if math.Abs(bias) > 0.02 {
+		t.Errorf("observation bias %v", bias)
+	}
+	if rms < 0.05 || rms > 0.2 {
+		t.Errorf("observation rms %v not near MeasureNoise %v", rms, p.MeasureNoise)
+	}
+}
+
+// Property: RNG streams from different seeds differ early.
+func TestRNGSeedSeparationProperty(t *testing.T) {
+	f := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, b := NewRNG(s1), NewRNG(s2)
+		for i := 0; i < 4; i++ {
+			if a.Uint64() != b.Uint64() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+package spi
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/vts"
+)
+
+// EdgePlan records how one interprocessor dataflow edge is realized by SPI.
+type EdgePlan struct {
+	Edge     dataflow.EdgeID
+	Channel  platform.ChannelID
+	Mode     Mode
+	Protocol Protocol
+	Capacity int
+}
+
+// System describes an SPI deployment of a mapped dataflow graph onto the
+// platform simulator.
+type System struct {
+	// Graph is the application graph (pre-VTS; dynamic edges allowed).
+	Graph *dataflow.Graph
+	// Mapping is the multiprocessor schedule.
+	Mapping *sched.Mapping
+	// Platform configures the target.
+	Platform platform.Config
+	// PayloadFn optionally supplies per-iteration payload sizes for
+	// dynamic edges. Edges without an entry use their static worst case.
+	PayloadFn map[dataflow.EdgeID]func(iter int) int
+	// ComputeFn optionally supplies per-iteration compute cycles for an
+	// actor's whole block; the default is q[a] * ExecCycles.
+	ComputeFn map[dataflow.ActorID]func(iter int) int64
+	// ForceUBS lists edges forced onto the UBS protocol regardless of the
+	// bound analysis (for ablation studies).
+	ForceUBS map[dataflow.EdgeID]bool
+	// AckBytes is the UBS acknowledgement payload size (default 4).
+	AckBytes int
+	// SuppressAcks drops the UBS acknowledgement messages — the
+	// configuration after resynchronization has proven them redundant
+	// (paper §4.1). Used by the resynchronization ablation.
+	SuppressAcks bool
+	// ExtraSyncMessages inserts, per iteration, pure synchronization
+	// messages (resynchronization edges realized as separate messages):
+	// each entry is a (fromPE, toPE) pair carrying SyncMessageBytes.
+	ExtraSync []SyncMessage
+	// SyncMessageBytes is the payload of one sync message (default 2).
+	SyncMessageBytes int
+}
+
+// SyncMessage is a pure synchronization message between two PEs, sent at a
+// fixed point in the iteration (after the source PE's computation).
+type SyncMessage struct {
+	FromPE, ToPE int
+}
+
+// Deployment is the lowered system, ready to run.
+type Deployment struct {
+	Sim   *platform.Sim
+	Plans []EdgePlan
+	// SyncChannels are the channels carrying ExtraSync messages.
+	SyncChannels []platform.ChannelID
+}
+
+// Build lowers the system onto a platform.Sim. The lowering:
+//
+//  1. VTS-converts the graph so every edge has a static packed rate, and
+//     computes buffer bounds (eq. 1, eq. 2).
+//  2. Chooses per-edge protocol: BBS with the bounded capacity when eq. 2
+//     yields a finite bound, UBS otherwise (or when forced).
+//  3. Inserts an SPI channel per interprocessor edge: SPI_static header
+//     for originally-static edges, SPI_dynamic for VTS edges.
+//  4. Emits per-PE programs in mapping order: receive inputs, compute the
+//     actor block, send outputs — the communication actors bracketing the
+//     computation, per the SPI actor-pair insertion of paper §2.
+func Build(sys *System) (*Deployment, error) {
+	g := sys.Graph
+	m := sys.Mapping
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	conv, err := vts.Convert(g)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := vts.ComputeBounds(conv)
+	if err != nil {
+		return nil, err
+	}
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		return nil, err
+	}
+	if sys.Platform.NumPEs == 0 {
+		sys.Platform = platform.DefaultConfig(m.NumProcs)
+	}
+	if sys.Platform.NumPEs < m.NumProcs {
+		return nil, fmt.Errorf("spi: platform has %d PEs, mapping needs %d", sys.Platform.NumPEs, m.NumProcs)
+	}
+	sim, err := platform.NewSim(sys.Platform)
+	if err != nil {
+		return nil, err
+	}
+	ackBytes := sys.AckBytes
+	if ackBytes == 0 {
+		ackBytes = 4
+	}
+	syncBytes := sys.SyncMessageBytes
+	if syncBytes == 0 {
+		syncBytes = 2
+	}
+
+	dep := &Deployment{Sim: sim}
+	// Channel per interprocessor edge.
+	chanOf := make(map[dataflow.EdgeID]platform.ChannelID)
+	planOf := make(map[dataflow.EdgeID]*EdgePlan)
+	for _, eid := range m.InterprocessorEdges(g) {
+		e := g.Edge(eid)
+		info := conv.Info(eid)
+		mode := Static
+		if info.Dynamic {
+			mode = Dynamic
+		}
+		b := bounds[eid]
+		proto := BBS
+		capMsgs := 0
+		if sys.ForceUBS[eid] || !b.Bounded {
+			proto = UBS
+		} else {
+			// Capacity in messages: the byte bound divided by the packed
+			// token size, at least one message.
+			capMsgs = int(b.IPC / b.BMax)
+			if capMsgs < 1 {
+				capMsgs = 1
+			}
+		}
+		spec := platform.ChannelSpec{
+			From:        int(m.Proc[e.Src]),
+			To:          int(m.Proc[e.Snk]),
+			Name:        e.Name,
+			HeaderBytes: HeaderBytes(mode),
+			Capacity:    capMsgs,
+		}
+		// Preload counts whole packed messages: delay tokens per message
+		// batch moved each iteration.
+		if tokensPerMsg := int(g.IterationTokens(q, eid)); tokensPerMsg > 0 {
+			spec.Preload = e.Delay / tokensPerMsg
+		}
+		if spec.Capacity > 0 && spec.Preload > spec.Capacity {
+			spec.Capacity = spec.Preload
+		}
+		if proto == UBS && !sys.SuppressAcks {
+			spec.AckBytes = ackBytes
+		}
+		ch, err := sim.AddChannel(spec)
+		if err != nil {
+			return nil, err
+		}
+		chanOf[eid] = ch
+		dep.Plans = append(dep.Plans, EdgePlan{
+			Edge: eid, Channel: ch, Mode: mode, Protocol: proto, Capacity: capMsgs,
+		})
+		planOf[eid] = &dep.Plans[len(dep.Plans)-1]
+	}
+
+	// Extra sync message channels.
+	syncSendOf := make(map[int][]platform.ChannelID) // per source PE
+	for i, sm := range sys.ExtraSync {
+		ch, err := sim.AddChannel(platform.ChannelSpec{
+			From: sm.FromPE, To: sm.ToPE,
+			Name:        fmt.Sprintf("sync%d", i),
+			HeaderBytes: StaticHeaderBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dep.SyncChannels = append(dep.SyncChannels, ch)
+		syncSendOf[sm.FromPE] = append(syncSendOf[sm.FromPE], ch)
+	}
+
+	// Per-PE programs.
+	for p := 0; p < m.NumProcs; p++ {
+		var prog platform.Program
+		for _, a := range m.Order[p] {
+			// Receive every interprocessor input.
+			for _, eid := range g.In(a) {
+				ch, ok := chanOf[eid]
+				if !ok {
+					continue
+				}
+				prog = append(prog, platform.Recv(ch))
+			}
+			// Compute the block.
+			if fn, ok := sys.ComputeFn[a]; ok {
+				prog = append(prog, platform.ComputeFn(fn))
+			} else {
+				cost := g.Actor(a).ExecCycles
+				if cost <= 0 {
+					cost = 1
+				}
+				prog = append(prog, platform.Compute(q[a]*cost))
+			}
+			// Send every interprocessor output.
+			for _, eid := range g.Out(a) {
+				ch, ok := chanOf[eid]
+				if !ok {
+					continue
+				}
+				if fn, ok := sys.PayloadFn[eid]; ok {
+					prog = append(prog, platform.SendFn(ch, fn))
+				} else {
+					info := conv.Info(eid)
+					// Worst-case packed payload per message.
+					prog = append(prog, platform.Send(ch, int(info.BMax)))
+				}
+			}
+		}
+		// Pure sync messages sent at end of this PE's iteration; matching
+		// receives appended to the destination below.
+		for _, ch := range syncSendOf[p] {
+			prog = append(prog, platform.SendKind(ch, syncBytes, platform.SyncMsg))
+		}
+		if err := sim.SetProgram(p, prog); err != nil {
+			return nil, err
+		}
+	}
+	// Append sync receives to destination programs.
+	for i, sm := range sys.ExtraSync {
+		prog := append(platform.Program{}, sim.Program(sm.ToPE)...)
+		prog = append(prog, platform.Recv(dep.SyncChannels[i]))
+		if err := sim.SetProgram(sm.ToPE, prog); err != nil {
+			return nil, err
+		}
+	}
+	return dep, nil
+}

@@ -1,0 +1,113 @@
+package spi
+
+import (
+	"fmt"
+)
+
+// Collective patterns over the software runtime. The paper's applications
+// are built from a scatter/gather shape: an I/O interface distributes work
+// (frame sections, predictor coefficients) to n PEs and collects results
+// (error values). These helpers wire the n edge pairs and move the
+// payloads, so application code states intent rather than edge plumbing.
+
+// Scatter is a one-to-n distribution group: one dynamic edge per worker.
+type Scatter struct {
+	tx []*Sender
+	rx []*Receiver
+}
+
+// NewScatter initializes n dynamic edges with consecutive IDs starting at
+// base. maxBytes bounds each payload (the VTS b_max).
+func NewScatter(rt *Runtime, base EdgeID, n int, maxBytes int, proto Protocol, capacity int) (*Scatter, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("spi: scatter over %d workers", n)
+	}
+	s := &Scatter{}
+	for i := 0; i < n; i++ {
+		tx, rx, err := rt.Init(EdgeConfig{
+			ID: base + EdgeID(i), Mode: Dynamic, MaxBytes: maxBytes,
+			Protocol: proto, Capacity: capacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.tx = append(s.tx, tx)
+		s.rx = append(s.rx, rx)
+	}
+	return s, nil
+}
+
+// Workers returns the worker count.
+func (s *Scatter) Workers() int { return len(s.tx) }
+
+// Send distributes one payload per worker (len(payloads) must equal n).
+func (s *Scatter) Send(payloads [][]byte) error {
+	if len(payloads) != len(s.tx) {
+		return fmt.Errorf("spi: scatter of %d payloads to %d workers", len(payloads), len(s.tx))
+	}
+	for i, p := range payloads {
+		if err := s.tx[i].Send(p); err != nil {
+			return fmt.Errorf("spi: scatter to worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Broadcast sends the same payload to every worker.
+func (s *Scatter) Broadcast(payload []byte) error {
+	for i, tx := range s.tx {
+		if err := tx.Send(payload); err != nil {
+			return fmt.Errorf("spi: broadcast to worker %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WorkerRecv returns worker i's receive endpoint.
+func (s *Scatter) WorkerRecv(i int) *Receiver { return s.rx[i] }
+
+// Gather is an n-to-one collection group: one dynamic edge per worker.
+type Gather struct {
+	tx []*Sender
+	rx []*Receiver
+}
+
+// NewGather initializes n dynamic edges with consecutive IDs starting at
+// base.
+func NewGather(rt *Runtime, base EdgeID, n int, maxBytes int, proto Protocol, capacity int) (*Gather, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("spi: gather over %d workers", n)
+	}
+	g := &Gather{}
+	for i := 0; i < n; i++ {
+		tx, rx, err := rt.Init(EdgeConfig{
+			ID: base + EdgeID(i), Mode: Dynamic, MaxBytes: maxBytes,
+			Protocol: proto, Capacity: capacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.tx = append(g.tx, tx)
+		g.rx = append(g.rx, rx)
+	}
+	return g, nil
+}
+
+// Workers returns the worker count.
+func (g *Gather) Workers() int { return len(g.tx) }
+
+// WorkerSend returns worker i's send endpoint.
+func (g *Gather) WorkerSend(i int) *Sender { return g.tx[i] }
+
+// Collect receives one payload from every worker, in worker order.
+func (g *Gather) Collect() ([][]byte, error) {
+	out := make([][]byte, len(g.rx))
+	for i, rx := range g.rx {
+		p, err := rx.Receive()
+		if err != nil {
+			return nil, fmt.Errorf("spi: gather from worker %d: %w", i, err)
+		}
+		out[i] = p
+	}
+	return out, nil
+}

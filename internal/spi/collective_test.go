@@ -1,0 +1,106 @@
+package spi
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestScatterGatherPipeline(t *testing.T) {
+	rt := NewRuntime()
+	const n = 4
+	sc, err := NewScatter(rt, 0, n, 64, UBS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := NewGather(rt, 100, n, 64, UBS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Workers() != n || ga.Workers() != n {
+		t.Fatal("worker counts wrong")
+	}
+	// Workers double each byte of their input.
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in, err := sc.WorkerRecv(i).Receive()
+			if err != nil {
+				t.Errorf("worker %d recv: %v", i, err)
+				return
+			}
+			out := make([]byte, len(in))
+			for j, b := range in {
+				out[j] = b * 2
+			}
+			if err := ga.WorkerSend(i).Send(out); err != nil {
+				t.Errorf("worker %d send: %v", i, err)
+			}
+		}(i)
+	}
+	payloads := [][]byte{{1}, {2, 2}, {3, 3, 3}, {4}}
+	if err := sc.Send(payloads); err != nil {
+		t.Fatal(err)
+	}
+	results, err := ga.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	want := [][]byte{{2}, {4, 4}, {6, 6, 6}, {8}}
+	for i := range want {
+		if !bytes.Equal(results[i], want[i]) {
+			t.Errorf("worker %d result %v, want %v", i, results[i], want[i])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	rt := NewRuntime()
+	sc, err := NewScatter(rt, 0, 3, 16, BBS, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Broadcast([]byte{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p, err := sc.WorkerRecv(i).Receive()
+		if err != nil || !bytes.Equal(p, []byte{7, 8}) {
+			t.Errorf("worker %d: %v %v", i, p, err)
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	rt := NewRuntime()
+	if _, err := NewScatter(rt, 0, 0, 16, UBS, 0); err == nil {
+		t.Error("0 workers should fail")
+	}
+	if _, err := NewGather(rt, 0, -1, 16, UBS, 0); err == nil {
+		t.Error("negative workers should fail")
+	}
+	sc, err := NewScatter(rt, 10, 2, 16, UBS, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Send([][]byte{{1}}); err == nil {
+		t.Error("payload-count mismatch should fail")
+	}
+	if err := sc.Send([][]byte{{1}, make([]byte, 99)}); err == nil {
+		t.Error("oversize payload should fail")
+	}
+}
+
+func TestScatterEdgeIDCollision(t *testing.T) {
+	rt := NewRuntime()
+	if _, err := NewScatter(rt, 0, 2, 16, UBS, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overlapping ID range must fail.
+	if _, err := NewGather(rt, 1, 2, 16, UBS, 0); err == nil {
+		t.Error("edge ID collision should fail")
+	}
+}

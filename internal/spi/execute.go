@@ -1,0 +1,240 @@
+package spi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+	"repro/internal/vts"
+)
+
+// Functional execution: run a mapped dataflow graph's actors as real
+// computations. Each processor becomes a goroutine executing its actor
+// order per iteration; interprocessor edges ride the SPI software runtime
+// (with the same mode/protocol selection as the platform lowering), and
+// same-processor edges are plain local queues. This is the programming
+// model a downstream SPI user writes against: supply a Kernel per actor,
+// get the paper's separation of computation from communication for free.
+
+// Kernel is an actor's functional body for one block firing: it receives
+// the packed payload from every input edge (keyed by edge ID; edges whose
+// initial delay covers this iteration deliver nil) and returns the packed
+// payload for every output edge. Omitted outputs send empty payloads.
+type Kernel func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error)
+
+// ExecStats reports a functional run.
+type ExecStats struct {
+	// Iterations completed.
+	Iterations int
+	// SPI aggregates the interprocessor runtime statistics.
+	SPI EdgeStats
+	// LocalTransfers counts same-processor payload hand-offs.
+	LocalTransfers int64
+}
+
+// Execute runs the mapped graph for the given iteration count. Every actor
+// must have a kernel. Edge payloads are bounded by the VTS analysis: a
+// kernel returning more than b_max bytes on an edge is an error, exactly as
+// the hardware library would reject it.
+func Execute(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]Kernel, iterations int) (*ExecStats, error) {
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	if iterations <= 0 {
+		return nil, fmt.Errorf("spi: iterations = %d", iterations)
+	}
+	for _, a := range g.Actors() {
+		if kernels[a] == nil {
+			return nil, fmt.Errorf("spi: actor %s has no kernel", g.Actor(a).Name)
+		}
+	}
+	conv, err := vts.Convert(g)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := vts.ComputeBounds(conv)
+	if err != nil {
+		return nil, err
+	}
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		return nil, err
+	}
+
+	rt := NewRuntime()
+	type remote struct {
+		tx *Sender
+		rx *Receiver
+	}
+	remotes := map[dataflow.EdgeID]remote{}
+	// local queues: same-processor edges, guarded per queue (producer and
+	// consumer run on the same goroutine, but delays preload them here).
+	locals := map[dataflow.EdgeID][][]byte{}
+	var localMu sync.Mutex
+	var localTransfers int64
+
+	delayIters := func(eid dataflow.EdgeID) int {
+		e := g.Edge(eid)
+		if t := int(g.IterationTokens(q, eid)); t > 0 {
+			return e.Delay / t
+		}
+		return 0
+	}
+
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		info := conv.Info(eid)
+		if m.Proc[e.Src] == m.Proc[e.Snk] {
+			// Preload local queues with delay payloads (empty blocks).
+			var pre [][]byte
+			for i := 0; i < delayIters(eid); i++ {
+				pre = append(pre, nil)
+			}
+			locals[eid] = pre
+			continue
+		}
+		cfg := EdgeConfig{ID: EdgeID(eid), Mode: Static, PayloadBytes: int(info.BMax)}
+		if info.Dynamic {
+			cfg.Mode = Dynamic
+			cfg.MaxBytes = int(info.BMax)
+		}
+		b := bounds[eid]
+		if b.Bounded {
+			cfg.Protocol = BBS
+			capMsgs := int(b.IPC / b.BMax)
+			if capMsgs < 1 {
+				capMsgs = 1
+			}
+			if d := delayIters(eid); capMsgs < d+1 {
+				capMsgs = d + 1
+			}
+			cfg.Capacity = capMsgs
+		} else {
+			cfg.Protocol = UBS
+		}
+		tx, rx, err := rt.Init(cfg)
+		if err != nil {
+			return nil, err
+		}
+		remotes[eid] = remote{tx: tx, rx: rx}
+		// Initial delays: preload the edge with empty messages.
+		for i := 0; i < delayIters(eid); i++ {
+			payload := []byte(nil)
+			if cfg.Mode == Static {
+				payload = make([]byte, cfg.PayloadBytes)
+			}
+			if err := tx.Send(payload); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	pad := func(eid dataflow.EdgeID, payload []byte) ([]byte, error) {
+		info := conv.Info(eid)
+		if int64(len(payload)) > info.BMax {
+			return nil, fmt.Errorf("spi: kernel produced %d bytes on edge %s, bound %d",
+				len(payload), g.Edge(eid).Name, info.BMax)
+		}
+		if !info.Dynamic && int64(len(payload)) != info.BMax {
+			// Static edges move fixed-size blocks; zero-pad short payloads.
+			out := make([]byte, info.BMax)
+			copy(out, payload)
+			return out, nil
+		}
+		return payload, nil
+	}
+
+	errs := make([]error, m.NumProcs)
+	var wg sync.WaitGroup
+	for p := 0; p < m.NumProcs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			// A failing processor must release peers blocked on SPI edges.
+			defer func() {
+				if errs[p] != nil {
+					rt.CloseAll()
+				}
+			}()
+			for iter := 0; iter < iterations; iter++ {
+				for _, a := range m.Order[p] {
+					in := map[dataflow.EdgeID][]byte{}
+					for _, eid := range g.In(a) {
+						if r, ok := remotes[eid]; ok {
+							payload, err := r.rx.Receive()
+							if err != nil {
+								errs[p] = fmt.Errorf("spi: actor %s recv %s: %w",
+									g.Actor(a).Name, g.Edge(eid).Name, err)
+								return
+							}
+							in[eid] = payload
+							continue
+						}
+						localMu.Lock()
+						queue := locals[eid]
+						if len(queue) == 0 {
+							localMu.Unlock()
+							errs[p] = fmt.Errorf("spi: actor %s local underflow on %s (scheduling bug)",
+								g.Actor(a).Name, g.Edge(eid).Name)
+							return
+						}
+						in[eid] = queue[0]
+						locals[eid] = queue[1:]
+						localTransfers++
+						localMu.Unlock()
+					}
+					out, err := kernels[a](iter, in)
+					if err != nil {
+						errs[p] = fmt.Errorf("spi: actor %s iteration %d: %w", g.Actor(a).Name, iter, err)
+						return
+					}
+					for _, eid := range g.Out(a) {
+						payload, err := pad(eid, out[eid])
+						if err != nil {
+							errs[p] = err
+							return
+						}
+						if r, ok := remotes[eid]; ok {
+							if err := r.tx.Send(payload); err != nil {
+								errs[p] = fmt.Errorf("spi: actor %s send %s: %w",
+									g.Actor(a).Name, g.Edge(eid).Name, err)
+								return
+							}
+							continue
+						}
+						localMu.Lock()
+						locals[eid] = append(locals[eid], payload)
+						localMu.Unlock()
+					}
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Prefer the root-cause error: a processor that died on its own kernel
+	// or bound violation, not the peers that were unblocked with ErrClosed
+	// as a consequence.
+	var closedErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrClosed) {
+			if closedErr == nil {
+				closedErr = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if closedErr != nil {
+		return nil, closedErr
+	}
+	return &ExecStats{
+		Iterations:     iterations,
+		SPI:            rt.TotalStats(),
+		LocalTransfers: localTransfers,
+	}, nil
+}

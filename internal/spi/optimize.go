@@ -1,0 +1,39 @@
+package spi
+
+import (
+	"strings"
+
+	"repro/internal/syncgraph"
+)
+
+// OptimizeSync runs the paper's §4 synchronization optimization on a
+// system and applies the verdict to its deployment: the IPC graph is
+// derived from the mapping, UBS acknowledgement edges are added as
+// synchronization feedback, and resynchronization removes the redundant
+// ones. If EVERY acknowledgement edge is proven redundant, the deployment
+// suppresses acknowledgement messages entirely (SuppressAcks) — the
+// "removal of redundant acknowledgement edges for SPI actors" the paper
+// describes, automated.
+//
+// The returned report also serves diagnostic display (counts, period).
+func OptimizeSync(sys *System) (*syncgraph.ResyncReport, error) {
+	ipc, err := syncgraph.BuildIPCGraph(sys.Graph, sys.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	sg := syncgraph.SynchronizationGraph(ipc)
+	added := syncgraph.AddAllFeedback(sg, 1)
+	rep := syncgraph.Resynchronize(sg, syncgraph.ResyncOptions{})
+
+	// Count the acknowledgement edges that survived.
+	surviving := 0
+	for _, e := range sg.EdgesOfKind(syncgraph.SyncEdge) {
+		if strings.HasPrefix(e.Label, "ack:") {
+			surviving++
+		}
+	}
+	if added > 0 && surviving == 0 {
+		sys.SuppressAcks = true
+	}
+	return rep, nil
+}

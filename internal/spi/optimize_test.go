@@ -1,0 +1,105 @@
+package spi
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/platform"
+	"repro/internal/sched"
+)
+
+// fanoutSystem: an I/O-interface pair scattering to workers and gathering,
+// the figure-3 shape where every acknowledgement is provably redundant.
+func fanoutSystem(t *testing.T, workers int) *System {
+	t.Helper()
+	g := dataflow.New("fan")
+	src := g.AddActor("src", 100)
+	snk := g.AddActor("snk", 10)
+	m := &sched.Mapping{
+		NumProcs: workers + 1,
+		Proc:     make([]sched.Processor, 0, workers+2),
+		Order:    make([][]dataflow.ActorID, workers+1),
+	}
+	m.Proc = append(m.Proc, 0, 0) // src, snk on proc 0
+	m.Order[0] = []dataflow.ActorID{src, snk}
+	for i := 0; i < workers; i++ {
+		w := g.AddActor("w"+string(rune('0'+i)), 500)
+		g.AddEdge("in"+string(rune('0'+i)), src, w, 16, 16,
+			dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 1})
+		g.AddEdge("out"+string(rune('0'+i)), w, snk, 16, 16,
+			dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 1})
+		m.Proc = append(m.Proc, sched.Processor(i+1))
+		m.Order[i+1] = []dataflow.ActorID{w}
+	}
+	return &System{Graph: g, Mapping: m}
+}
+
+func TestOptimizeSyncSuppressesRedundantAcks(t *testing.T) {
+	sys := fanoutSystem(t, 3)
+	rep, err := OptimizeSync(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.SuppressAcks {
+		t.Fatalf("acks not suppressed despite full redundancy: %s", rep)
+	}
+	if rep.SyncAfter >= rep.SyncBefore {
+		t.Errorf("no reduction: %s", rep)
+	}
+	// The optimized deployment must generate zero acknowledgement traffic.
+	dep, err := Build(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dep.Sim.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages[platform.AckMsg] != 0 {
+		t.Errorf("optimized system still sent %d acks", st.Messages[platform.AckMsg])
+	}
+	// Against the unoptimized baseline, total traffic drops.
+	base := fanoutSystem(t, 3)
+	bdep, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bst, err := bdep.Sim.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalMessages() >= bst.TotalMessages() {
+		t.Errorf("optimized traffic %d !< baseline %d", st.TotalMessages(), bst.TotalMessages())
+	}
+}
+
+func TestOptimizeSyncNoIPCEdges(t *testing.T) {
+	// Single-processor system: nothing to optimize, no suppression claim.
+	g := dataflow.New("solo")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 1, 1, dataflow.EdgeSpec{})
+	sys := &System{Graph: g, Mapping: &sched.Mapping{
+		NumProcs: 1, Proc: []sched.Processor{0, 0},
+		Order: [][]dataflow.ActorID{{a, b}},
+	}}
+	rep, err := OptimizeSync(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.SuppressAcks {
+		t.Error("no feedback was added; SuppressAcks must stay false")
+	}
+	if rep.SyncBefore != 0 {
+		t.Errorf("unexpected sync edges: %s", rep)
+	}
+}
+
+func TestOptimizeSyncInvalidMapping(t *testing.T) {
+	g := dataflow.New("bad")
+	g.AddActor("A", 1)
+	sys := &System{Graph: g, Mapping: &sched.Mapping{NumProcs: 0}}
+	if _, err := OptimizeSync(sys); err == nil {
+		t.Error("invalid mapping should fail")
+	}
+}

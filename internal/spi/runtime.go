@@ -1,0 +1,305 @@
+package spi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Protocol selects the buffer-synchronization protocol of an edge.
+type Protocol uint8
+
+const (
+	// BBS is bounded-buffer synchronization: the sender blocks when the
+	// buffer holds Capacity messages. Use when the VTS/IPC analysis proves
+	// a bound (vts.Bounds.Bounded).
+	BBS Protocol = iota
+	// UBS is unbounded-buffer synchronization: the sender never blocks;
+	// the receiver acknowledges each message so the sender can reclaim
+	// buffer space consistently.
+	UBS
+)
+
+func (p Protocol) String() string {
+	if p == BBS {
+		return "SPI_BBS"
+	}
+	return "SPI_UBS"
+}
+
+// ErrClosed is returned by operations on a closed edge.
+var ErrClosed = errors.New("spi: edge closed")
+
+// EdgeConfig declares one interprocessor edge to the runtime — the work of
+// the SPI_init actor.
+type EdgeConfig struct {
+	// ID is the interprocessor edge identifier carried in every header.
+	ID EdgeID
+	// Mode selects SPI_static or SPI_dynamic framing.
+	Mode Mode
+	// PayloadBytes is the fixed transfer size for Static mode.
+	PayloadBytes int
+	// MaxBytes is the b_max packed-token bound for Dynamic mode.
+	MaxBytes int
+	// Protocol selects BBS or UBS.
+	Protocol Protocol
+	// Capacity is the BBS buffer size in messages. Ignored for UBS.
+	Capacity int
+}
+
+func (c *EdgeConfig) validate() error {
+	switch c.Mode {
+	case Static:
+		if c.PayloadBytes <= 0 {
+			return fmt.Errorf("spi: edge %d: static edge needs positive PayloadBytes", c.ID)
+		}
+	case Dynamic:
+		if c.MaxBytes <= 0 {
+			return fmt.Errorf("spi: edge %d: dynamic edge needs positive MaxBytes (the VTS bound)", c.ID)
+		}
+	default:
+		return fmt.Errorf("spi: edge %d: unknown mode %d", c.ID, c.Mode)
+	}
+	if c.Protocol == BBS && c.Capacity <= 0 {
+		return fmt.Errorf("spi: edge %d: BBS needs positive Capacity", c.ID)
+	}
+	return nil
+}
+
+// EdgeStats counts an edge's traffic.
+type EdgeStats struct {
+	// Messages is the number of data messages transferred.
+	Messages int64
+	// PayloadBytes and WireBytes count payload and payload+header bytes.
+	PayloadBytes, WireBytes int64
+	// Acks counts UBS acknowledgements issued by the receiver.
+	Acks int64
+	// MaxQueued is the largest observed buffer occupancy in messages.
+	MaxQueued int
+}
+
+// edge is the shared state between a Sender and Receiver.
+type edge struct {
+	cfg EdgeConfig
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte // encoded messages
+	closed bool
+	stats  EdgeStats
+	acked  int64 // UBS: messages acknowledged by the receiver
+}
+
+// Sender is the SPI_send communication actor of one edge.
+type Sender struct{ e *edge }
+
+// Receiver is the SPI_receive communication actor of one edge.
+type Receiver struct{ e *edge }
+
+// Runtime hosts the software implementation of an SPI system: a set of
+// edges connecting dataflow actors that run as goroutines. It corresponds
+// to the original software SPI library; the HDL realization is modeled by
+// packages hdl and platform.
+type Runtime struct {
+	mu    sync.Mutex
+	edges map[EdgeID]*edge
+}
+
+// NewRuntime returns an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{edges: make(map[EdgeID]*edge)}
+}
+
+// Init declares an edge and returns its communication actor pair — the
+// SPI_init operation. Each edge ID may be initialized once.
+func (r *Runtime) Init(cfg EdgeConfig) (*Sender, *Receiver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.edges[cfg.ID]; dup {
+		return nil, nil, fmt.Errorf("spi: edge %d already initialized", cfg.ID)
+	}
+	e := &edge{cfg: cfg}
+	e.cond = sync.NewCond(&e.mu)
+	r.edges[cfg.ID] = e
+	return &Sender{e: e}, &Receiver{e: e}, nil
+}
+
+// Stats returns a snapshot of an edge's statistics.
+func (r *Runtime) Stats(id EdgeID) (EdgeStats, bool) {
+	r.mu.Lock()
+	e, ok := r.edges[id]
+	r.mu.Unlock()
+	if !ok {
+		return EdgeStats{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats, true
+}
+
+// CloseAll closes every edge in the runtime, releasing any goroutine
+// blocked in Send or Receive with ErrClosed. Used for failure propagation:
+// when one processor of a distributed execution dies, its peers must not
+// wait forever.
+func (r *Runtime) CloseAll() {
+	r.mu.Lock()
+	edges := make([]*edge, 0, len(r.edges))
+	for _, e := range r.edges {
+		edges = append(edges, e)
+	}
+	r.mu.Unlock()
+	for _, e := range edges {
+		e.mu.Lock()
+		e.closed = true
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// TotalStats sums statistics across all edges.
+func (r *Runtime) TotalStats() EdgeStats {
+	r.mu.Lock()
+	edges := make([]*edge, 0, len(r.edges))
+	for _, e := range r.edges {
+		edges = append(edges, e)
+	}
+	r.mu.Unlock()
+	var t EdgeStats
+	for _, e := range edges {
+		e.mu.Lock()
+		t.Messages += e.stats.Messages
+		t.PayloadBytes += e.stats.PayloadBytes
+		t.WireBytes += e.stats.WireBytes
+		t.Acks += e.stats.Acks
+		if e.stats.MaxQueued > t.MaxQueued {
+			t.MaxQueued = e.stats.MaxQueued
+		}
+		e.mu.Unlock()
+	}
+	return t
+}
+
+// Send transmits one payload. For Static edges the payload must have
+// exactly the configured size; for Dynamic edges it must not exceed
+// MaxBytes. Under BBS, Send blocks while the buffer is full. Send copies
+// the payload; the caller may reuse its slice.
+func (s *Sender) Send(payload []byte) error {
+	e := s.e
+	switch e.cfg.Mode {
+	case Static:
+		if len(payload) != e.cfg.PayloadBytes {
+			return fmt.Errorf("spi: edge %d: static payload %d bytes, want %d",
+				e.cfg.ID, len(payload), e.cfg.PayloadBytes)
+		}
+	case Dynamic:
+		if len(payload) > e.cfg.MaxBytes {
+			return fmt.Errorf("spi: edge %d: dynamic payload %d bytes exceeds bound %d",
+				e.cfg.ID, len(payload), e.cfg.MaxBytes)
+		}
+	}
+	msg := EncodeMessage(e.cfg.Mode, e.cfg.ID, payload)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.cfg.Protocol == BBS && !e.closed && len(e.queue) >= e.cfg.Capacity {
+		e.cond.Wait()
+	}
+	if e.closed {
+		return ErrClosed
+	}
+	e.queue = append(e.queue, msg)
+	if len(e.queue) > e.stats.MaxQueued {
+		e.stats.MaxQueued = len(e.queue)
+	}
+	e.stats.Messages++
+	e.stats.PayloadBytes += int64(len(payload))
+	e.stats.WireBytes += int64(len(msg))
+	e.cond.Broadcast()
+	return nil
+}
+
+// Close marks the edge closed. Blocked senders and receivers return
+// ErrClosed; queued messages are discarded.
+func (s *Sender) Close() {
+	e := s.e
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Receive blocks for the next message, decodes it, and returns the payload.
+// Under UBS the receiver issues an acknowledgement (counted in stats) after
+// consuming. The returned slice is owned by the caller.
+func (rc *Receiver) Receive() ([]byte, error) {
+	e := rc.e
+	e.mu.Lock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 && e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	msg := e.queue[0]
+	e.queue = e.queue[1:]
+	if e.cfg.Protocol == UBS {
+		e.acked++
+		e.stats.Acks++
+	}
+	e.cond.Broadcast() // return BBS credit / wake senders
+	mode, id, fixed, maxb := e.cfg.Mode, e.cfg.ID, e.cfg.PayloadBytes, e.cfg.MaxBytes
+	e.mu.Unlock()
+
+	var gotID EdgeID
+	var payload []byte
+	var err error
+	if mode == Static {
+		gotID, payload, err = DecodeStatic(msg, fixed)
+	} else {
+		gotID, payload, err = DecodeDynamic(msg, maxb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if gotID != id {
+		return nil, fmt.Errorf("spi: edge %d received message for edge %d", id, gotID)
+	}
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	return out, nil
+}
+
+// TryReceive is the non-blocking variant: ok is false when no message is
+// queued.
+func (rc *Receiver) TryReceive() (payload []byte, ok bool, err error) {
+	e := rc.e
+	e.mu.Lock()
+	if len(e.queue) == 0 {
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return nil, false, ErrClosed
+		}
+		return nil, false, nil
+	}
+	e.mu.Unlock()
+	p, err := rc.Receive()
+	if err != nil {
+		return nil, false, err
+	}
+	return p, true, nil
+}
+
+// Outstanding returns, for a UBS edge, how many sent messages have not yet
+// been acknowledged — the sender-side bookkeeping that sizes the dynamic
+// buffer.
+func (s *Sender) Outstanding() int64 {
+	e := s.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats.Messages - e.acked
+}

@@ -1,0 +1,85 @@
+package syncgraph
+
+// Synchronization cost accounting for SPI buffer protocols (paper §4).
+//
+// SPI_BBS (bounded buffer synchronization) applies when a buffer provably
+// never exceeds a predetermined size; the sender and receiver keep shared
+// read/write pointers, costing a fixed small number of pointer operations
+// per transfer. SPI_UBS (unbounded buffer synchronization) applies when no
+// static bound exists; it additionally exchanges acknowledgement messages
+// to keep the dynamically grown buffer consistent.
+
+// Protocol selects a buffer-synchronization protocol for an IPC edge.
+type Protocol uint8
+
+const (
+	// BBS is bounded-buffer synchronization.
+	BBS Protocol = iota
+	// UBS is unbounded-buffer synchronization (acknowledgement-based).
+	UBS
+)
+
+func (p Protocol) String() string {
+	if p == BBS {
+		return "SPI_BBS"
+	}
+	return "SPI_UBS"
+}
+
+// Per-transfer synchronization operation counts on a shared-memory target
+// (Sriram & Bhattacharyya): BBS costs two synchronization accesses per
+// transfer, UBS four.
+const (
+	BBSOpsPerTransfer = 2
+	UBSOpsPerTransfer = 4
+)
+
+// MessagesPerTransfer returns the number of distinct messages one logical
+// transfer costs on a distributed-memory target: the data message itself,
+// plus an acknowledgement message for UBS (BBS back-pressure rides on the
+// shared pointers mapped into the bounded buffer, needing no extra
+// message in steady state).
+func MessagesPerTransfer(p Protocol) int {
+	if p == UBS {
+		return 2
+	}
+	return 1
+}
+
+// CostSummary aggregates the per-iteration synchronization cost of a graph.
+type CostSummary struct {
+	// IPCEdges and SyncEdges count the live edges by kind.
+	IPCEdges, SyncEdges int
+	// SharedMemoryOps is the per-iteration synchronization access count on
+	// a shared-memory target under the given per-edge protocols.
+	SharedMemoryOps int
+	// Messages is the per-iteration message count on a distributed-memory
+	// target: one data message per IPC edge, one sync message per pure
+	// sync edge (resynchronization edges and surviving acks are separate
+	// messages in the HDL SPI library, per §4.1).
+	Messages int
+}
+
+// Cost computes the synchronization cost of the live graph. protocols maps
+// an IPC edge's label to its protocol; labels not present default to BBS.
+func Cost(g *Graph, protocols map[string]Protocol) CostSummary {
+	var s CostSummary
+	for _, e := range g.Edges() {
+		switch e.Kind {
+		case IPCEdge:
+			s.IPCEdges++
+			p := protocols[e.Label]
+			if p == UBS {
+				s.SharedMemoryOps += UBSOpsPerTransfer
+			} else {
+				s.SharedMemoryOps += BBSOpsPerTransfer
+			}
+			s.Messages += MessagesPerTransfer(p)
+		case SyncEdge:
+			s.SyncEdges++
+			s.SharedMemoryOps += BBSOpsPerTransfer
+			s.Messages++
+		}
+	}
+	return s
+}

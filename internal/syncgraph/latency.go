@@ -1,0 +1,54 @@
+package syncgraph
+
+// Latency analysis for latency-constrained resynchronization. Adding
+// synchronization edges can lengthen the zero-delay path from a source task
+// to a sink task — the input-to-output latency of the implementation. The
+// latency-constrained variant of resynchronization only accepts new edges
+// that keep this latency within a bound.
+
+// Latency returns the longest execution-time path from src to snk over
+// live zero-delay edges: the time by which snk's iteration-k completion
+// trails src's iteration-k start. ok is false when snk is not reachable
+// from src through zero-delay edges (the latency is then decoupled) or
+// when the zero-delay structure is cyclic (deadlock; latency undefined).
+func (g *Graph) Latency(src, snk VertexID) (latency int64, ok bool) {
+	if g.HasZeroDelayCycle() {
+		return 0, false
+	}
+	// Longest path on the zero-delay DAG by memoized DFS.
+	const unvisited = int64(-1 << 62)
+	memo := make([]int64, len(g.verts))
+	for i := range memo {
+		memo[i] = unvisited
+	}
+	var dfs func(v VertexID) int64 // longest exec-path v -> snk, or -1<<61 if unreachable
+	const unreachable = int64(-1 << 61)
+	dfs = func(v VertexID) int64 {
+		if v == snk {
+			return g.verts[v].ExecCycles
+		}
+		if memo[v] != unvisited {
+			return memo[v]
+		}
+		best := unreachable
+		for _, ei := range g.out[v] {
+			e := &g.edges[ei]
+			if e.Kind == removedKind || e.Delay != 0 {
+				continue
+			}
+			if sub := dfs(e.Snk); sub != unreachable && sub > best {
+				best = sub
+			}
+		}
+		if best != unreachable {
+			best += g.verts[v].ExecCycles
+		}
+		memo[v] = best
+		return best
+	}
+	l := dfs(src)
+	if l <= unreachable {
+		return 0, false
+	}
+	return l, true
+}

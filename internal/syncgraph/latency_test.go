@@ -1,0 +1,111 @@
+package syncgraph
+
+import "testing"
+
+func TestLatencyChain(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("A", 0, 10)
+	b := g.AddVertex("B", 1, 20)
+	c := g.AddVertex("C", 2, 30)
+	g.AddEdge(a, b, 0, IPCEdge, "ab")
+	g.AddEdge(b, c, 0, IPCEdge, "bc")
+	l, ok := g.Latency(a, c)
+	if !ok {
+		t.Fatal("path should exist")
+	}
+	if l != 60 {
+		t.Errorf("latency = %d, want 60", l)
+	}
+}
+
+func TestLatencyPicksLongestPath(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("A", 0, 10)
+	b := g.AddVertex("B", 1, 100)
+	c := g.AddVertex("C", 2, 5)
+	d := g.AddVertex("D", 3, 10)
+	g.AddEdge(a, b, 0, SyncEdge, "ab")
+	g.AddEdge(b, d, 0, SyncEdge, "bd")
+	g.AddEdge(a, c, 0, SyncEdge, "ac")
+	g.AddEdge(c, d, 0, SyncEdge, "cd")
+	l, ok := g.Latency(a, d)
+	if !ok || l != 120 {
+		t.Errorf("latency = %d,%v, want 120 via B", l, ok)
+	}
+}
+
+func TestLatencyIgnoresDelayedEdges(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("A", 0, 10)
+	b := g.AddVertex("B", 1, 20)
+	g.AddEdge(a, b, 1, SyncEdge, "ab")
+	if _, ok := g.Latency(a, b); ok {
+		t.Error("delayed-only path should report no zero-delay latency")
+	}
+}
+
+func TestLatencyUnreachable(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("A", 0, 10)
+	b := g.AddVertex("B", 1, 20)
+	if _, ok := g.Latency(a, b); ok {
+		t.Error("disconnected vertices should report no latency")
+	}
+}
+
+func TestLatencySelf(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("A", 0, 10)
+	l, ok := g.Latency(a, a)
+	if !ok || l != 10 {
+		t.Errorf("self latency = %d,%v, want 10", l, ok)
+	}
+}
+
+func TestLatencyDeadlockedGraph(t *testing.T) {
+	g := NewGraph()
+	a := g.AddVertex("A", 0, 10)
+	b := g.AddVertex("B", 1, 20)
+	g.AddEdge(a, b, 0, SyncEdge, "ab")
+	g.AddEdge(b, a, 0, SyncEdge, "ba")
+	if _, ok := g.Latency(a, b); ok {
+		t.Error("zero-delay cycle should make latency undefined")
+	}
+}
+
+func TestLatencyConstrainedResyncRejects(t *testing.T) {
+	// Two processor pairs with parallel sync edges; unconstrained
+	// resynchronization may add a chaining edge. With a tight latency
+	// bound, any candidate that couples src->snk more deeply is rejected,
+	// and the latency never exceeds the bound.
+	build := func() (*Graph, VertexID, VertexID) {
+		g := NewGraph()
+		src := g.AddVertex("src", 0, 10)
+		m1 := g.AddVertex("m1", 1, 50)
+		m2 := g.AddVertex("m2", 2, 50)
+		snk := g.AddVertex("snk", 3, 10)
+		g.AddEdge(src, m1, 0, IPCEdge, "s1")
+		g.AddEdge(src, m2, 0, IPCEdge, "s2")
+		g.AddEdge(m1, snk, 0, IPCEdge, "o1")
+		g.AddEdge(m2, snk, 0, IPCEdge, "o2")
+		// Redundant-looking extra syncs for the optimizer to chew on.
+		g.AddEdge(src, snk, 0, SyncEdge, "direct1")
+		g.AddEdge(src, snk, 0, SyncEdge, "direct2")
+		return g, src, snk
+	}
+	g1, s1, k1 := build()
+	before, ok := g1.Latency(s1, k1)
+	if !ok {
+		t.Fatal("latency undefined")
+	}
+	Resynchronize(g1, ResyncOptions{
+		LatencySrc: s1, LatencySnk: k1, MaxLatency: before,
+	})
+	after, ok := g1.Latency(s1, k1)
+	if !ok {
+		t.Fatal("latency undefined after")
+	}
+	if after > before {
+		t.Errorf("latency grew %d -> %d despite bound", before, after)
+	}
+}

@@ -1,0 +1,120 @@
+package syncgraph
+
+// Throughput analysis of synchronization graphs. In the self-timed model
+// the steady-state iteration period equals the maximum cycle mean (MCM) of
+// the synchronization graph:
+//
+//	MCM = max over directed cycles C of  sum_{v in C} exec(v) / sum_{e in C} delay(e)
+//
+// A cycle with zero total delay has no slack at all — the implementation
+// deadlocks — so liveness requires every cycle to carry at least one delay.
+
+// HasZeroDelayCycle reports whether the live graph contains a directed
+// cycle whose edges all have zero delay. Such a graph deadlocks.
+func (g *Graph) HasZeroDelayCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.verts))
+	var stack []VertexID
+	for start := range g.verts {
+		if color[start] != white {
+			continue
+		}
+		// Iterative DFS over zero-delay live edges.
+		stack = stack[:0]
+		stack = append(stack, VertexID(start))
+		// parentIter tracks per-vertex iteration state.
+		iter := make(map[VertexID]int)
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			if color[v] == white {
+				color[v] = gray
+			}
+			advanced := false
+			for ; iter[v] < len(g.out[v]); iter[v]++ {
+				ei := g.out[v][iter[v]]
+				e := &g.edges[ei]
+				if e.Kind == removedKind || e.Delay != 0 {
+					continue
+				}
+				w := e.Snk
+				if color[w] == gray {
+					return true
+				}
+				if color[w] == white {
+					stack = append(stack, w)
+					iter[v]++ // resume after this edge
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				color[v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// MaxCycleMean returns the maximum cycle mean of the live graph in cycles
+// per iteration, or 0 if the graph is acyclic. If a zero-delay cycle
+// exists, ok is false (the period is unbounded — deadlock).
+//
+// Implementation: parametric binary search. A period λ is feasible iff no
+// cycle has positive total weight under w(e) = exec(src(e)) - λ*delay(e);
+// positive-cycle detection uses Bellman-Ford from a virtual source.
+func (g *Graph) MaxCycleMean() (mcm float64, ok bool) {
+	if g.HasZeroDelayCycle() {
+		return 0, false
+	}
+	live := g.liveEdgeIndices()
+	if len(live) == 0 {
+		return 0, true
+	}
+	var totalExec float64
+	for i := range g.verts {
+		totalExec += float64(g.verts[i].ExecCycles)
+	}
+	if totalExec == 0 {
+		return 0, true
+	}
+	hasPositiveCycle := func(lambda float64) bool {
+		n := len(g.verts)
+		// Longest-path Bellman-Ford: dist starts at 0 everywhere (virtual
+		// source connected to all), relax n times; improvement on pass n
+		// means a positive cycle.
+		dist := make([]float64, n)
+		for pass := 0; pass < n; pass++ {
+			changed := false
+			for _, ei := range live {
+				e := &g.edges[ei]
+				w := float64(g.verts[e.Src].ExecCycles) - lambda*float64(e.Delay)
+				if nd := dist[e.Src] + w; nd > dist[e.Snk]+1e-9 {
+					dist[e.Snk] = nd
+					changed = true
+				}
+			}
+			if !changed {
+				return false
+			}
+		}
+		return true
+	}
+	if !hasPositiveCycle(0) {
+		return 0, true // acyclic (every cycle has zero exec, impossible with positive costs)
+	}
+	lo, hi := 0.0, totalExec
+	for i := 0; i < 64 && hi-lo > 1e-6*totalExec; i++ {
+		mid := (lo + hi) / 2
+		if hasPositiveCycle(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, true
+}

@@ -1,0 +1,218 @@
+package vts
+
+import (
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// paperFig1 builds the paper's figure 1 example: A -> B where the
+// production rate varies with bound 10 and the consumption rate varies with
+// bound 8, raw tokens of 2 bytes.
+func paperFig1() *dataflow.Graph {
+	g := dataflow.New("fig1")
+	a := g.AddActor("A", 100)
+	b := g.AddActor("B", 100)
+	g.AddEdge("ab", a, b, 10, 8, dataflow.EdgeSpec{
+		ProduceDynamic: true,
+		ConsumeDynamic: true,
+		TokenBytes:     2,
+	})
+	return g
+}
+
+func TestConvertFig1(t *testing.T) {
+	r, err := Convert(paperFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Graph.Edge(0)
+	if e.Produce.Rate != 1 || e.Consume.Rate != 1 {
+		t.Errorf("converted rates = %d/%d, want 1/1", e.Produce.Rate, e.Consume.Rate)
+	}
+	if e.Dynamic() {
+		t.Error("converted edge still dynamic")
+	}
+	info := r.Info(0)
+	if !info.Dynamic {
+		t.Error("info should record the edge was dynamic")
+	}
+	if info.MaxRawTokens != 10 {
+		t.Errorf("MaxRawTokens = %d, want 10 (larger bound)", info.MaxRawTokens)
+	}
+	if info.BMax != 20 {
+		t.Errorf("BMax = %d, want 20 (10 tokens x 2 bytes)", info.BMax)
+	}
+	if e.TokenBytes != 20 {
+		t.Errorf("converted TokenBytes = %d, want 20", e.TokenBytes)
+	}
+}
+
+func TestConvertStaticPassThrough(t *testing.T) {
+	g := dataflow.New("s")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 2, 3, dataflow.EdgeSpec{Delay: 1, TokenBytes: 4})
+	r, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := r.Graph.Edge(0)
+	if e.Produce.Rate != 2 || e.Consume.Rate != 3 || e.Delay != 1 || e.TokenBytes != 4 {
+		t.Errorf("static edge altered: %+v", e)
+	}
+	if r.Info(0).Dynamic {
+		t.Error("static edge marked dynamic")
+	}
+	if r.Info(0).BMax != 8 {
+		t.Errorf("static BMax = %d, want 8 (produce 2 x 4 bytes)", r.Info(0).BMax)
+	}
+}
+
+func TestConvertPreservesDelay(t *testing.T) {
+	g := dataflow.New("d")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 5, 5, dataflow.EdgeSpec{
+		ProduceDynamic: true, ConsumeDynamic: true, Delay: 3, TokenBytes: 1,
+	})
+	r, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Graph.Edge(0).Delay != 3 {
+		t.Errorf("delay = %d, want 3", r.Graph.Edge(0).Delay)
+	}
+}
+
+func TestConvertInconsistentStaticPartFails(t *testing.T) {
+	g := dataflow.New("bad")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("e1", a, b, 2, 1, dataflow.EdgeSpec{})
+	g.AddEdge("e2", a, b, 1, 1, dataflow.EdgeSpec{})
+	if _, err := Convert(g); err == nil {
+		t.Fatal("inconsistent graph should not convert")
+	}
+}
+
+func TestConvertMixedGraphConsistency(t *testing.T) {
+	// A dynamic edge in parallel with static edges: the rate-1 conversion
+	// must match the static repetition ratio or conversion fails.
+	g := dataflow.New("mixed")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("static", a, b, 1, 1, dataflow.EdgeSpec{})
+	g.AddEdge("dyn", a, b, 16, 16, dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true})
+	r, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := r.Graph.RepetitionsVector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q[0] != 1 || q[1] != 1 {
+		t.Errorf("q = %v, want [1 1]", q)
+	}
+}
+
+func TestConvertMixedGraphInconsistent(t *testing.T) {
+	// Static edge forces q_A:q_B = 1:2, but the dynamic edge converts to
+	// 1:1 — inconsistent after conversion.
+	g := dataflow.New("mixedbad")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("static", a, b, 2, 1, dataflow.EdgeSpec{})
+	g.AddEdge("dyn", a, b, 8, 8, dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true})
+	if _, err := Convert(g); err == nil {
+		t.Fatal("expected inconsistency after VTS conversion")
+	}
+}
+
+func TestComputeBoundsFig1WithFeedback(t *testing.T) {
+	// Add a feedback edge B -> A with 2 delays: the producer can run at
+	// most 2 iterations ahead, so the bound is finite (BBS).
+	g := paperFig1()
+	aID, _ := g.ActorByName("A")
+	bID, _ := g.ActorByName("B")
+	g.AddEdge("ba", bID, aID, 1, 1, dataflow.EdgeSpec{Delay: 2})
+	r, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := ComputeBounds(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab := bounds[0]
+	if !ab.Bounded {
+		t.Fatal("edge with feedback should be bounded")
+	}
+	if ab.Gamma != 2 {
+		t.Errorf("Gamma = %d, want 2 (feedback delay)", ab.Gamma)
+	}
+	if ab.BMax != 20 {
+		t.Errorf("BMax = %d, want 20", ab.BMax)
+	}
+	if ab.CE != ab.CSDF*ab.BMax {
+		t.Errorf("eq.1 violated: CE=%d CSDF=%d BMax=%d", ab.CE, ab.CSDF, ab.BMax)
+	}
+	if ab.IPC != (ab.Gamma+0)*ab.CE {
+		t.Errorf("eq.2 violated: IPC=%d Gamma=%d CE=%d", ab.IPC, ab.Gamma, ab.CE)
+	}
+}
+
+func TestComputeBoundsUnboundedWithoutFeedback(t *testing.T) {
+	r, err := Convert(paperFig1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds, err := ComputeBounds(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds[0].Bounded {
+		t.Error("edge without feedback path should be unbounded (UBS)")
+	}
+	if bounds[0].IPC != -1 || bounds[0].Gamma != -1 {
+		t.Errorf("unbounded edge should report -1: %+v", bounds[0])
+	}
+	total, unbounded := TotalBoundedMemory(bounds)
+	if total != 0 || unbounded != 1 {
+		t.Errorf("TotalBoundedMemory = %d,%d, want 0,1", total, unbounded)
+	}
+}
+
+func TestTotalBoundedMemory(t *testing.T) {
+	bounds := []Bounds{
+		{Bounded: true, IPC: 100},
+		{Bounded: true, IPC: 50},
+		{Bounded: false, IPC: -1},
+	}
+	total, unbounded := TotalBoundedMemory(bounds)
+	if total != 150 || unbounded != 1 {
+		t.Errorf("got %d,%d, want 150,1", total, unbounded)
+	}
+}
+
+func TestConvertOneSidedDynamic(t *testing.T) {
+	// Only the producer is dynamic: the packed bound is still the larger
+	// declared rate, and the converted edge is rate-1 static.
+	g := dataflow.New("oneside")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 12, 6, dataflow.EdgeSpec{ProduceDynamic: true, TokenBytes: 2})
+	r, err := Convert(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := r.Info(0)
+	if !info.Dynamic || info.MaxRawTokens != 12 || info.BMax != 24 {
+		t.Errorf("info = %+v, want dynamic with bound 12x2", info)
+	}
+	e := r.Graph.Edge(0)
+	if e.Produce.Rate != 1 || e.Consume.Rate != 1 || e.Dynamic() {
+		t.Errorf("converted edge = %+v", e)
+	}
+}

@@ -1,0 +1,43 @@
+package vts_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/vts"
+)
+
+// The paper's figure-1 conversion: a dynamic-rate edge becomes a static
+// rate-1 edge with packed tokens of bounded size.
+func ExampleConvert() {
+	g := dataflow.New("fig1")
+	a := g.AddActor("A", 10)
+	b := g.AddActor("B", 10)
+	g.AddEdge("ab", a, b, 10, 8, dataflow.EdgeSpec{
+		ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: 2,
+	})
+	g.AddEdge("ba", b, a, 1, 1, dataflow.EdgeSpec{Delay: 2})
+
+	conv, _ := vts.Convert(g)
+	e := conv.Graph.Edge(0)
+	info := conv.Info(0)
+	fmt.Printf("rates %d/%d, b_max %d bytes\n", e.Produce.Rate, e.Consume.Rate, info.BMax)
+
+	bounds, _ := vts.ComputeBounds(conv)
+	fmt.Printf("c(e) = %d bytes (eq.1), B(e) = %d bytes (eq.2)\n", bounds[0].CE, bounds[0].IPC)
+	// Output:
+	// rates 1/1, b_max 20 bytes
+	// c(e) = 20 bytes (eq.1), B(e) = 40 bytes (eq.2)
+}
+
+// Header framing prefixes the payload with its size — the FPGA-friendly
+// choice the paper argues for.
+func ExamplePacker() {
+	p := vts.NewPacker(32, vts.HeaderFraming)
+	u := vts.NewUnpacker(32, vts.HeaderFraming)
+	msg, _ := p.Pack([]byte{9, 9, 9})
+	payload, _ := u.Unpack(msg)
+	fmt.Println("wire", len(msg), "payload", len(payload), "rx ops", u.ReceiverOps)
+	// Output:
+	// wire 7 payload 3 rx ops 1
+}
