@@ -1,0 +1,35 @@
+# Repo-wide checks. `make check` is the CI gate: formatting, vet, build,
+# and the full test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench fuzz-smoke
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+# Short fuzz passes over the parsers and wire decoders (the surfaces that
+# consume untrusted bytes). Each target runs for a bounded time so the
+# smoke stays CI-friendly.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDecodeStatic -fuzztime=5s ./internal/spi
+	$(GO) test -run=NONE -fuzz=FuzzDecodeDynamic -fuzztime=5s ./internal/spi
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/dataflow

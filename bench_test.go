@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/dataflow"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/signal"
 	"repro/internal/spi"
 	"repro/internal/syncgraph"
+	"repro/internal/transport"
 	"repro/internal/vts"
 )
 
@@ -589,5 +591,163 @@ func BenchmarkHSDFExpansion(b *testing.B) {
 		if _, err := dataflow.Expand(g); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchEchoHandler feeds a transport link's inbound traffic into an SPI
+// runtime for the round-trip benchmark.
+type benchEchoHandler struct{ rt *spi.Runtime }
+
+func (h *benchEchoHandler) HandleData(edge uint16, msg []byte)  { h.rt.DeliverData(edge, msg) }
+func (h *benchEchoHandler) HandleAck(edge uint16, count uint32) { h.rt.DeliverAck(edge, count) }
+func (h *benchEchoHandler) HandleLinkClose(error)               { h.rt.CloseAll() }
+
+// BenchmarkTransportRoundTrip measures one SPI message round trip (send a
+// payload on the ping edge, an echo goroutine returns it on the pong edge)
+// over the three carriers of the runtime: the in-process channel queue,
+// the in-memory loopback byte transport (net.Pipe framing), and real TCP
+// over localhost. Payload sizes span 4 B to 64 KiB; both edges are
+// SPI_dynamic under UBS, so every data message also costs an ack frame on
+// the networked carriers — the full protocol, not just the bytes.
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	const pingID, pongID = 1, 2
+	sizes := []int{4, 64, 1024, 4096, 65536}
+
+	initEdges := func(b *testing.B, rt *spi.Runtime, size int) (ping [2]interface{}, pong [2]interface{}) {
+		b.Helper()
+		ptx, prx, err := rt.Init(spi.EdgeConfig{ID: pingID, Mode: spi.Dynamic, MaxBytes: size, Protocol: spi.UBS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qtx, qrx, err := rt.Init(spi.EdgeConfig{ID: pongID, Mode: spi.Dynamic, MaxBytes: size, Protocol: spi.UBS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return [2]interface{}{ptx, prx}, [2]interface{}{qtx, qrx}
+	}
+
+	echo := func(rx *spi.Receiver, tx *spi.Sender, done chan<- struct{}) {
+		defer close(done)
+		for {
+			p, err := rx.Receive()
+			if err != nil {
+				return
+			}
+			if err := tx.Send(p); err != nil {
+				return
+			}
+		}
+	}
+
+	run := func(b *testing.B, tx *spi.Sender, rx *spi.Receiver, size int) {
+		payload := make([]byte, size)
+		b.SetBytes(int64(2 * size))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tx.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rx.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	}
+
+	for _, size := range sizes {
+		size := size
+		b.Run(fmt.Sprintf("chan/%dB", size), func(b *testing.B) {
+			rt := spi.NewRuntime()
+			ping, pong := initEdges(b, rt, size)
+			done := make(chan struct{})
+			go echo(ping[1].(*spi.Receiver), pong[0].(*spi.Sender), done)
+			run(b, ping[0].(*spi.Sender), pong[1].(*spi.Receiver), size)
+			rt.CloseAll()
+			<-done
+		})
+	}
+
+	network := func(b *testing.B, tr transport.Transport, addr string, size int) {
+		rtA, rtB := spi.NewRuntime(), spi.NewRuntime()
+		pingA, pongA := initEdges(b, rtA, size)
+		pingB, pongB := initEdges(b, rtB, size)
+
+		decls := func(pingOut bool) []transport.EdgeDecl {
+			return []transport.EdgeDecl{
+				{ID: pingID, Mode: uint8(spi.Dynamic), Out: pingOut, Bytes: uint32(size), Protocol: uint8(spi.UBS)},
+				{ID: pongID, Mode: uint8(spi.Dynamic), Out: !pingOut, Bytes: uint32(size), Protocol: uint8(spi.UBS)},
+			}
+		}
+		ln, err := tr.Listen(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		type accepted struct {
+			l   *transport.Link
+			err error
+		}
+		acceptCh := make(chan accepted, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- accepted{nil, err}
+				return
+			}
+			l, err := transport.AcceptLink(conn, transport.LinkConfig{Node: 1},
+				func(int) ([]transport.EdgeDecl, transport.Handler, error) {
+					return decls(false), &benchEchoHandler{rt: rtB}, nil
+				})
+			acceptCh <- accepted{l, err}
+		}()
+		conn, err := transport.DialRetry(tr, ln.Addr(), transport.RetryConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		linkA, err := transport.NewLink(conn, transport.LinkConfig{Node: 0, Edges: decls(true)}, &benchEchoHandler{rt: rtA})
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc := <-acceptCh
+		if acc.err != nil {
+			b.Fatal(acc.err)
+		}
+		linkB := acc.l
+		ln.Close()
+
+		for _, bind := range []error{
+			rtA.BindRemoteSender(pingID, linkA), rtA.BindRemoteReceiver(pongID, linkA),
+			rtB.BindRemoteReceiver(pingID, linkB), rtB.BindRemoteSender(pongID, linkB),
+		} {
+			if bind != nil {
+				b.Fatal(bind)
+			}
+		}
+
+		done := make(chan struct{})
+		go echo(pingB[1].(*spi.Receiver), pongB[0].(*spi.Sender), done)
+		run(b, pingA[0].(*spi.Sender), pongA[1].(*spi.Receiver), size)
+
+		var wg sync.WaitGroup
+		for _, l := range []*transport.Link{linkA, linkB} {
+			wg.Add(1)
+			go func(l *transport.Link) { defer wg.Done(); l.Close() }(l)
+		}
+		wg.Wait()
+		rtA.CloseAll()
+		rtB.CloseAll()
+		<-done
+	}
+
+	for _, size := range sizes {
+		size := size
+		b.Run(fmt.Sprintf("loopback/%dB", size), func(b *testing.B) {
+			network(b, transport.NewLoopback(), "bench", size)
+		})
+	}
+	for _, size := range sizes {
+		size := size
+		b.Run(fmt.Sprintf("tcp/%dB", size), func(b *testing.B) {
+			network(b, &transport.TCP{}, "127.0.0.1:0", size)
+		})
 	}
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/transport"
+)
+
+const testGraph = `graph pipeline
+actor src 100
+actor mid 150
+actor sink 50
+edge sm src mid 4 4 bytes=2 delay=4
+edge ms mid sink 4 4 bytes=2 dynamic
+`
+
+func parseTestGraph(t *testing.T) *dataflow.Graph {
+	t.Helper()
+	g, err := dataflow.Parse(strings.NewReader(testGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func digestLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "digest ") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestTwoNodesMatchSingle is the spinode end-to-end: the pipeline graph
+// run on one node must produce the same sink digests as the same graph
+// split across two spinode partitions talking TCP on localhost.
+func TestTwoNodesMatchSingle(t *testing.T) {
+	const iters = 12
+	base := nodeConfig{
+		Graph:      parseTestGraph(t),
+		Assign:     []int{0, 1, 1},
+		Iterations: iters,
+		Seed:       7,
+	}
+
+	// Single node hosting both processors.
+	single := base
+	single.NodeOf = []int{0, 0}
+	single.Addrs = []string{"only"}
+	var singleOut bytes.Buffer
+	if err := runNode(single, transport.NewLoopback(), nil, &singleOut); err != nil {
+		t.Fatal(err)
+	}
+	want := digestLines(singleOut.String())
+	if len(want) != 1 {
+		t.Fatalf("single-node run printed %d digest lines:\n%s", len(want), singleOut.String())
+	}
+
+	// Two nodes over TCP localhost (node 1 dials node 0, so only node 0
+	// needs a listener; its ephemeral port is shared via Addrs).
+	tr := &transport.TCP{}
+	ln, err := tr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr(), "unused"}
+	graphs := [2]*dataflow.Graph{parseTestGraph(t), parseTestGraph(t)}
+	var outs [2]bytes.Buffer
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			cfg := base
+			cfg.Graph = graphs[node]
+			cfg.NodeOf = []int{0, 1}
+			cfg.Addrs = addrs
+			cfg.Node = node
+			var lnArg transport.Listener
+			if node == 0 {
+				lnArg = ln
+			}
+			errs[node] = runNode(cfg, tr, lnArg, &outs[node])
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v\n%s", node, err, outs[node].String())
+		}
+	}
+	var got []string
+	for node := range outs {
+		got = append(got, digestLines(outs[node].String())...)
+	}
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("digests differ:\nsingle: %v\ndistributed: %v", want, got)
+	}
+}
+
+func TestBuildMapping(t *testing.T) {
+	g := parseTestGraph(t)
+	m, err := buildMapping(g, []int{0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumProcs != 2 || len(m.Order[0]) != 1 || len(m.Order[1]) != 2 {
+		t.Fatalf("mapping = %+v", m)
+	}
+	if err := m.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{
+		{0, 1},     // wrong length
+		{0, -1, 0}, // negative
+		{0, 2, 2},  // processor 1 empty
+	} {
+		if _, err := buildMapping(g, bad); err == nil {
+			t.Errorf("assignment %v should be rejected", bad)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("0, 1,2")
+	if err != nil || len(got) != 3 || got[2] != 2 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "1,,2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) should fail", bad)
+		}
+	}
+}

@@ -3,6 +3,7 @@
 // quality plus communication statistics.
 //
 //	spirun -app speech -pes 4 -frames 16
+//	spirun -app speech -pes 4 -transport tcp
 //	spirun -app crack  -pes 2 -particles 200 -steps 150
 package main
 
@@ -11,11 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/dsp"
 	"repro/internal/lpc"
 	"repro/internal/particle"
 	"repro/internal/signal"
+	"repro/internal/spi"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -27,12 +31,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	adaptive := flag.Float64("adaptive", 0, "crack: ESS resampling threshold fraction (0 = resample every step)")
 	hw := flag.Bool("hw", false, "speech: also run the bit-true Q15 hardware model of actor D")
+	trans := flag.String("transport", "chan", "speech actor-D run: chan (in-process SPI runtime), loopback (in-memory byte transport), tcp (two nodes over localhost TCP)")
 	flag.Parse()
 
 	var err error
 	switch *app {
 	case "speech":
-		err = runSpeech(*pes, *frames, *seed, *hw)
+		err = runSpeech(*pes, *frames, *seed, *hw, *trans)
 	case "crack":
 		err = runCrack(*pes, *particles, *steps, *seed, *adaptive)
 	default:
@@ -44,7 +49,7 @@ func main() {
 	}
 }
 
-func runSpeech(pes, frames int, seed uint64, hw bool) error {
+func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
 	p := lpc.DefaultParams()
 	codec, err := lpc.NewCodec(p)
 	if err != nil {
@@ -79,7 +84,16 @@ func runSpeech(pes, frames int, seed uint64, hw bool) error {
 		return err
 	}
 	serial := model.Residual(frame)
-	parallel, stats, err := lpc.ParallelResidual(model, frame, pes)
+	var parallel []float64
+	var stats *lpc.ParallelStats
+	switch trans {
+	case "chan":
+		parallel, stats, err = lpc.ParallelResidual(model, frame, pes)
+	case "loopback", "tcp":
+		parallel, stats, err = networkedResidual(model, frame, pes, trans)
+	default:
+		return fmt.Errorf("unknown transport %q (chan, loopback, or tcp)", trans)
+	}
 	if err != nil {
 		return err
 	}
@@ -89,7 +103,11 @@ func runSpeech(pes, frames int, seed uint64, hw bool) error {
 			maxDiff = d
 		}
 	}
-	fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges\n", stats.PEs)
+	if trans == "chan" {
+		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges\n", stats.PEs)
+	} else {
+		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges (%s transport, 2 nodes)\n", stats.PEs, trans)
+	}
 	fmt.Printf("  messages: %d, wire bytes: %d\n", stats.Messages, stats.WireBytes)
 	fmt.Printf("  max |serial - parallel| = %g (bit-identical split)\n", maxDiff)
 	if hw {
@@ -136,6 +154,58 @@ func runCrack(pes, particles, steps int, seed uint64, adaptive float64) error {
 			d.Resamplings(), steps, adaptive)
 	}
 	return nil
+}
+
+// networkedResidual runs the actor-D deployment as a two-node distributed
+// execution inside this process — the I/O interface on node 0, all worker
+// PEs on node 1 — over the selected byte transport, exercising the same
+// code path as two spinode processes.
+func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans string) ([]float64, *lpc.ParallelStats, error) {
+	var tr transport.Transport
+	var listenAddr string
+	switch trans {
+	case "loopback":
+		tr, listenAddr = transport.NewLoopback(), "node0"
+	case "tcp":
+		tr, listenAddr = &transport.TCP{}, "127.0.0.1:0"
+	}
+	ln, err := tr.Listen(listenAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := []string{ln.Addr(), "unused"}
+
+	var (
+		results [2][]float64
+		stats   [2]*spi.ExecStats
+		errs    [2]error
+		wg      sync.WaitGroup
+	)
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			opts := spi.DistOptions{Transport: tr, Node: node, Addrs: addrs}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			results[node], stats[node], errs[node] = lpc.DistributedResidual(model, frame, pes, 1, opts)
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("node %d: %w", node, err)
+		}
+	}
+	// Messages are counted on the sending node, so summing does not double
+	// count; wire bytes likewise.
+	total := &lpc.ParallelStats{PEs: pes}
+	for _, st := range stats {
+		total.Messages += st.SPI.Messages
+		total.WireBytes += st.SPI.WireBytes
+	}
+	return results[0], total, nil
 }
 
 func abs(v float64) float64 {

@@ -1,0 +1,38 @@
+package dataflow
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the graph parser: it must either
+// return an error or a well-formed graph, never panic — including in the
+// downstream analyses a hosted tool would immediately run on the result.
+func FuzzParse(f *testing.F) {
+	f.Add("graph g\nactor A 1\nactor B 2\nedge ab A B 2 3\n")
+	f.Add("graph g\nactor A 1\nedge aa A A 1 1 delay=2 bytes=4\n")
+	f.Add("graph g\nactor A 1\nactor B 1\nedge d A B 10 8 dynamic bytes=2\n")
+	f.Add("# comment only\n")
+	f.Add("graph g\nactor A -1\n")
+	f.Add("edge before graph\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if g.Name() == "" {
+			t.Fatal("parsed graph has empty name")
+		}
+		// The analyses a parsed graph feeds must tolerate anything the
+		// parser accepts (errors are fine, panics are not).
+		if q, err := g.RepetitionsVector(); err == nil {
+			for _, eid := range g.Edges() {
+				_ = g.IterationTokens(q, eid)
+			}
+		}
+		for _, a := range g.Actors() {
+			_ = g.In(a)
+			_ = g.Out(a)
+		}
+	})
+}

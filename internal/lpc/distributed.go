@@ -1,0 +1,167 @@
+package lpc
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/dsp"
+	"repro/internal/spi"
+)
+
+// Distributed error generation — application 1 across OS processes: the
+// same n-PE actor-D deployment graph as ParallelResidual, but executed with
+// spi.ExecuteDistributed so the I/O interface and the worker PEs can live
+// in different processes connected by a byte transport. The kernels are
+// pure functions of (iteration, inputs), so any partition of the mapping
+// produces bit-identical residuals.
+
+// residualKernels builds the functional kernel set for an ErrorGenSystem
+// graph: io_send scatters coefficients and overlapping frame sections,
+// each pe computes its residual range, io_recv reassembles the frame into
+// collect (which only the node hosting io_recv observes).
+func residualKernels(g *dataflow.Graph, p DeployParams, model *dsp.LPCModel, frame []float64, collect func([]float64)) (map[dataflow.ActorID]spi.Kernel, error) {
+	edge := func(prefix string, i int) (dataflow.EdgeID, error) {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		for _, eid := range g.Edges() {
+			if g.Edge(eid).Name == name {
+				return eid, nil
+			}
+		}
+		return 0, fmt.Errorf("lpc: graph has no edge %s", name)
+	}
+	ioSend, ok := g.ActorByName("io_send")
+	if !ok {
+		return nil, fmt.Errorf("lpc: graph has no io_send actor")
+	}
+	ioRecv, ok := g.ActorByName("io_recv")
+	if !ok {
+		return nil, fmt.Errorf("lpc: graph has no io_recv actor")
+	}
+	n := p.PEs
+	N := p.SampleSize
+
+	kernels := map[dataflow.ActorID]spi.Kernel{
+		ioSend: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			out := map[dataflow.EdgeID][]byte{}
+			for i := 0; i < n; i++ {
+				start := i * N / n
+				end := (i + 1) * N / n
+				hist := p.Order
+				if start < hist {
+					hist = start
+				}
+				ce, err := edge("coeffs", i)
+				if err != nil {
+					return nil, err
+				}
+				se, err := edge("sect", i)
+				if err != nil {
+					return nil, err
+				}
+				out[ce] = encodeFloats(model.Coeffs)
+				out[se] = encodeSection(hist, frame[start-hist:end])
+			}
+			return out, nil
+		},
+		ioRecv: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			assembled := make([]float64, 0, N)
+			for i := 0; i < n; i++ {
+				ee, err := edge("errs", i)
+				if err != nil {
+					return nil, err
+				}
+				part, err := decodeFloats(in[ee])
+				if err != nil {
+					return nil, err
+				}
+				assembled = append(assembled, part...)
+			}
+			collect(assembled)
+			return nil, nil
+		},
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		w, ok := g.ActorByName(fmt.Sprintf("pe%d", i))
+		if !ok {
+			return nil, fmt.Errorf("lpc: graph has no pe%d actor", i)
+		}
+		kernels[w] = func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			ce, err := edge("coeffs", i)
+			if err != nil {
+				return nil, err
+			}
+			se, err := edge("sect", i)
+			if err != nil {
+				return nil, err
+			}
+			ee, err := edge("errs", i)
+			if err != nil {
+				return nil, err
+			}
+			coeffs, err := decodeFloats(in[ce])
+			if err != nil {
+				return nil, err
+			}
+			hist, samples, err := decodeSection(in[se])
+			if err != nil {
+				return nil, err
+			}
+			wm := &dsp.LPCModel{Coeffs: coeffs}
+			return map[dataflow.EdgeID][]byte{
+				ee: encodeFloats(wm.ResidualRange(samples, hist, len(samples))),
+			}, nil
+		}
+	}
+	return kernels, nil
+}
+
+// SplitIOWorkers assigns the ErrorGenSystem processors to nodes with the
+// I/O interface (processor 0) on node 0 and the worker PEs spread
+// round-robin over the remaining nodes — the natural two-process partition
+// when nodes == 2.
+func SplitIOWorkers(numProcs, nodes int) []int {
+	nodeOf := make([]int, numProcs)
+	if nodes <= 1 {
+		return nodeOf
+	}
+	for p := 1; p < numProcs; p++ {
+		nodeOf[p] = 1 + (p-1)%(nodes-1)
+	}
+	return nodeOf
+}
+
+// DistributedResidual runs this node's share of the n-PE error-generation
+// system for iters frames. opts.NodeOf defaults to SplitIOWorkers. The
+// node hosting io_recv (node 0 under that split) returns the assembled
+// residual of the last iteration; worker-only nodes return nil. Every node
+// must pass identical model/frame/nPE/iters.
+func DistributedResidual(model *dsp.LPCModel, frame []float64, nPE, iters int, opts spi.DistOptions) ([]float64, *spi.ExecStats, error) {
+	if nPE <= 0 {
+		return nil, nil, fmt.Errorf("lpc: nPE = %d", nPE)
+	}
+	if nPE > len(frame) {
+		nPE = len(frame)
+	}
+	p := DefaultDeploy(len(frame), nPE)
+	p.SampleBytes = 8 // the functional kernels move float64 samples
+	sys, err := ErrorGenSystem(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.NodeOf == nil {
+		opts.NodeOf = SplitIOWorkers(sys.Mapping.NumProcs, len(opts.Addrs))
+	}
+	var result []float64
+	kernels, err := residualKernels(sys.Graph, p, model, frame, func(assembled []float64) {
+		result = assembled
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := spi.ExecuteDistributed(sys.Graph, sys.Mapping, kernels, iters, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return result, st, nil
+}

@@ -1,0 +1,426 @@
+package spi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// Distributed execution: run one node's share of a mapped dataflow graph,
+// with edges that cross nodes carried over a transport.Link instead of the
+// in-process queue. Every node executes the same plan (same VTS bounds,
+// same mode/protocol selection, same preloaded delays), so an N-node run
+// is bit-identical to the single-process Execute of the same graph.
+
+// DistOptions configures one node of a distributed execution.
+type DistOptions struct {
+	// Transport carries the inter-node links (e.g. transport.TCP).
+	Transport transport.Transport
+	// Node is this process's node index in [0, len(Addrs)).
+	Node int
+	// Addrs[n] is the address node n listens on. len(Addrs) is the node
+	// count.
+	Addrs []string
+	// NodeOf[p] is the node hosting processor p. Nil means the identity
+	// mapping (processor p on node p), which requires len(Addrs) >=
+	// NumProcs.
+	NodeOf []int
+	// Listener optionally supplies a pre-bound listener for Addrs[Node],
+	// so callers can bind ":0" first and exchange the real address.
+	Listener transport.Listener
+	// Retry configures dial retry/backoff (zero value = transport.DefaultRetry).
+	Retry transport.RetryConfig
+	// SendTimeout / IdleTimeout / CloseTimeout parameterize each link;
+	// see transport.LinkConfig.
+	SendTimeout  time.Duration
+	IdleTimeout  time.Duration
+	CloseTimeout time.Duration
+}
+
+func (o *DistOptions) nodeOf(m *sched.Mapping) ([]int, error) {
+	nodes := len(o.Addrs)
+	if nodes == 0 {
+		return nil, errors.New("spi: distributed run needs at least one address")
+	}
+	if o.Node < 0 || o.Node >= nodes {
+		return nil, fmt.Errorf("spi: node %d out of range [0,%d)", o.Node, nodes)
+	}
+	nodeOf := o.NodeOf
+	if nodeOf == nil {
+		if m.NumProcs > nodes {
+			return nil, fmt.Errorf("spi: %d processors but only %d node addresses (set NodeOf)", m.NumProcs, nodes)
+		}
+		nodeOf = make([]int, m.NumProcs)
+		for p := range nodeOf {
+			nodeOf[p] = p
+		}
+		return nodeOf, nil
+	}
+	if len(nodeOf) != m.NumProcs {
+		return nil, fmt.Errorf("spi: NodeOf has %d entries, mapping has %d processors", len(nodeOf), m.NumProcs)
+	}
+	for p, n := range nodeOf {
+		if n < 0 || n >= nodes {
+			return nil, fmt.Errorf("spi: NodeOf[%d] = %d out of range [0,%d)", p, n, nodes)
+		}
+	}
+	return nodeOf, nil
+}
+
+// linkHandler adapts a transport.Link's inbound traffic to one Runtime. It
+// records which edges the link carries so a dead link closes exactly those
+// edges — the distributed form of failure propagation.
+type linkHandler struct {
+	rt    *Runtime
+	edges []EdgeID
+	fail  *failBox
+}
+
+func (h *linkHandler) HandleData(edge uint16, msg []byte) { h.rt.DeliverData(edge, msg) }
+func (h *linkHandler) HandleAck(edge uint16, count uint32) {
+	h.rt.DeliverAck(edge, count)
+}
+func (h *linkHandler) HandleLinkClose(err error) {
+	if err == nil {
+		// Graceful GOODBYE: the peer completed its run. Its data frames all
+		// precede the GOODBYE in wire order, so everything this node still
+		// needs is already queued; the local edges must stay open because
+		// this node may still be producing — edges with initial delays
+		// legitimately carry messages the finished peer never consumes.
+		return
+	}
+	h.fail.record(err)
+	h.rt.CloseEdges(h.edges)
+}
+
+// failBox records the first link failure so the run's ErrClosed symptom can
+// be reported with its network root cause.
+type failBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (f *failBox) record(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *failBox) get() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// peerPlan is the set of cross-node edges shared with one peer node.
+type peerPlan struct {
+	decls []transport.EdgeDecl
+	ids   []EdgeID // same edges, for CloseEdges on link death
+}
+
+// declFor renders one edge's planned configuration as its handshake
+// manifest entry.
+func declFor(cfg EdgeConfig, out bool) transport.EdgeDecl {
+	bytes := cfg.PayloadBytes
+	if cfg.Mode == Dynamic {
+		bytes = cfg.MaxBytes
+	}
+	return transport.EdgeDecl{
+		ID:       uint16(cfg.ID),
+		Mode:     uint8(cfg.Mode),
+		Out:      out,
+		Bytes:    uint32(bytes),
+		Protocol: uint8(cfg.Protocol),
+		Capacity: uint32(cfg.Capacity),
+	}
+}
+
+// ExecuteDistributed runs this node's processors of the mapped graph for
+// the given iteration count, connecting to the peer nodes named in opts.
+// Kernels are required only for actors mapped to this node. All nodes must
+// run the same graph, mapping, iteration count, and node assignment; the
+// handshake rejects peers whose edge manifests disagree.
+func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]Kernel, iterations int, opts DistOptions) (*ExecStats, error) {
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	if iterations <= 0 {
+		return nil, fmt.Errorf("spi: iterations = %d", iterations)
+	}
+	if opts.Transport == nil && len(opts.Addrs) > 1 {
+		return nil, errors.New("spi: distributed run needs a transport")
+	}
+	nodeOf, err := opts.nodeOf(m)
+	if err != nil {
+		return nil, err
+	}
+	me := opts.Node
+
+	var myProcs []int
+	for p := 0; p < m.NumProcs; p++ {
+		if nodeOf[p] == me {
+			myProcs = append(myProcs, p)
+		}
+	}
+	if len(myProcs) == 0 {
+		return nil, fmt.Errorf("spi: node %d hosts no processors", me)
+	}
+	for _, p := range myProcs {
+		for _, a := range m.Order[p] {
+			if kernels[a] == nil {
+				return nil, fmt.Errorf("spi: actor %s (node %d) has no kernel", g.Actor(a).Name, me)
+			}
+		}
+	}
+
+	plan, err := newGraphPlan(g)
+	if err != nil {
+		return nil, err
+	}
+	env := &execEnv{
+		g: g, m: m, kernels: kernels, plan: plan,
+		rt:      NewRuntime(),
+		remotes: map[dataflow.EdgeID]remotePair{},
+		locals:  map[dataflow.EdgeID][][]byte{},
+	}
+
+	// Classify edges. Every edge touching this node is Init'd on the local
+	// runtime before any link comes up, so inbound DATA frames always find
+	// their queue; binding and delay preloading happen after the links are
+	// established.
+	type boundEdge struct {
+		eid  dataflow.EdgeID
+		cfg  EdgeConfig
+		tx   *Sender
+		out  bool // local side sends data
+		peer int
+	}
+	peers := map[int]*peerPlan{}
+	var bound []boundEdge
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		srcNode, snkNode := nodeOf[m.Proc[e.Src]], nodeOf[m.Proc[e.Snk]]
+		switch {
+		case srcNode != me && snkNode != me:
+			continue
+		case m.Proc[e.Src] == m.Proc[e.Snk]:
+			var pre [][]byte
+			for i := 0; i < plan.delayIters(eid); i++ {
+				pre = append(pre, nil)
+			}
+			env.locals[eid] = pre
+			continue
+		}
+		cfg := plan.edgeConfig(eid)
+		tx, rx, err := env.rt.Init(cfg)
+		if err != nil {
+			return nil, err
+		}
+		env.remotes[eid] = remotePair{tx: tx, rx: rx}
+		if srcNode == me && snkNode == me {
+			// Both endpoints here: a plain in-process SPI edge.
+			if err := plan.preload(tx, eid, cfg); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		out := srcNode == me
+		peer := snkNode
+		if !out {
+			peer = srcNode
+		}
+		pp := peers[peer]
+		if pp == nil {
+			pp = &peerPlan{}
+			peers[peer] = pp
+		}
+		pp.decls = append(pp.decls, declFor(cfg, out))
+		pp.ids = append(pp.ids, cfg.ID)
+		bound = append(bound, boundEdge{eid: eid, cfg: cfg, tx: tx, out: out, peer: peer})
+	}
+
+	fail := &failBox{}
+	links, err := connectPeers(env.rt, peers, fail, opts)
+	if err != nil {
+		return nil, err
+	}
+	closeLinks := func() {
+		var wg sync.WaitGroup
+		for _, l := range links {
+			wg.Add(1)
+			go func(l *transport.Link) { defer wg.Done(); l.Close() }(l)
+		}
+		wg.Wait()
+	}
+
+	// Bind the local half of each cross-node edge, then preload delays —
+	// sender-side only, so the initial tokens cross the wire exactly once.
+	for _, b := range bound {
+		link := links[b.peer]
+		if b.out {
+			err = env.rt.BindRemoteSender(b.cfg.ID, link)
+		} else {
+			err = env.rt.BindRemoteReceiver(b.cfg.ID, link)
+		}
+		if err == nil && b.out {
+			err = plan.preload(b.tx, b.eid, b.cfg)
+		}
+		if err != nil {
+			env.rt.CloseAll()
+			closeLinks()
+			return nil, err
+		}
+	}
+
+	runErr := env.run(myProcs, iterations)
+	if runErr != nil {
+		// Abort, not Close: the peers must observe a connection error so
+		// they close the shared edges, not a GOODBYE that looks like a
+		// normal completion.
+		for _, l := range links {
+			l.Abort()
+		}
+	} else {
+		closeLinks()
+	}
+	if runErr != nil {
+		if cause := fail.get(); cause != nil && errors.Is(runErr, ErrClosed) {
+			return nil, fmt.Errorf("spi: node %d: %w (link failure: %v)", me, runErr, cause)
+		}
+		return nil, runErr
+	}
+	return &ExecStats{
+		Iterations:     iterations,
+		SPI:            env.rt.TotalStats(),
+		LocalTransfers: env.localTransfers,
+	}, nil
+}
+
+// connectPeers establishes one link per peer node: this node dials every
+// lower-numbered peer (with retry/backoff, since peers boot in arbitrary
+// order) and accepts connections from every higher-numbered one. The
+// deterministic dial direction means each pair establishes exactly one
+// connection.
+func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts DistOptions) (map[int]*transport.Link, error) {
+	links := map[int]*transport.Link{}
+	if len(peers) == 0 {
+		return links, nil
+	}
+	me := opts.Node
+	lcfg := transport.LinkConfig{
+		Node:         me,
+		SendTimeout:  opts.SendTimeout,
+		IdleTimeout:  opts.IdleTimeout,
+		CloseTimeout: opts.CloseTimeout,
+	}
+	handlerFor := func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {
+		pp := peers[peer]
+		if pp == nil {
+			return nil, nil, fmt.Errorf("no shared edges with node %d", peer)
+		}
+		return pp.decls, &linkHandler{rt: rt, edges: pp.ids, fail: fail}, nil
+	}
+
+	expectAccept := 0
+	for peer := range peers {
+		if peer > me {
+			expectAccept++
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	record := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	addLink := func(peer int, l *transport.Link) {
+		mu.Lock()
+		links[peer] = l
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	var ln transport.Listener
+	if expectAccept > 0 {
+		ln = opts.Listener
+		if ln == nil {
+			var err error
+			ln, err = opts.Transport.Listen(opts.Addrs[me])
+			if err != nil {
+				return nil, err
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for got := 0; got < expectAccept; got++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					record(err)
+					return
+				}
+				l, err := transport.AcceptLink(conn, lcfg, handlerFor)
+				if err != nil {
+					record(err)
+					return
+				}
+				addLink(l.PeerNode(), l)
+			}
+		}()
+	}
+	for peer := range peers {
+		if peer >= me {
+			continue
+		}
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			conn, err := transport.DialRetry(opts.Transport, opts.Addrs[peer], opts.Retry)
+			if err != nil {
+				record(fmt.Errorf("dial node %d: %w", peer, err))
+				return
+			}
+			decls, h, _ := handlerFor(peer)
+			dcfg := lcfg
+			dcfg.Edges = decls
+			l, err := transport.NewLink(conn, dcfg, h)
+			if err != nil {
+				record(fmt.Errorf("handshake with node %d: %w", peer, err))
+				return
+			}
+			addLink(peer, l)
+		}(peer)
+	}
+	wg.Wait()
+	if ln != nil {
+		ln.Close()
+	}
+	if firstErr == nil {
+		for peer := range peers {
+			if links[peer] == nil {
+				firstErr = fmt.Errorf("spi: no link established with node %d", peer)
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		for _, l := range links {
+			l.Close()
+		}
+		return nil, firstErr
+	}
+	return links, nil
+}

@@ -1,0 +1,376 @@
+package spi
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+	"repro/internal/transport"
+)
+
+// distGraph builds the distributed-execution test graph:
+//
+//	A --ab(static, 1-iteration delay)--> B --bc(dynamic)--> C
+//
+// mapped on two processors (A, C on 0; B on 1), so both edges cross
+// processors and, under the 2-node assignment, cross nodes. The kernels
+// are deterministic in (iter, inputs); C collects every payload it sees.
+func distGraph() (*dataflow.Graph, *sched.Mapping) {
+	g := dataflow.New("dist")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	c := g.AddActor("C", 1)
+	g.AddEdge("ab", a, b, 8, 8, dataflow.EdgeSpec{TokenBytes: 1, Delay: 8})
+	g.AddEdge("bc", b, c, 8, 8, dataflow.EdgeSpec{TokenBytes: 1, ProduceDynamic: true, ConsumeDynamic: true})
+	m := &sched.Mapping{
+		NumProcs: 2,
+		Proc:     []sched.Processor{0, 1, 0},
+		Order:    [][]dataflow.ActorID{{a, c}, {b}},
+	}
+	return g, m
+}
+
+// distKernels returns the kernel set; C appends every received payload to
+// sink (callers on the same node share the slice through the pointer).
+func distKernels(sink *[][]byte, mu *sync.Mutex) map[dataflow.ActorID]Kernel {
+	return map[dataflow.ActorID]Kernel{
+		0: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			out := make([]byte, 8)
+			for i := range out {
+				out[i] = byte(iter*13 + i)
+			}
+			return map[dataflow.EdgeID][]byte{0: out}, nil
+		},
+		1: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			// Variable-length output exercises the dynamic edge: echo a
+			// digest of the input whose length depends on the iteration.
+			n := iter%8 + 1
+			out := make([]byte, n)
+			var sum byte
+			for _, v := range in[0] {
+				sum += v
+			}
+			for i := range out {
+				out[i] = sum + byte(i)
+			}
+			return map[dataflow.EdgeID][]byte{1: out}, nil
+		},
+		2: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			cp := make([]byte, len(in[1]))
+			copy(cp, in[1])
+			mu.Lock()
+			*sink = append(*sink, cp)
+			mu.Unlock()
+			return nil, nil
+		},
+	}
+}
+
+// runReference runs the graph single-process and returns C's collected
+// payloads — the bit-exactness baseline.
+func runReference(t *testing.T, iterations int) [][]byte {
+	t.Helper()
+	g, m := distGraph()
+	var sink [][]byte
+	var mu sync.Mutex
+	if _, err := Execute(g, m, distKernels(&sink, &mu), iterations); err != nil {
+		t.Fatal(err)
+	}
+	return sink
+}
+
+func samePayloads(a, b [][]byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// runTwoNodes executes distGraph across two in-process "nodes" over the
+// given transport and returns C's payloads plus both nodes' stats.
+func runTwoNodes(t *testing.T, tr transport.Transport, addr string, iterations int) ([][]byte, [2]*ExecStats) {
+	t.Helper()
+	g, m := distGraph()
+	var sink [][]byte
+	var mu sync.Mutex
+
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr(), "unused"}
+
+	var stats [2]*ExecStats
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			opts := DistOptions{
+				Transport: tr,
+				Node:      node,
+				Addrs:     addrs,
+				NodeOf:    []int{0, 1},
+			}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			stats[node], errs[node] = ExecuteDistributed(g, m, distKernels(&sink, &mu), iterations, opts)
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+	return sink, stats
+}
+
+func TestExecuteDistributedMatchesLocal(t *testing.T) {
+	const iterations = 25
+	ref := runReference(t, iterations)
+	for _, tc := range []struct {
+		name string
+		tr   transport.Transport
+		addr string
+	}{
+		{"loopback", transport.NewLoopback(), "node0"},
+		{"tcp", &transport.TCP{}, "127.0.0.1:0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, stats := runTwoNodes(t, tc.tr, tc.addr, iterations)
+			if !samePayloadsReport(t, ref, got) {
+				t.Errorf("distributed output differs from single-process reference")
+			}
+			// Node 0 sends on ab (plus the 1-iteration delay preload) and
+			// acks its receives on bc; node 1 mirrors it.
+			if n := stats[0].SPI.Messages; n != iterations+1 {
+				t.Errorf("node 0 sent %d messages, want %d", n, iterations+1)
+			}
+			if n := stats[1].SPI.Messages; n != iterations {
+				t.Errorf("node 1 sent %d messages, want %d", n, iterations)
+			}
+			if n := stats[0].SPI.Acks; n != iterations {
+				t.Errorf("node 0 acked %d messages, want %d", n, iterations)
+			}
+		})
+	}
+}
+
+func samePayloadsReport(t *testing.T, ref, got [][]byte) bool {
+	t.Helper()
+	if samePayloads(ref, got) {
+		return true
+	}
+	t.Logf("reference: %d payloads, got %d", len(ref), len(got))
+	for i := 0; i < len(ref) && i < len(got); i++ {
+		if !bytes.Equal(ref[i], got[i]) {
+			t.Logf("first divergence at payload %d: %x vs %x", i, ref[i], got[i])
+			break
+		}
+	}
+	return false
+}
+
+// TestExecuteDistributedThreeNodes splits a 3-processor chain across three
+// nodes, exercising a node that both dials (to 0) and accepts (from 2).
+func TestExecuteDistributedThreeNodes(t *testing.T) {
+	g := dataflow.New("chain3")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	c := g.AddActor("C", 1)
+	g.AddEdge("ab", a, b, 4, 4, dataflow.EdgeSpec{TokenBytes: 1})
+	g.AddEdge("bc", b, c, 4, 4, dataflow.EdgeSpec{TokenBytes: 1})
+	m := &sched.Mapping{
+		NumProcs: 3,
+		Proc:     []sched.Processor{0, 1, 2},
+		Order:    [][]dataflow.ActorID{{a}, {b}, {c}},
+	}
+	var mu sync.Mutex
+	var sink []byte
+	kernels := map[dataflow.ActorID]Kernel{
+		a: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			return map[dataflow.EdgeID][]byte{0: {byte(iter), byte(iter + 1), byte(iter + 2), byte(iter + 3)}}, nil
+		},
+		b: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			out := make([]byte, 4)
+			for i, v := range in[0] {
+				out[i] = v * 3
+			}
+			return map[dataflow.EdgeID][]byte{1: out}, nil
+		},
+		c: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			mu.Lock()
+			sink = append(sink, in[1]...)
+			mu.Unlock()
+			return nil, nil
+		},
+	}
+
+	const iterations = 10
+	tr := transport.NewLoopback()
+	addrs := []string{"n0", "n1", "n2"}
+	var listeners [3]transport.Listener
+	for i, a := range addrs {
+		ln, err := tr.Listen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+	}
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for node := 0; node < 3; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			_, errs[node] = ExecuteDistributed(g, m, kernels, iterations, DistOptions{
+				Transport: tr,
+				Node:      node,
+				Addrs:     addrs,
+				Listener:  listeners[node],
+			})
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", node, err)
+		}
+	}
+	if len(sink) != 4*iterations {
+		t.Fatalf("sink has %d bytes, want %d", len(sink), 4*iterations)
+	}
+	for iter := 0; iter < iterations; iter++ {
+		for i := 0; i < 4; i++ {
+			if want := byte((iter + i) * 3); sink[iter*4+i] != want {
+				t.Fatalf("sink[%d] = %d, want %d", iter*4+i, sink[iter*4+i], want)
+			}
+		}
+	}
+}
+
+// TestExecuteDistributedKernelFailure: a kernel error on one node must not
+// leave the peer blocked — the closing links propagate the failure.
+func TestExecuteDistributedKernelFailure(t *testing.T) {
+	g, m := distGraph()
+	boom := errors.New("boom")
+	var sink [][]byte
+	var mu sync.Mutex
+	kernels := distKernels(&sink, &mu)
+	kernels[1] = func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+		if iter == 2 {
+			return nil, boom
+		}
+		return map[dataflow.EdgeID][]byte{1: {byte(iter)}}, nil
+	}
+
+	tr := transport.NewLoopback()
+	ln, err := tr.Listen("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{"n0", "unused"}
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			opts := DistOptions{Transport: tr, Node: node, Addrs: addrs, NodeOf: []int{0, 1}}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			_, errs[node] = ExecuteDistributed(g, m, kernels, 10, opts)
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("distributed run with failing kernel did not terminate")
+	}
+	if errs[1] == nil || !errors.Is(errs[1], boom) {
+		t.Errorf("failing node error = %v, want %v", errs[1], boom)
+	}
+	if errs[0] == nil {
+		t.Error("peer node should fail once the link goes down")
+	}
+}
+
+// TestExecuteDistributedValidation covers option validation.
+func TestExecuteDistributedValidation(t *testing.T) {
+	g, m := distGraph()
+	var sink [][]byte
+	var mu sync.Mutex
+	kernels := distKernels(&sink, &mu)
+	cases := []DistOptions{
+		{},                                   // no addresses
+		{Addrs: []string{"a", "b"}, Node: 5}, // node out of range
+		{Addrs: []string{"a"}},               // 2 procs, 1 node, no NodeOf
+		{Addrs: []string{"a", "b"}, NodeOf: []int{0}},    // NodeOf too short
+		{Addrs: []string{"a", "b"}, NodeOf: []int{0, 7}}, // NodeOf out of range
+		{Addrs: []string{"a", "b"}, NodeOf: []int{1, 1}}, // node 0 hosts nothing
+	}
+	for i, opts := range cases {
+		opts.Transport = transport.NewLoopback()
+		if _, err := ExecuteDistributed(g, m, kernels, 1, opts); err == nil {
+			t.Errorf("case %d: options %+v should be rejected", i, cases[i])
+		}
+	}
+}
+
+// TestExecuteDistributedDialFailure: a node whose peer never comes up
+// fails with a transient dial error after retries, not a hang.
+func TestExecuteDistributedDialFailure(t *testing.T) {
+	g, m := distGraph()
+	var sink [][]byte
+	var mu sync.Mutex
+	_, err := ExecuteDistributed(g, m, distKernels(&sink, &mu), 1, DistOptions{
+		Transport: transport.NewLoopback(),
+		Node:      1,
+		Addrs:     []string{"nobody-home", "unused"},
+		NodeOf:    []int{0, 1},
+		Retry:     transport.RetryConfig{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	if err == nil || !strings.Contains(err.Error(), "dial node 0") {
+		t.Fatalf("err = %v, want dial failure", err)
+	}
+	if !transport.IsTransient(err) {
+		t.Errorf("refused dial should classify transient: %v", err)
+	}
+}
+
+// TestExecuteDistributedLeaksNoGoroutines runs a full two-node TCP
+// execution and checks the goroutine count returns to baseline.
+func TestExecuteDistributedLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, _ = runTwoNodes(t, &transport.TCP{}, "127.0.0.1:0", 8)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

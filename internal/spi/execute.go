@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/sched"
-	"repro/internal/vts"
 )
 
 // Functional execution: run a mapped dataflow graph's actors as real
@@ -17,6 +16,8 @@ import (
 // same-processor edges are plain local queues. This is the programming
 // model a downstream SPI user writes against: supply a Kernel per actor,
 // get the paper's separation of computation from communication for free.
+// ExecuteDistributed (dist.go) runs the same engine on a partition of the
+// processors, with cross-partition edges bound to a network transport.
 
 // Kernel is an actor's functional body for one block firing: it receives
 // the packed payload from every input edge (keyed by edge ID; edges whose
@@ -32,6 +33,120 @@ type ExecStats struct {
 	SPI EdgeStats
 	// LocalTransfers counts same-processor payload hand-offs.
 	LocalTransfers int64
+}
+
+// remotePair is one interprocessor edge's communication actors. In a
+// distributed run only the locally-hosted half is set.
+type remotePair struct {
+	tx *Sender
+	rx *Receiver
+}
+
+// execEnv is the shared execution engine: the edge routing tables plus the
+// self-timed per-processor actor loop.
+type execEnv struct {
+	g       *dataflow.Graph
+	m       *sched.Mapping
+	kernels map[dataflow.ActorID]Kernel
+	plan    *graphPlan
+	rt      *Runtime
+
+	remotes map[dataflow.EdgeID]remotePair
+	locals  map[dataflow.EdgeID][][]byte
+	localMu sync.Mutex
+
+	localTransfers int64
+}
+
+// run executes the given processors, one goroutine each, and collapses
+// their errors preferring the root cause: a processor that died on its own
+// kernel or bound violation, not the peers unblocked with ErrClosed as a
+// consequence.
+func (env *execEnv) run(procs []int, iterations int) error {
+	errs := make([]error, len(procs))
+	var wg sync.WaitGroup
+	for i, p := range procs {
+		wg.Add(1)
+		go func(i, p int) {
+			defer wg.Done()
+			// A failing processor must release peers blocked on SPI edges.
+			defer func() {
+				if errs[i] != nil {
+					env.rt.CloseAll()
+				}
+			}()
+			errs[i] = env.runProc(p, iterations)
+		}(i, p)
+	}
+	wg.Wait()
+	var closedErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrClosed) {
+			if closedErr == nil {
+				closedErr = err
+			}
+			continue
+		}
+		return err
+	}
+	return closedErr
+}
+
+// runProc is one processor's self-timed loop: fire the mapped actors in
+// schedule order, each blocking only on the data its input edges deliver.
+func (env *execEnv) runProc(p, iterations int) error {
+	g := env.g
+	for iter := 0; iter < iterations; iter++ {
+		for _, a := range env.m.Order[p] {
+			in := map[dataflow.EdgeID][]byte{}
+			for _, eid := range g.In(a) {
+				if r, ok := env.remotes[eid]; ok {
+					payload, err := r.rx.Receive()
+					if err != nil {
+						return fmt.Errorf("spi: actor %s recv %s: %w",
+							g.Actor(a).Name, g.Edge(eid).Name, err)
+					}
+					in[eid] = payload
+					continue
+				}
+				env.localMu.Lock()
+				queue := env.locals[eid]
+				if len(queue) == 0 {
+					env.localMu.Unlock()
+					return fmt.Errorf("spi: actor %s local underflow on %s (scheduling bug)",
+						g.Actor(a).Name, g.Edge(eid).Name)
+				}
+				in[eid] = queue[0]
+				env.locals[eid] = queue[1:]
+				env.localTransfers++
+				env.localMu.Unlock()
+			}
+			out, err := env.kernels[a](iter, in)
+			if err != nil {
+				return fmt.Errorf("spi: actor %s iteration %d: %w", g.Actor(a).Name, iter, err)
+			}
+			for _, eid := range g.Out(a) {
+				payload, err := env.plan.pad(eid, out[eid])
+				if err != nil {
+					return err
+				}
+				if r, ok := env.remotes[eid]; ok {
+					if err := r.tx.Send(payload); err != nil {
+						return fmt.Errorf("spi: actor %s send %s: %w",
+							g.Actor(a).Name, g.Edge(eid).Name, err)
+					}
+					continue
+				}
+				env.localMu.Lock()
+				env.locals[eid] = append(env.locals[eid], payload)
+				env.localMu.Unlock()
+			}
+		}
+	}
+	return nil
 }
 
 // Execute runs the mapped graph for the given iteration count. Every actor
@@ -50,191 +165,50 @@ func Execute(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]K
 			return nil, fmt.Errorf("spi: actor %s has no kernel", g.Actor(a).Name)
 		}
 	}
-	conv, err := vts.Convert(g)
-	if err != nil {
-		return nil, err
-	}
-	bounds, err := vts.ComputeBounds(conv)
-	if err != nil {
-		return nil, err
-	}
-	q, err := g.RepetitionsVector()
+	plan, err := newGraphPlan(g)
 	if err != nil {
 		return nil, err
 	}
 
-	rt := NewRuntime()
-	type remote struct {
-		tx *Sender
-		rx *Receiver
+	env := &execEnv{
+		g: g, m: m, kernels: kernels, plan: plan,
+		rt:      NewRuntime(),
+		remotes: map[dataflow.EdgeID]remotePair{},
+		locals:  map[dataflow.EdgeID][][]byte{},
 	}
-	remotes := map[dataflow.EdgeID]remote{}
-	// local queues: same-processor edges, guarded per queue (producer and
-	// consumer run on the same goroutine, but delays preload them here).
-	locals := map[dataflow.EdgeID][][]byte{}
-	var localMu sync.Mutex
-	var localTransfers int64
-
-	delayIters := func(eid dataflow.EdgeID) int {
-		e := g.Edge(eid)
-		if t := int(g.IterationTokens(q, eid)); t > 0 {
-			return e.Delay / t
-		}
-		return 0
-	}
-
 	for _, eid := range g.Edges() {
 		e := g.Edge(eid)
-		info := conv.Info(eid)
 		if m.Proc[e.Src] == m.Proc[e.Snk] {
 			// Preload local queues with delay payloads (empty blocks).
 			var pre [][]byte
-			for i := 0; i < delayIters(eid); i++ {
+			for i := 0; i < plan.delayIters(eid); i++ {
 				pre = append(pre, nil)
 			}
-			locals[eid] = pre
+			env.locals[eid] = pre
 			continue
 		}
-		cfg := EdgeConfig{ID: EdgeID(eid), Mode: Static, PayloadBytes: int(info.BMax)}
-		if info.Dynamic {
-			cfg.Mode = Dynamic
-			cfg.MaxBytes = int(info.BMax)
-		}
-		b := bounds[eid]
-		if b.Bounded {
-			cfg.Protocol = BBS
-			capMsgs := int(b.IPC / b.BMax)
-			if capMsgs < 1 {
-				capMsgs = 1
-			}
-			if d := delayIters(eid); capMsgs < d+1 {
-				capMsgs = d + 1
-			}
-			cfg.Capacity = capMsgs
-		} else {
-			cfg.Protocol = UBS
-		}
-		tx, rx, err := rt.Init(cfg)
+		cfg := plan.edgeConfig(eid)
+		tx, rx, err := env.rt.Init(cfg)
 		if err != nil {
 			return nil, err
 		}
-		remotes[eid] = remote{tx: tx, rx: rx}
+		env.remotes[eid] = remotePair{tx: tx, rx: rx}
 		// Initial delays: preload the edge with empty messages.
-		for i := 0; i < delayIters(eid); i++ {
-			payload := []byte(nil)
-			if cfg.Mode == Static {
-				payload = make([]byte, cfg.PayloadBytes)
-			}
-			if err := tx.Send(payload); err != nil {
-				return nil, err
-			}
+		if err := plan.preload(tx, eid, cfg); err != nil {
+			return nil, err
 		}
 	}
 
-	pad := func(eid dataflow.EdgeID, payload []byte) ([]byte, error) {
-		info := conv.Info(eid)
-		if int64(len(payload)) > info.BMax {
-			return nil, fmt.Errorf("spi: kernel produced %d bytes on edge %s, bound %d",
-				len(payload), g.Edge(eid).Name, info.BMax)
-		}
-		if !info.Dynamic && int64(len(payload)) != info.BMax {
-			// Static edges move fixed-size blocks; zero-pad short payloads.
-			out := make([]byte, info.BMax)
-			copy(out, payload)
-			return out, nil
-		}
-		return payload, nil
+	procs := make([]int, m.NumProcs)
+	for p := range procs {
+		procs[p] = p
 	}
-
-	errs := make([]error, m.NumProcs)
-	var wg sync.WaitGroup
-	for p := 0; p < m.NumProcs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			// A failing processor must release peers blocked on SPI edges.
-			defer func() {
-				if errs[p] != nil {
-					rt.CloseAll()
-				}
-			}()
-			for iter := 0; iter < iterations; iter++ {
-				for _, a := range m.Order[p] {
-					in := map[dataflow.EdgeID][]byte{}
-					for _, eid := range g.In(a) {
-						if r, ok := remotes[eid]; ok {
-							payload, err := r.rx.Receive()
-							if err != nil {
-								errs[p] = fmt.Errorf("spi: actor %s recv %s: %w",
-									g.Actor(a).Name, g.Edge(eid).Name, err)
-								return
-							}
-							in[eid] = payload
-							continue
-						}
-						localMu.Lock()
-						queue := locals[eid]
-						if len(queue) == 0 {
-							localMu.Unlock()
-							errs[p] = fmt.Errorf("spi: actor %s local underflow on %s (scheduling bug)",
-								g.Actor(a).Name, g.Edge(eid).Name)
-							return
-						}
-						in[eid] = queue[0]
-						locals[eid] = queue[1:]
-						localTransfers++
-						localMu.Unlock()
-					}
-					out, err := kernels[a](iter, in)
-					if err != nil {
-						errs[p] = fmt.Errorf("spi: actor %s iteration %d: %w", g.Actor(a).Name, iter, err)
-						return
-					}
-					for _, eid := range g.Out(a) {
-						payload, err := pad(eid, out[eid])
-						if err != nil {
-							errs[p] = err
-							return
-						}
-						if r, ok := remotes[eid]; ok {
-							if err := r.tx.Send(payload); err != nil {
-								errs[p] = fmt.Errorf("spi: actor %s send %s: %w",
-									g.Actor(a).Name, g.Edge(eid).Name, err)
-								return
-							}
-							continue
-						}
-						localMu.Lock()
-						locals[eid] = append(locals[eid], payload)
-						localMu.Unlock()
-					}
-				}
-			}
-		}(p)
-	}
-	wg.Wait()
-	// Prefer the root-cause error: a processor that died on its own kernel
-	// or bound violation, not the peers that were unblocked with ErrClosed
-	// as a consequence.
-	var closedErr error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if errors.Is(err, ErrClosed) {
-			if closedErr == nil {
-				closedErr = err
-			}
-			continue
-		}
+	if err := env.run(procs, iterations); err != nil {
 		return nil, err
-	}
-	if closedErr != nil {
-		return nil, closedErr
 	}
 	return &ExecStats{
 		Iterations:     iterations,
-		SPI:            rt.TotalStats(),
-		LocalTransfers: localTransfers,
+		SPI:            env.rt.TotalStats(),
+		LocalTransfers: env.localTransfers,
 	}, nil
 }

@@ -1,0 +1,106 @@
+package spi
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/vts"
+)
+
+// Shared edge planning for the functional executors (Execute and
+// ExecuteDistributed): VTS conversion, buffer bounds, and the per-edge
+// mode/protocol/capacity selection — the compile-time half of SPI_init.
+
+type graphPlan struct {
+	g      *dataflow.Graph
+	conv   *vts.Result
+	bounds []vts.Bounds
+	q      dataflow.Repetitions
+}
+
+func newGraphPlan(g *dataflow.Graph) (*graphPlan, error) {
+	conv, err := vts.Convert(g)
+	if err != nil {
+		return nil, err
+	}
+	bounds, err := vts.ComputeBounds(conv)
+	if err != nil {
+		return nil, err
+	}
+	q, err := g.RepetitionsVector()
+	if err != nil {
+		return nil, err
+	}
+	return &graphPlan{g: g, conv: conv, bounds: bounds, q: q}, nil
+}
+
+// delayIters converts an edge's initial-token delay into whole graph
+// iterations of preloaded (empty) block messages.
+func (p *graphPlan) delayIters(eid dataflow.EdgeID) int {
+	e := p.g.Edge(eid)
+	if t := int(p.g.IterationTokens(p.q, eid)); t > 0 {
+		return e.Delay / t
+	}
+	return 0
+}
+
+// edgeConfig selects the SPI component (static/dynamic framing) and the
+// buffer protocol (BBS when the VTS analysis proves a bound, else UBS) for
+// one interprocessor edge — identical for in-process and networked edges,
+// so a distributed run and its single-process reference use the same
+// protocols on the same edges.
+func (p *graphPlan) edgeConfig(eid dataflow.EdgeID) EdgeConfig {
+	info := p.conv.Info(eid)
+	cfg := EdgeConfig{ID: EdgeID(eid), Mode: Static, PayloadBytes: int(info.BMax)}
+	if info.Dynamic {
+		cfg.Mode = Dynamic
+		cfg.MaxBytes = int(info.BMax)
+	}
+	b := p.bounds[eid]
+	if b.Bounded {
+		cfg.Protocol = BBS
+		capMsgs := int(b.IPC / b.BMax)
+		if capMsgs < 1 {
+			capMsgs = 1
+		}
+		if d := p.delayIters(eid); capMsgs < d+1 {
+			capMsgs = d + 1
+		}
+		cfg.Capacity = capMsgs
+	} else {
+		cfg.Protocol = UBS
+	}
+	return cfg
+}
+
+// pad enforces the VTS bound and zero-pads short static payloads to the
+// fixed transfer size.
+func (p *graphPlan) pad(eid dataflow.EdgeID, payload []byte) ([]byte, error) {
+	info := p.conv.Info(eid)
+	if int64(len(payload)) > info.BMax {
+		return nil, fmt.Errorf("spi: kernel produced %d bytes on edge %s, bound %d",
+			len(payload), p.g.Edge(eid).Name, info.BMax)
+	}
+	if !info.Dynamic && int64(len(payload)) != info.BMax {
+		out := make([]byte, info.BMax)
+		copy(out, payload)
+		return out, nil
+	}
+	return payload, nil
+}
+
+// preload sends an edge's initial-delay messages (empty blocks) through
+// its sender so iteration 0 finds its tokens, mirroring the channel
+// preloading of the platform lowering.
+func (p *graphPlan) preload(tx *Sender, eid dataflow.EdgeID, cfg EdgeConfig) error {
+	for i := 0; i < p.delayIters(eid); i++ {
+		payload := []byte(nil)
+		if cfg.Mode == Static {
+			payload = make([]byte, cfg.PayloadBytes)
+		}
+		if err := tx.Send(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package spi
+
+import (
+	"fmt"
+)
+
+// Remote edge binding: one half of a Runtime edge — its Sender or its
+// Receiver — can be bound to a network link, turning the in-process
+// shared-memory edge into one end of an interprocessor edge between OS
+// processes. The Sender/Receiver API is unchanged: Send encodes the
+// message with the same SPI_static / SPI_dynamic wire format and hands it
+// to the link; inbound messages and acknowledgements are injected by the
+// transport layer through DeliverData / DeliverAck. Buffer synchronization
+// crosses the wire too:
+//
+//   - BBS: the sender blocks while Capacity messages are unacknowledged;
+//     the remote receiver returns one credit (an ACK frame) per consumed
+//     message, exactly the shared read-pointer the in-process protocol
+//     maintains.
+//   - UBS: the sender never blocks; acknowledgements keep Outstanding
+//     consistent for the dynamic buffer bookkeeping.
+//
+// The binding deliberately does not know about package transport: any
+// MessageLink implementation works, and transport.Link satisfies the
+// interface.
+
+// MessageLink is the subset of a transport link the runtime needs: framed
+// delivery of SPI-encoded messages and of acknowledgement counts. Both
+// methods must be safe for concurrent use.
+type MessageLink interface {
+	// SendData transmits one SPI-encoded message (header included).
+	SendData(edge uint16, msg []byte) error
+	// SendAck transmits a BBS credit / UBS acknowledgement count.
+	SendAck(edge uint16, count uint32) error
+}
+
+// BindRemoteSender routes the edge's Send side over link: payloads are
+// encoded as usual but transmitted instead of queued locally, and the
+// BBS/UBS window is maintained from acknowledgements delivered via
+// DeliverAck. Bind before the first Send; each half binds at most once.
+func (r *Runtime) BindRemoteSender(id EdgeID, link MessageLink) error {
+	e, err := r.lookup(id)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.remoteTx != nil {
+		return fmt.Errorf("spi: edge %d sender already remote-bound", id)
+	}
+	e.remoteTx = link
+	return nil
+}
+
+// BindRemoteReceiver marks the edge's Receive side as fed by link:
+// messages arrive via DeliverData, and every consumed message sends an
+// acknowledgement (BBS credit or UBS ack) back through the link. Bind
+// before the first Receive; each half binds at most once.
+func (r *Runtime) BindRemoteReceiver(id EdgeID, link MessageLink) error {
+	e, err := r.lookup(id)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.remoteRx != nil {
+		return fmt.Errorf("spi: edge %d receiver already remote-bound", id)
+	}
+	e.remoteRx = link
+	return nil
+}
+
+func (r *Runtime) lookup(id EdgeID) (*edge, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.edges[id]
+	if !ok {
+		return nil, fmt.Errorf("spi: edge %d not initialized", id)
+	}
+	return e, nil
+}
+
+// DeliverData injects one wire message into the edge's receive queue —
+// the transport layer's entry point. Unknown edges and messages arriving
+// after close are dropped: both can only happen during shutdown races or
+// against a misbehaving peer, and network input must never panic the
+// runtime.
+func (r *Runtime) DeliverData(edge uint16, msg []byte) {
+	r.mu.Lock()
+	e, ok := r.edges[EdgeID(edge)]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Copy: the transport layer may reuse its read buffer.
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.queue = append(e.queue, cp)
+	if len(e.queue) > e.stats.MaxQueued {
+		e.stats.MaxQueued = len(e.queue)
+	}
+	e.cond.Broadcast()
+}
+
+// DeliverAck credits the edge's sender with count acknowledgements from
+// the remote receiver, unblocking a BBS sender waiting on its window and
+// advancing the UBS Outstanding bookkeeping.
+func (r *Runtime) DeliverAck(edge uint16, count uint32) {
+	r.mu.Lock()
+	e, ok := r.edges[EdgeID(edge)]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.acked += int64(count)
+	e.cond.Broadcast()
+}
+
+// CloseEdges closes the given edges, releasing blocked senders and
+// receivers with ErrClosed once their queues drain. The transport layer
+// calls it when a link dies or closes, so a lost peer cannot leave local
+// actors blocked forever — the distributed form of CloseAll's failure
+// propagation.
+func (r *Runtime) CloseEdges(ids []EdgeID) {
+	for _, id := range ids {
+		r.mu.Lock()
+		e, ok := r.edges[id]
+		r.mu.Unlock()
+		if !ok {
+			continue
+		}
+		e.mu.Lock()
+		e.closed = true
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}

@@ -87,7 +87,13 @@ type edge struct {
 	queue  [][]byte // encoded messages
 	closed bool
 	stats  EdgeStats
-	acked  int64 // UBS: messages acknowledged by the receiver
+	acked  int64 // messages acknowledged by the receiver (UBS, and BBS credits on remote edges)
+
+	// Remote binding (see remote.go): when remoteTx is set the Sender
+	// transmits over the link instead of queueing; when remoteRx is set
+	// the queue is fed by DeliverData and every consume acks the peer.
+	remoteTx MessageLink
+	remoteRx MessageLink
 }
 
 // Sender is the SPI_send communication actor of one edge.
@@ -203,6 +209,29 @@ func (s *Sender) Send(payload []byte) error {
 	msg := EncodeMessage(e.cfg.Mode, e.cfg.ID, payload)
 
 	e.mu.Lock()
+	if link := e.remoteTx; link != nil {
+		// Remote edge: the BBS window is (sent - acked) against Capacity —
+		// the shared write/read-pointer distance, maintained from the
+		// peer's credit messages instead of the local queue length.
+		for e.cfg.Protocol == BBS && !e.closed && int(e.stats.Messages-e.acked) >= e.cfg.Capacity {
+			e.cond.Wait()
+		}
+		if e.closed {
+			e.mu.Unlock()
+			return ErrClosed
+		}
+		e.stats.Messages++
+		e.stats.PayloadBytes += int64(len(payload))
+		e.stats.WireBytes += int64(len(msg))
+		if q := int(e.stats.Messages - e.acked); q > e.stats.MaxQueued {
+			e.stats.MaxQueued = q
+		}
+		e.mu.Unlock()
+		if err := link.SendData(uint16(e.cfg.ID), msg); err != nil {
+			return fmt.Errorf("spi: edge %d remote send: %w", e.cfg.ID, err)
+		}
+		return nil
+	}
 	defer e.mu.Unlock()
 	for e.cfg.Protocol == BBS && !e.closed && len(e.queue) >= e.cfg.Capacity {
 		e.cond.Wait()
@@ -246,13 +275,28 @@ func (rc *Receiver) Receive() ([]byte, error) {
 	}
 	msg := e.queue[0]
 	e.queue = e.queue[1:]
-	if e.cfg.Protocol == UBS {
-		e.acked++
+	link := e.remoteRx
+	if link == nil {
+		if e.cfg.Protocol == UBS {
+			e.acked++
+			e.stats.Acks++
+		}
+	} else {
+		// Remote edge: the credit/ack must cross the wire. Count it for
+		// both protocols — on a network edge the BBS credit is a real
+		// synchronization message, not a shared-memory pointer update.
 		e.stats.Acks++
 	}
 	e.cond.Broadcast() // return BBS credit / wake senders
 	mode, id, fixed, maxb := e.cfg.Mode, e.cfg.ID, e.cfg.PayloadBytes, e.cfg.MaxBytes
 	e.mu.Unlock()
+	if link != nil {
+		// A failed ack only starves the remote sender of a credit, and a
+		// link that cannot carry the ack has already died or closed — the
+		// transport layer closes the affected edges, so the failure
+		// surfaces there. The message itself was delivered; keep it.
+		_ = link.SendAck(uint16(id), 1)
+	}
 
 	var gotID EdgeID
 	var payload []byte

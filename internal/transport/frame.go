@@ -1,0 +1,150 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Link wire protocol. Every frame is length-delimited so the SPI message
+// inside a DATA frame crosses the stream byte-identical to its in-process
+// encoding (spi.EncodeMessage):
+//
+//	frame   := u32 length | u8 type | body          (length covers type+body)
+//	HELLO   := u32 magic | u8 version | u16 node | u16 nedges | nedges * decl
+//	decl    := u16 edge | u8 mode | u8 flags | u32 bytes | u8 protocol | u32 capacity
+//	DATA    := SPI-encoded message (edge ID in its first 2 bytes)
+//	ACK     := u16 edge | u32 count                 (BBS credits / UBS acks)
+//	GOODBYE := empty                                (graceful shutdown)
+//
+// All integers are little-endian, matching the SPI message headers.
+const (
+	frameHello   byte = 1
+	frameData    byte = 2
+	frameAck     byte = 3
+	frameGoodbye byte = 4
+
+	helloMagic   uint32 = 0x53504931 // "SPI1"
+	helloVersion byte   = 1
+
+	frameHeaderBytes = 5
+	declBytes        = 13
+	ackBodyBytes     = 6
+
+	// DefaultMaxFrame bounds one frame; anything larger on the wire is a
+	// framing error, protecting the receiver from hostile length fields.
+	DefaultMaxFrame = 1 << 24
+)
+
+// EdgeDecl is one edge's entry in the handshake manifest. Both sides of a
+// link declare every SPI edge they expect to carry; the handshake fails
+// unless the manifests agree edge-for-edge with complementary directions.
+type EdgeDecl struct {
+	// ID is the interprocessor edge ID (spi.EdgeID).
+	ID uint16
+	// Mode is the SPI framing (0 = static, 1 = dynamic), recorded so a
+	// misconfigured peer is rejected at connect time, not mid-stream.
+	Mode uint8
+	// Out is true when the local side sends DATA on this edge (and
+	// receives ACKs); the peer must declare the mirror image.
+	Out bool
+	// Bytes is the static payload size or the dynamic b_max bound.
+	Bytes uint32
+	// Protocol is the buffer synchronization protocol (0 = BBS, 1 = UBS).
+	Protocol uint8
+	// Capacity is the BBS buffer capacity in messages (0 for UBS).
+	Capacity uint32
+}
+
+func writeFrame(w io.Writer, typ byte, body []byte) error {
+	hdr := make([]byte, frameHeaderBytes, frameHeaderBytes+len(body))
+	binary.LittleEndian.PutUint32(hdr, uint32(1+len(body)))
+	hdr[4] = typ
+	_, err := w.Write(append(hdr, body...))
+	return err
+}
+
+func readFrame(r io.Reader, maxFrame int) (typ byte, body []byte, err error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("frame of %d bytes shorter than type byte", n)
+	}
+	if int(n) > maxFrame {
+		return 0, nil, fmt.Errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+func encodeHello(node uint16, edges []EdgeDecl) []byte {
+	body := make([]byte, 9+len(edges)*declBytes)
+	binary.LittleEndian.PutUint32(body, helloMagic)
+	body[4] = helloVersion
+	binary.LittleEndian.PutUint16(body[5:], node)
+	binary.LittleEndian.PutUint16(body[7:], uint16(len(edges)))
+	off := 9
+	for _, d := range edges {
+		binary.LittleEndian.PutUint16(body[off:], d.ID)
+		body[off+2] = d.Mode
+		if d.Out {
+			body[off+3] = 1
+		}
+		binary.LittleEndian.PutUint32(body[off+4:], d.Bytes)
+		body[off+8] = d.Protocol
+		binary.LittleEndian.PutUint32(body[off+9:], d.Capacity)
+		off += declBytes
+	}
+	return body
+}
+
+func decodeHello(body []byte) (node uint16, edges []EdgeDecl, err error) {
+	if len(body) < 9 {
+		return 0, nil, fmt.Errorf("hello of %d bytes shorter than fixed header", len(body))
+	}
+	if m := binary.LittleEndian.Uint32(body); m != helloMagic {
+		return 0, nil, fmt.Errorf("bad magic %#x", m)
+	}
+	if v := body[4]; v != helloVersion {
+		return 0, nil, fmt.Errorf("protocol version %d, want %d", v, helloVersion)
+	}
+	node = binary.LittleEndian.Uint16(body[5:])
+	n := int(binary.LittleEndian.Uint16(body[7:]))
+	if len(body) != 9+n*declBytes {
+		return 0, nil, fmt.Errorf("hello declares %d edges but carries %d bytes", n, len(body))
+	}
+	edges = make([]EdgeDecl, n)
+	off := 9
+	for i := range edges {
+		edges[i] = EdgeDecl{
+			ID:       binary.LittleEndian.Uint16(body[off:]),
+			Mode:     body[off+2],
+			Out:      body[off+3] != 0,
+			Bytes:    binary.LittleEndian.Uint32(body[off+4:]),
+			Protocol: body[off+8],
+			Capacity: binary.LittleEndian.Uint32(body[off+9:]),
+		}
+		off += declBytes
+	}
+	return node, edges, nil
+}
+
+func encodeAck(edge uint16, count uint32) []byte {
+	body := make([]byte, ackBodyBytes)
+	binary.LittleEndian.PutUint16(body, edge)
+	binary.LittleEndian.PutUint32(body[2:], count)
+	return body
+}
+
+func decodeAck(body []byte) (edge uint16, count uint32, err error) {
+	if len(body) != ackBodyBytes {
+		return 0, 0, fmt.Errorf("ack frame of %d bytes, want %d", len(body), ackBodyBytes)
+	}
+	return binary.LittleEndian.Uint16(body), binary.LittleEndian.Uint32(body[2:]), nil
+}

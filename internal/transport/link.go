@@ -1,0 +1,412 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler receives a Link's inbound traffic. Calls are made from the
+// link's single reader goroutine, in wire order. HandleLinkClose is called
+// exactly once — with nil after a graceful GOODBYE, with an error when the
+// connection died or the peer violated the protocol.
+type Handler interface {
+	HandleData(edge uint16, msg []byte)
+	HandleAck(edge uint16, count uint32)
+	HandleLinkClose(err error)
+}
+
+// LinkConfig parameterizes one link endpoint.
+type LinkConfig struct {
+	// Node is the local PE-group identity exchanged in the handshake.
+	Node int
+	// Edges is the manifest of SPI edges this link carries, from the
+	// local perspective. The handshake fails unless the peer declares
+	// the same edges with complementary directions and identical
+	// mode/bytes/protocol/capacity.
+	Edges []EdgeDecl
+	// SendTimeout bounds each frame write. A timed-out write leaves a
+	// partial frame on the stream, so it poisons the link: the returned
+	// error reports Timeout() but further sends fail with ErrLinkClosed.
+	// Zero means no bound.
+	SendTimeout time.Duration
+	// IdleTimeout bounds the gap between inbound frames; exceeding it
+	// closes the link with a timeout error. Zero means no bound.
+	IdleTimeout time.Duration
+	// HandshakeTimeout bounds the hello exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// CloseTimeout bounds how long Close waits for the peer's GOODBYE
+	// before forcing the connection shut (default 5s).
+	CloseTimeout time.Duration
+	// MaxFrame rejects inbound frames larger than this (default
+	// DefaultMaxFrame).
+	MaxFrame int
+}
+
+func (c *LinkConfig) handshakeTimeout() time.Duration {
+	if c.HandshakeTimeout > 0 {
+		return c.HandshakeTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *LinkConfig) closeTimeout() time.Duration {
+	if c.CloseTimeout > 0 {
+		return c.CloseTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *LinkConfig) maxFrame() int {
+	if c.MaxFrame > 0 {
+		return c.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+// LinkStats counts one link's wire traffic (frame bodies plus the 5-byte
+// frame headers).
+type LinkStats struct {
+	FramesSent, FramesReceived int64
+	BytesSent, BytesReceived   int64
+	DataSent, DataReceived     int64
+	AcksSent, AcksReceived     int64
+}
+
+// Link multiplexes all SPI edges between two PE groups over one Conn.
+// DATA and ACK frames are routed by edge ID; one writer mutex serializes
+// outbound frames and one reader goroutine dispatches inbound ones.
+type Link struct {
+	conn Conn
+	cfg  LinkConfig
+	h    Handler
+	peer int
+	out  map[uint16]EdgeDecl // edges the local side sends data on
+	in   map[uint16]EdgeDecl // edges the local side receives data on
+
+	wmu        sync.Mutex
+	sendClosed bool
+
+	closing    atomic.Bool
+	notifyOnce sync.Once
+	closeOnce  sync.Once
+	readerDone chan struct{}
+
+	framesSent, framesRecv int64
+	bytesSent, bytesRecv   int64
+	dataSent, dataRecv     int64
+	acksSent, acksRecv     int64
+}
+
+// NewLink runs the dialer side of the handshake on conn — send hello, read
+// the peer's hello, verify the manifests — and starts the reader. On any
+// handshake failure the connection is closed.
+func NewLink(conn Conn, cfg LinkConfig, h Handler) (*Link, error) {
+	deadline := time.Now().Add(cfg.handshakeTimeout())
+	conn.SetWriteDeadline(deadline)
+	if err := writeFrame(conn, frameHello, encodeHello(uint16(cfg.Node), cfg.Edges)); err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	peer, peerEdges, err := readHello(conn, deadline, cfg.maxFrame())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := verifyManifest(cfg.Edges, peerEdges); err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	return startLink(conn, cfg, h, int(peer)), nil
+}
+
+// AcceptLink runs the listener side of the handshake: read the dialer's
+// hello first (learning which peer connected), obtain the local manifest
+// and handler for that peer from lookup, then answer with the local hello.
+func AcceptLink(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Handler, error)) (*Link, error) {
+	deadline := time.Now().Add(cfg.handshakeTimeout())
+	peer, peerEdges, err := readHello(conn, deadline, cfg.maxFrame())
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	edges, h, err := lookup(int(peer))
+	if err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	cfg.Edges = edges
+	if err := verifyManifest(cfg.Edges, peerEdges); err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	conn.SetWriteDeadline(deadline)
+	if err := writeFrame(conn, frameHello, encodeHello(uint16(cfg.Node), cfg.Edges)); err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	return startLink(conn, cfg, h, int(peer)), nil
+}
+
+func readHello(conn Conn, deadline time.Time, maxFrame int) (uint16, []EdgeDecl, error) {
+	conn.SetReadDeadline(deadline)
+	typ, body, err := readFrame(conn, maxFrame)
+	if err != nil {
+		return 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Transient: isTimeout(err), Err: err}
+	}
+	if typ != frameHello {
+		return 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
+			Err: fmt.Errorf("first frame has type %d, want hello", typ)}
+	}
+	peer, edges, err := decodeHello(body)
+	if err != nil {
+		return 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	return peer, edges, nil
+}
+
+func startLink(conn Conn, cfg LinkConfig, h Handler, peer int) *Link {
+	conn.SetReadDeadline(time.Time{})
+	conn.SetWriteDeadline(time.Time{})
+	l := &Link{
+		conn:       conn,
+		cfg:        cfg,
+		h:          h,
+		peer:       peer,
+		out:        map[uint16]EdgeDecl{},
+		in:         map[uint16]EdgeDecl{},
+		readerDone: make(chan struct{}),
+	}
+	for _, d := range cfg.Edges {
+		if d.Out {
+			l.out[d.ID] = d
+		} else {
+			l.in[d.ID] = d
+		}
+	}
+	go l.readLoop()
+	return l
+}
+
+// verifyManifest checks that the two handshake manifests describe the same
+// edge set with complementary directions: every edge one side sends, the
+// other receives, with identical mode, size bound, protocol, and capacity.
+func verifyManifest(local, peer []EdgeDecl) error {
+	if len(local) != len(peer) {
+		return fmt.Errorf("manifest mismatch: local %d edges, peer %d", len(local), len(peer))
+	}
+	byID := make(map[uint16]EdgeDecl, len(peer))
+	for _, d := range peer {
+		if _, dup := byID[d.ID]; dup {
+			return fmt.Errorf("manifest mismatch: peer declares edge %d twice", d.ID)
+		}
+		byID[d.ID] = d
+	}
+	ids := make([]int, 0, len(local))
+	for _, d := range local {
+		ids = append(ids, int(d.ID))
+	}
+	sort.Ints(ids)
+	for _, d := range local {
+		p, ok := byID[d.ID]
+		if !ok {
+			return fmt.Errorf("manifest mismatch: peer missing edge %d (local set %v)", d.ID, ids)
+		}
+		if p.Out == d.Out {
+			return fmt.Errorf("manifest mismatch: edge %d declared %s by both sides",
+				d.ID, direction(d.Out))
+		}
+		if p.Mode != d.Mode || p.Bytes != d.Bytes || p.Protocol != d.Protocol || p.Capacity != d.Capacity {
+			return fmt.Errorf("manifest mismatch on edge %d: local {mode %d, %d bytes, proto %d, cap %d}, peer {mode %d, %d bytes, proto %d, cap %d}",
+				d.ID, d.Mode, d.Bytes, d.Protocol, d.Capacity, p.Mode, p.Bytes, p.Protocol, p.Capacity)
+		}
+	}
+	return nil
+}
+
+func direction(out bool) string {
+	if out {
+		return "outbound"
+	}
+	return "inbound"
+}
+
+// PeerNode returns the peer identity learned in the handshake.
+func (l *Link) PeerNode() int { return l.peer }
+
+// RemoteAddr reports the peer's address for diagnostics.
+func (l *Link) RemoteAddr() string { return l.conn.RemoteAddr() }
+
+// Stats returns a snapshot of the link's traffic counters.
+func (l *Link) Stats() LinkStats {
+	return LinkStats{
+		FramesSent:     atomic.LoadInt64(&l.framesSent),
+		FramesReceived: atomic.LoadInt64(&l.framesRecv),
+		BytesSent:      atomic.LoadInt64(&l.bytesSent),
+		BytesReceived:  atomic.LoadInt64(&l.bytesRecv),
+		DataSent:       atomic.LoadInt64(&l.dataSent),
+		DataReceived:   atomic.LoadInt64(&l.dataRecv),
+		AcksSent:       atomic.LoadInt64(&l.acksSent),
+		AcksReceived:   atomic.LoadInt64(&l.acksRecv),
+	}
+}
+
+// SendData transmits one SPI-encoded message on an outbound edge.
+func (l *Link) SendData(edge uint16, msg []byte) error {
+	if _, ok := l.out[edge]; !ok {
+		return &Error{Op: "send", Addr: l.conn.RemoteAddr(),
+			Err: fmt.Errorf("edge %d is not outbound on this link", edge)}
+	}
+	if err := l.sendFrame(frameData, msg); err != nil {
+		return err
+	}
+	atomic.AddInt64(&l.dataSent, 1)
+	return nil
+}
+
+// SendAck transmits a BBS credit / UBS acknowledgement for an inbound edge.
+func (l *Link) SendAck(edge uint16, count uint32) error {
+	if _, ok := l.in[edge]; !ok {
+		return &Error{Op: "send", Addr: l.conn.RemoteAddr(),
+			Err: fmt.Errorf("edge %d is not inbound on this link", edge)}
+	}
+	if err := l.sendFrame(frameAck, encodeAck(edge, count)); err != nil {
+		return err
+	}
+	atomic.AddInt64(&l.acksSent, 1)
+	return nil
+}
+
+func (l *Link) sendFrame(typ byte, body []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if l.sendClosed {
+		return &Error{Op: "send", Addr: l.conn.RemoteAddr(), Err: ErrLinkClosed}
+	}
+	if l.cfg.SendTimeout > 0 {
+		l.conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
+	}
+	if err := writeFrame(l.conn, typ, body); err != nil {
+		// Any failed write may leave a partial frame on the stream, so
+		// the link is unusable either way; Timeout() still distinguishes
+		// a slow peer from a dead one for the caller's diagnostics.
+		l.sendClosed = true
+		return &Error{Op: "send", Addr: l.conn.RemoteAddr(), Err: err}
+	}
+	atomic.AddInt64(&l.framesSent, 1)
+	atomic.AddInt64(&l.bytesSent, int64(frameHeaderBytes+len(body)))
+	return nil
+}
+
+func (l *Link) readLoop() {
+	defer close(l.readerDone)
+	for {
+		if l.cfg.IdleTimeout > 0 {
+			l.conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
+		}
+		typ, body, err := readFrame(l.conn, l.cfg.maxFrame())
+		if err != nil {
+			if l.closing.Load() {
+				// Local Close already decided the link's fate; the read
+				// error is just the connection being torn down.
+				l.notifyClose(nil)
+			} else {
+				l.notifyClose(&Error{Op: "recv", Addr: l.conn.RemoteAddr(),
+					Transient: isTimeout(err), Err: err})
+			}
+			return
+		}
+		atomic.AddInt64(&l.framesRecv, 1)
+		atomic.AddInt64(&l.bytesRecv, int64(frameHeaderBytes+len(body)))
+		switch typ {
+		case frameData:
+			if len(body) < 2 {
+				l.protocolError(fmt.Errorf("data frame of %d bytes shorter than an SPI header", len(body)))
+				return
+			}
+			id := binary.LittleEndian.Uint16(body)
+			if _, ok := l.in[id]; !ok {
+				l.protocolError(fmt.Errorf("data frame for undeclared inbound edge %d", id))
+				return
+			}
+			atomic.AddInt64(&l.dataRecv, 1)
+			l.h.HandleData(id, body)
+		case frameAck:
+			id, n, err := decodeAck(body)
+			if err != nil {
+				l.protocolError(err)
+				return
+			}
+			if _, ok := l.out[id]; !ok {
+				l.protocolError(fmt.Errorf("ack frame for undeclared outbound edge %d", id))
+				return
+			}
+			atomic.AddInt64(&l.acksRecv, 1)
+			l.h.HandleAck(id, n)
+		case frameGoodbye:
+			l.notifyClose(nil)
+			return
+		default:
+			l.protocolError(fmt.Errorf("unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+func (l *Link) protocolError(err error) {
+	l.notifyClose(&Error{Op: "recv", Addr: l.conn.RemoteAddr(), Err: err})
+	l.conn.Close()
+}
+
+func (l *Link) notifyClose(err error) {
+	l.notifyOnce.Do(func() { l.h.HandleLinkClose(err) })
+}
+
+// Close shuts the link down gracefully: send GOODBYE, wait (bounded by
+// CloseTimeout) until the peer's GOODBYE arrives so in-flight frames in
+// both directions drain, then close the connection and reap the reader
+// goroutine. Close is idempotent and safe to call from any goroutine.
+func (l *Link) Close() error {
+	l.closeOnce.Do(func() {
+		l.wmu.Lock()
+		if !l.sendClosed {
+			l.conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
+			writeFrame(l.conn, frameGoodbye, nil)
+			l.sendClosed = true
+		}
+		l.wmu.Unlock()
+		select {
+		case <-l.readerDone:
+		case <-time.After(l.cfg.closeTimeout()):
+		}
+		l.closing.Store(true)
+		l.conn.Close()
+		<-l.readerDone
+	})
+	return nil
+}
+
+// Abort tears the link down immediately, without the GOODBYE exchange: the
+// peer observes a connection error, distinguishing a failed node from one
+// that completed and closed gracefully. The local handler's close callback
+// reports nil (the shutdown was deliberate).
+func (l *Link) Abort() {
+	l.closeOnce.Do(func() {
+		l.wmu.Lock()
+		l.sendClosed = true
+		l.wmu.Unlock()
+		l.closing.Store(true)
+		l.conn.Close()
+		<-l.readerDone
+	})
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

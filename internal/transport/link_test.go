@@ -1,0 +1,424 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingHandler captures a link's inbound traffic for assertions.
+type recordingHandler struct {
+	mu     sync.Mutex
+	data   map[uint16][][]byte
+	acks   map[uint16]uint32
+	closed chan error
+}
+
+func newRecordingHandler() *recordingHandler {
+	return &recordingHandler{
+		data:   map[uint16][][]byte{},
+		acks:   map[uint16]uint32{},
+		closed: make(chan error, 1),
+	}
+}
+
+func (h *recordingHandler) HandleData(edge uint16, msg []byte) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	h.data[edge] = append(h.data[edge], cp)
+}
+
+func (h *recordingHandler) HandleAck(edge uint16, n uint32) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.acks[edge] += n
+}
+
+func (h *recordingHandler) HandleLinkClose(err error) { h.closed <- err }
+
+func (h *recordingHandler) waitData(t *testing.T, edge uint16, n int) [][]byte {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		msgs := h.data[edge]
+		h.mu.Unlock()
+		if len(msgs) >= n {
+			return msgs
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("edge %d: timed out waiting for %d messages", edge, n)
+	return nil
+}
+
+func (h *recordingHandler) waitAcks(t *testing.T, edge uint16, n uint32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		h.mu.Lock()
+		got := h.acks[edge]
+		h.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("edge %d: timed out waiting for %d acks", edge, n)
+}
+
+// testManifest declares two edges: 7 outbound and 9 inbound from the
+// dialer's perspective.
+func testManifest(dialerSide bool) []EdgeDecl {
+	return []EdgeDecl{
+		{ID: 7, Mode: 1, Out: dialerSide, Bytes: 1024, Protocol: 1},
+		{ID: 9, Mode: 0, Out: !dialerSide, Bytes: 16, Protocol: 0, Capacity: 4},
+	}
+}
+
+// linkPair connects a dialer and acceptor link over tr at addr.
+func linkPair(t *testing.T, tr Transport, addr string, hd, ha Handler) (*Link, *Link) {
+	t.Helper()
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type acceptResult struct {
+		l   *Link
+		err error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			acceptCh <- acceptResult{nil, err}
+			return
+		}
+		l, err := AcceptLink(c, LinkConfig{Node: 1}, func(peer int) ([]EdgeDecl, Handler, error) {
+			if peer != 0 {
+				return nil, nil, fmt.Errorf("unexpected peer %d", peer)
+			}
+			return testManifest(false), ha, nil
+		})
+		acceptCh <- acceptResult{l, err}
+	}()
+	c, err := DialRetry(tr, ln.Addr(), RetryConfig{Attempts: 20, BaseDelay: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialer, err := NewLink(c, LinkConfig{Node: 0, Edges: testManifest(true)}, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-acceptCh
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return dialer, res.l
+}
+
+func transports(t *testing.T) map[string]Transport {
+	return map[string]Transport{
+		"loopback": NewLoopback(),
+		"tcp":      &TCP{},
+	}
+}
+
+func testAddr(name string) string {
+	if name == "tcp" {
+		return "127.0.0.1:0"
+	}
+	return "node1"
+}
+
+func TestLinkRoundTrip(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			hd, ha := newRecordingHandler(), newRecordingHandler()
+			dialer, acceptor := linkPair(t, tr, testAddr(name), hd, ha)
+
+			if dialer.PeerNode() != 1 || acceptor.PeerNode() != 0 {
+				t.Fatalf("peer nodes = %d, %d", dialer.PeerNode(), acceptor.PeerNode())
+			}
+			// Data dialer -> acceptor on edge 7, acks back.
+			msg := []byte{7, 0, 4, 0, 0, 0, 1, 2, 3, 4} // dynamic header + payload
+			for i := 0; i < 3; i++ {
+				if err := dialer.SendData(7, msg); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := ha.waitData(t, 7, 3)
+			if !bytes.Equal(got[0], msg) {
+				t.Fatalf("received %x, want %x", got[0], msg)
+			}
+			if err := acceptor.SendAck(7, 3); err != nil {
+				t.Fatal(err)
+			}
+			hd.waitAcks(t, 7, 3)
+
+			// Data acceptor -> dialer on edge 9.
+			back := []byte{9, 0, 0xaa, 0xbb}
+			if err := acceptor.SendData(9, back); err != nil {
+				t.Fatal(err)
+			}
+			if got := hd.waitData(t, 9, 1); !bytes.Equal(got[0], back) {
+				t.Fatalf("received %x, want %x", got[0], back)
+			}
+
+			// Wrong-direction sends are rejected locally.
+			if err := dialer.SendData(9, back); err == nil {
+				t.Fatal("sending on an inbound edge should fail")
+			}
+			if err := dialer.SendAck(7, 1); err == nil {
+				t.Fatal("acking an outbound edge should fail")
+			}
+
+			// Graceful shutdown: both sides see a nil close reason.
+			done := make(chan struct{})
+			go func() { acceptor.Close(); close(done) }()
+			dialer.Close()
+			<-done
+			if err := <-hd.closed; err != nil {
+				t.Fatalf("dialer close reason: %v", err)
+			}
+			if err := <-ha.closed; err != nil {
+				t.Fatalf("acceptor close reason: %v", err)
+			}
+
+			st := dialer.Stats()
+			// One ACK frame carried the batched count of 3.
+			if st.DataSent != 3 || st.DataReceived != 1 || st.AcksReceived != 1 {
+				t.Fatalf("dialer stats = %+v", st)
+			}
+		})
+	}
+}
+
+func TestLinkStatsBytes(t *testing.T) {
+	tr := NewLoopback()
+	hd, ha := newRecordingHandler(), newRecordingHandler()
+	dialer, acceptor := linkPair(t, tr, "n", hd, ha)
+	msg := []byte{7, 0, 1, 0, 0, 0, 0xff}
+	if err := dialer.SendData(7, msg); err != nil {
+		t.Fatal(err)
+	}
+	ha.waitData(t, 7, 1)
+	st := dialer.Stats()
+	if want := int64(frameHeaderBytes + len(msg)); st.BytesSent != want {
+		t.Fatalf("bytes sent = %d, want %d", st.BytesSent, want)
+	}
+	closeBoth(dialer, acceptor)
+}
+
+// closeBoth closes two ends of a link concurrently: each side's Close
+// waits for the peer's GOODBYE, so sequential closes would serialize on
+// the close timeout.
+func closeBoth(a, b *Link) {
+	done := make(chan struct{})
+	go func() { b.Close(); close(done) }()
+	a.Close()
+	<-done
+}
+
+func TestHandshakeManifestMismatch(t *testing.T) {
+	cases := []struct {
+		name string
+		peer []EdgeDecl // acceptor-side manifest (dialer uses testManifest(true))
+	}{
+		{"missing edge", []EdgeDecl{{ID: 7, Mode: 1, Out: false, Bytes: 1024, Protocol: 1}}},
+		{"same direction", []EdgeDecl{
+			{ID: 7, Mode: 1, Out: true, Bytes: 1024, Protocol: 1},
+			{ID: 9, Mode: 0, Out: true, Bytes: 16, Protocol: 0, Capacity: 4},
+		}},
+		{"different bound", []EdgeDecl{
+			{ID: 7, Mode: 1, Out: false, Bytes: 512, Protocol: 1},
+			{ID: 9, Mode: 0, Out: true, Bytes: 16, Protocol: 0, Capacity: 4},
+		}},
+		{"different protocol", []EdgeDecl{
+			{ID: 7, Mode: 1, Out: false, Bytes: 1024, Protocol: 0, Capacity: 2},
+			{ID: 9, Mode: 0, Out: true, Bytes: 16, Protocol: 0, Capacity: 4},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewLoopback()
+			ln, err := tr.Listen("n")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ln.Close()
+			acceptErr := make(chan error, 1)
+			go func() {
+				c, err := ln.Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				_, err = AcceptLink(c, LinkConfig{Node: 1}, func(int) ([]EdgeDecl, Handler, error) {
+					return tc.peer, newRecordingHandler(), nil
+				})
+				acceptErr <- err
+			}()
+			c, err := tr.Dial("n")
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, dialErr := NewLink(c, LinkConfig{Node: 0, Edges: testManifest(true)}, newRecordingHandler())
+			if dialErr == nil && <-acceptErr == nil {
+				t.Fatal("mismatched manifests should fail the handshake")
+			}
+			if dialErr != nil && IsTransient(dialErr) {
+				t.Fatalf("handshake failure should be fatal, got transient: %v", dialErr)
+			}
+		})
+	}
+}
+
+func TestSendTimeoutPoisonsLink(t *testing.T) {
+	tr := NewLoopback()
+	ln, err := tr.Listen("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	peerReady := make(chan Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Handshake manually, then stop reading: the link's writes must
+		// hit their deadline instead of blocking forever.
+		if _, _, err := readFrame(c, DefaultMaxFrame); err != nil {
+			return
+		}
+		if err := writeFrame(c, frameHello, encodeHello(1, testManifest(false))); err != nil {
+			return
+		}
+		peerReady <- c
+	}()
+	c, err := tr.Dial("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLink(c, LinkConfig{
+		Node: 0, Edges: testManifest(true),
+		SendTimeout: 30 * time.Millisecond, CloseTimeout: 50 * time.Millisecond,
+	}, newRecordingHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer := <-peerReady
+	defer peer.Close()
+
+	msg := make([]byte, 4096)
+	msg[0] = 7
+	var sendErr error
+	// The pipe is unbuffered, so the first unread frame blocks the writer.
+	for i := 0; i < 64 && sendErr == nil; i++ {
+		sendErr = l.SendData(7, msg)
+	}
+	if sendErr == nil {
+		t.Fatal("send into a stalled peer should time out")
+	}
+	var te *Error
+	if !asError(sendErr, &te) || !te.Timeout() {
+		t.Fatalf("send error = %v, want timeout", sendErr)
+	}
+	// The stream may hold a partial frame now; the link must refuse to
+	// send more.
+	if err := l.SendData(7, msg); err == nil {
+		t.Fatal("send after timeout should fail")
+	}
+	l.Close()
+}
+
+func asError(err error, target **Error) bool {
+	for err != nil {
+		if e, ok := err.(*Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestIdleTimeoutClosesLink(t *testing.T) {
+	tr := NewLoopback()
+	hd, ha := newRecordingHandler(), newRecordingHandler()
+	ln, err := tr.Listen("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	acceptCh := make(chan *Link, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		l, err := AcceptLink(c, LinkConfig{Node: 1}, func(int) ([]EdgeDecl, Handler, error) {
+			return testManifest(false), ha, nil
+		})
+		if err != nil {
+			return
+		}
+		acceptCh <- l
+	}()
+	c, err := tr.Dial("n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLink(c, LinkConfig{
+		Node: 0, Edges: testManifest(true), IdleTimeout: 20 * time.Millisecond,
+	}, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-hd.closed:
+		if err == nil {
+			t.Fatal("idle timeout should close with an error")
+		}
+		if !IsTransient(err) {
+			t.Fatalf("idle timeout should classify transient, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("idle timeout never fired")
+	}
+	l.Close()
+	if peer := <-acceptCh; peer != nil {
+		peer.Close()
+	}
+}
+
+func TestAbruptPeerDeathReportsError(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			hd, ha := newRecordingHandler(), newRecordingHandler()
+			dialer, acceptor := linkPair(t, tr, testAddr(name), hd, ha)
+			// Kill the acceptor's connection without a goodbye.
+			acceptor.conn.Close()
+			select {
+			case err := <-hd.closed:
+				if err == nil {
+					t.Fatal("abrupt close should report an error")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("dialer never noticed the dead peer")
+			}
+			dialer.Close()
+			acceptor.Close()
+		})
+	}
+}

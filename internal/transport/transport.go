@@ -1,0 +1,186 @@
+// Package transport gives SPI a real byte transport: the paper's wire
+// formats (SPI_static 2-byte headers, SPI_dynamic 6-byte headers) were
+// designed to beat generic MPI framing on physical links, and this package
+// is where they finally meet one. It provides a pluggable Transport
+// abstraction (Dial/Listen/Conn) with two implementations — an in-memory
+// loopback for tests and benchmarks, and TCP for multi-process execution —
+// plus the Link session layer that multiplexes all SPI edges between one
+// pair of processing-element groups over a single connection.
+//
+// The stack is deliberately layered like the software SPI library itself:
+//
+//	Conn      raw ordered byte stream with deadlines (loopback, TCP)
+//	frame     length-delimited frames: HELLO / DATA / ACK / GOODBYE
+//	Link      handshake (node identity + edge manifest), per-edge
+//	          multiplexing, send timeouts, graceful close
+//
+// Package spi binds Runtime edges onto a Link (see spi.BindRemoteSender /
+// spi.BindRemoteReceiver): DATA frames carry SPI-encoded messages
+// unchanged, and ACK frames carry the BBS credits / UBS acknowledgements
+// that the in-process runtime exchanged through shared memory.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Conn is an ordered, reliable byte stream between two endpoints. Both the
+// loopback and TCP transports satisfy it; Link runs on top of it.
+type Conn interface {
+	io.ReadWriteCloser
+	// SetReadDeadline and SetWriteDeadline bound individual I/O calls;
+	// the zero time clears the deadline.
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+	// LocalAddr and RemoteAddr describe the endpoints for diagnostics.
+	LocalAddr() string
+	RemoteAddr() string
+}
+
+// Listener accepts inbound connections on one address.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the bound address — for TCP with port 0 it carries the
+	// kernel-assigned port, which peers need for dialing.
+	Addr() string
+}
+
+// Transport creates connections. Implementations must be safe for
+// concurrent use.
+type Transport interface {
+	// Name identifies the transport ("loopback", "tcp") in flags and logs.
+	Name() string
+	Listen(addr string) (Listener, error)
+	Dial(addr string) (Conn, error)
+}
+
+// Error is the typed error for transport operations. Transient errors
+// (connection refused, timeouts) are worth retrying; fatal ones (protocol
+// mismatch, closed link) are not.
+type Error struct {
+	Op        string // "dial", "listen", "send", "recv", "handshake"
+	Addr      string
+	Transient bool
+	Err       error
+}
+
+func (e *Error) Error() string {
+	kind := "fatal"
+	if e.Transient {
+		kind = "transient"
+	}
+	if e.Addr != "" {
+		return fmt.Sprintf("transport: %s %s: %s: %v", e.Op, e.Addr, kind, e.Err)
+	}
+	return fmt.Sprintf("transport: %s: %s: %v", e.Op, kind, e.Err)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Timeout reports whether the underlying cause was an I/O timeout, so
+// Error satisfies the net.Error convention.
+func (e *Error) Timeout() bool {
+	var ne net.Error
+	return errors.As(e.Err, &ne) && ne.Timeout()
+}
+
+// IsTransient reports whether err is a transport error worth retrying:
+// refused or timed-out connects, send timeouts. Handshake and protocol
+// failures are fatal.
+func IsTransient(err error) bool {
+	var te *Error
+	if errors.As(err, &te) {
+		return te.Transient
+	}
+	return false
+}
+
+// ErrLinkClosed is returned by sends on a closed Link.
+var ErrLinkClosed = errors.New("transport: link closed")
+
+// dialTransient classifies a raw dial error: anything that can heal on its
+// own (listener not up yet, timeout) is transient; malformed addresses are
+// not.
+func dialTransient(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	// Refused connections and loopback's "no listener" both mean the peer
+	// has not bound its address yet — the normal startup race retries fix.
+	return errors.Is(err, errLoopbackRefused) ||
+		errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.ECONNABORTED)
+}
+
+// RetryConfig bounds DialRetry's exponential backoff.
+type RetryConfig struct {
+	// Attempts is the maximum number of dials (including the first).
+	// Zero means DefaultRetry.Attempts.
+	Attempts int
+	// BaseDelay is the sleep after the first failure; each further
+	// failure multiplies it by Multiplier up to MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+}
+
+// DefaultRetry is tuned for process startup races: ~12 attempts spanning a
+// few seconds.
+var DefaultRetry = RetryConfig{
+	Attempts:   12,
+	BaseDelay:  10 * time.Millisecond,
+	MaxDelay:   500 * time.Millisecond,
+	Multiplier: 2,
+}
+
+func (rc RetryConfig) withDefaults() RetryConfig {
+	d := DefaultRetry
+	if rc.Attempts > 0 {
+		d.Attempts = rc.Attempts
+	}
+	if rc.BaseDelay > 0 {
+		d.BaseDelay = rc.BaseDelay
+	}
+	if rc.MaxDelay > 0 {
+		d.MaxDelay = rc.MaxDelay
+	}
+	if rc.Multiplier > 1 {
+		d.Multiplier = rc.Multiplier
+	}
+	return d
+}
+
+// DialRetry dials addr, retrying transient failures with exponential
+// backoff. It returns the first fatal error immediately and the last
+// transient error once attempts are exhausted.
+func DialRetry(t Transport, addr string, rc RetryConfig) (Conn, error) {
+	rc = rc.withDefaults()
+	delay := rc.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < rc.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay)
+			delay = time.Duration(float64(delay) * rc.Multiplier)
+			if delay > rc.MaxDelay {
+				delay = rc.MaxDelay
+			}
+		}
+		c, err := t.Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
