@@ -1,11 +1,12 @@
 # Repo-wide checks. `make check` is the CI gate: formatting, vet, build,
-# and the full test suite under the race detector.
+# the full test suite under the race detector, and a short fuzz smoke over
+# the untrusted-byte parsers.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke
+.PHONY: check fmt vet build test race bench fuzz-smoke chaos
 
-check: fmt vet build race
+check: fmt vet build race fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -33,3 +34,11 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeStatic -fuzztime=5s ./internal/spi
 	$(GO) test -run=NONE -fuzz=FuzzDecodeDynamic -fuzztime=5s ./internal/spi
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/dataflow
+
+# The seeded fault-schedule suite: chaos link tests, distributed runs with
+# drops/corruption/duplicates/severs, graceful degradation, and the
+# pipeline.sdf + LPC residual chaos harnesses. Deterministic (seeded), so
+# failures reproduce.
+chaos:
+	$(GO) test -race -run 'Chaos|Degraded|Fault' -count=1 \
+		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode

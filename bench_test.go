@@ -9,6 +9,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -600,6 +601,7 @@ type benchEchoHandler struct{ rt *spi.Runtime }
 
 func (h *benchEchoHandler) HandleData(edge uint16, msg []byte)  { h.rt.DeliverData(edge, msg) }
 func (h *benchEchoHandler) HandleAck(edge uint16, count uint32) { h.rt.DeliverAck(edge, count) }
+func (h *benchEchoHandler) HandleFin(edge uint16)               { h.rt.CloseEdge(spi.EdgeID(edge)) }
 func (h *benchEchoHandler) HandleLinkClose(error)               { h.rt.CloseAll() }
 
 // BenchmarkTransportRoundTrip measures one SPI message round trip (send a
@@ -699,7 +701,7 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 				})
 			acceptCh <- accepted{l, err}
 		}()
-		conn, err := transport.DialRetry(tr, ln.Addr(), transport.RetryConfig{})
+		conn, err := transport.DialRetry(context.Background(), tr, ln.Addr(), transport.RetryConfig{})
 		if err != nil {
 			b.Fatal(err)
 		}

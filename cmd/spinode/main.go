@@ -14,9 +14,17 @@
 //	        -addrs 127.0.0.1:7101,127.0.0.1:7102 -node 1 -iters 20
 //
 // The node that dials retries with backoff, so start order does not matter.
+//
+// Robustness flags: -reconnect/-reconnect-deadline enable transparent link
+// resumption, -degrade turns a dead peer into a partial run (exit status 3,
+// partial digests, per-peer failure summary) instead of an abort, -chaos
+// injects deterministic transport faults for testing, and -connect-timeout
+// bounds connection establishment.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -26,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dataflow"
 	"repro/internal/sched"
@@ -33,6 +42,10 @@ import (
 	"repro/internal/transport"
 	"repro/internal/vts"
 )
+
+// Exit statuses: 1 generic failure, 2 flag misuse, 3 degraded run (a peer
+// died; the digests printed cover only the work that completed).
+const exitDegraded = 3
 
 func main() {
 	var cfg nodeConfig
@@ -43,6 +56,15 @@ func main() {
 	flag.IntVar(&cfg.Node, "node", 0, "this process's node index")
 	flag.IntVar(&cfg.Iterations, "iters", 10, "graph iterations to execute")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "deterministic kernel seed")
+	flag.DurationVar(&cfg.ConnectTimeout, "connect-timeout", 0,
+		"bound on connection establishment (0 = retry ladder only)")
+	reconnect := flag.Int("reconnect", 0, "reconnect attempts after a link drop (0 = fail fast)")
+	reconnectDeadline := flag.Duration("reconnect-deadline", 15*time.Second,
+		"total time budget for resuming one dropped link")
+	flag.BoolVar(&cfg.Degrade, "degrade", false,
+		"on a dead peer, drain the surviving actors and report partial digests (exit status 3) instead of aborting")
+	chaosSpec := flag.String("chaos", "",
+		"fault-injection spec, e.g. seed=7,drop=0.05,severat=40;90 (see transport.ParseFaultSpec)")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -75,9 +97,29 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Addrs = strings.Split(*addrs, ",")
+	if *reconnect > 0 {
+		cfg.Reconnect = transport.ReconnectConfig{
+			Attempts: *reconnect,
+			Deadline: *reconnectDeadline,
+		}
+	}
 
-	if err := runNode(cfg, &transport.TCP{}, nil, os.Stdout); err != nil {
+	var tr transport.Transport = &transport.TCP{}
+	if *chaosSpec != "" {
+		fc, err := transport.ParseFaultSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spinode: -chaos:", err)
+			os.Exit(2)
+		}
+		tr = transport.NewFaultTransport(tr, fc)
+	}
+
+	if err := runNode(cfg, tr, nil, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "spinode:", err)
+		var de *spi.DegradedError
+		if errors.As(err, &de) {
+			os.Exit(exitDegraded)
+		}
 		os.Exit(1)
 	}
 }
@@ -108,6 +150,11 @@ type nodeConfig struct {
 	Node       int
 	Iterations int
 	Seed       uint64
+	// ConnectTimeout bounds connection establishment (0 = retry ladder
+	// only); Reconnect and Degrade pass through to spi.DistOptions.
+	ConnectTimeout time.Duration
+	Reconnect      transport.ReconnectConfig
+	Degrade        bool
 }
 
 // buildMapping turns the actor-to-processor assignment into a
@@ -251,22 +298,54 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		}
 	}
 
-	st, err := spi.ExecuteDistributed(g, m, kernels, cfg.Iterations, spi.DistOptions{
+	opts := spi.DistOptions{
 		Transport: tr,
 		Node:      cfg.Node,
 		Addrs:     cfg.Addrs,
 		NodeOf:    nodeOf,
 		Listener:  ln,
-	})
-	if err != nil {
+		Reconnect: cfg.Reconnect,
+		Degrade:   cfg.Degrade,
+	}
+	if cfg.ConnectTimeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.ConnectTimeout)
+		defer cancel()
+		opts.Context = ctx
+	}
+	st, err := spi.ExecuteDistributed(g, m, kernels, cfg.Iterations, opts)
+	var de *spi.DegradedError
+	if err != nil && !errors.As(err, &de) {
 		return err
 	}
 
 	sort.Strings(sinkNames)
-	for _, name := range sinkNames {
-		fmt.Fprintf(w, "digest %s %016x\n", name, *digests[name])
+	label := "digest"
+	if de != nil {
+		// A peer died; the run drained what it could. The digests cover
+		// only the completed iterations, so mark them as partial.
+		label = "partial-digest"
 	}
-	fmt.Fprintf(w, "stats: %d messages, %d wire bytes, %d acks, %d local transfers\n",
-		st.SPI.Messages, st.SPI.WireBytes, st.SPI.Acks, st.LocalTransfers)
+	for _, name := range sinkNames {
+		fmt.Fprintf(w, "%s %s %016x\n", label, name, *digests[name])
+	}
+	if st != nil {
+		fmt.Fprintf(w, "stats: %d messages, %d wire bytes, %d acks, %d local transfers\n",
+			st.SPI.Messages, st.SPI.WireBytes, st.SPI.Acks, st.LocalTransfers)
+	}
+	if de != nil {
+		fmt.Fprintf(w, "degraded: node %d finished without %d peer(s)\n", de.Node, len(de.Peers))
+		peers := make([]int, 0, len(de.Peers))
+		for p := range de.Peers {
+			peers = append(peers, p)
+		}
+		sort.Ints(peers)
+		for _, p := range peers {
+			fmt.Fprintf(w, "  peer node %d at %s lost: %v\n", p, cfg.Addrs[p], de.Peers[p])
+		}
+		if len(de.Starved) > 0 {
+			fmt.Fprintf(w, "  starved actors: %s\n", strings.Join(de.Starved, " "))
+		}
+		return err
+	}
 	return nil
 }

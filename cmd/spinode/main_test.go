@@ -2,11 +2,16 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/spi"
 	"repro/internal/transport"
 )
 
@@ -137,5 +142,172 @@ func TestParseInts(t *testing.T) {
 		if _, err := parseInts(bad); err == nil {
 			t.Errorf("parseInts(%q) should fail", bad)
 		}
+	}
+}
+
+// loadPipelineSDF parses the real examples/graphs/pipeline.sdf so the
+// chaos harness exercises the shipped walkthrough graph, not a copy.
+func loadPipelineSDF(t *testing.T) *dataflow.Graph {
+	t.Helper()
+	f, err := os.Open("../../examples/graphs/pipeline.sdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := dataflow.Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runTwoNodes runs the two-node split of graph-building fn over tr and
+// returns both nodes' outputs and errors. A watchdog bounds the run so a
+// failed recovery cannot hang the suite.
+func runTwoNodes(t *testing.T, newGraph func(t *testing.T) *dataflow.Graph, tr transport.Transport,
+	iters int, rc transport.ReconnectConfig, degrade bool) ([2]*bytes.Buffer, [2]error) {
+	t.Helper()
+	ln, err := tr.Listen("chaos-node0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr(), "unused"}
+	outs := [2]*bytes.Buffer{{}, {}}
+	var errs [2]error
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			cfg := nodeConfig{
+				Graph:      newGraph(t),
+				Assign:     []int{0, 1, 1},
+				NodeOf:     []int{0, 1},
+				Addrs:      addrs,
+				Node:       node,
+				Iterations: iters,
+				Seed:       7,
+				Reconnect:  rc,
+				Degrade:    degrade,
+			}
+			var lnArg transport.Listener
+			if node == 0 {
+				lnArg = ln
+			}
+			errs[node] = runNode(cfg, tr, lnArg, outs[node])
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("two-node spinode run wedged")
+	}
+	return outs, errs
+}
+
+// TestPipelineChaosRecovers runs the shipped pipeline.sdf two-node split
+// under seeded fault schedules that link resumption can repair and checks
+// the sink digest stays bit-identical to the fault-free single-node run.
+func TestPipelineChaosRecovers(t *testing.T) {
+	const iters = 40
+	single := nodeConfig{
+		Graph:      loadPipelineSDF(t),
+		Assign:     []int{0, 1, 1},
+		NodeOf:     []int{0, 0},
+		Addrs:      []string{"only"},
+		Iterations: iters,
+		Seed:       7,
+	}
+	var ref bytes.Buffer
+	if err := runNode(single, transport.NewLoopback(), nil, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := digestLines(ref.String())
+	if len(want) != 1 {
+		t.Fatalf("single-node run printed %d digest lines:\n%s", len(want), ref.String())
+	}
+	rc := transport.ReconnectConfig{Attempts: 50, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Deadline: 20 * time.Second}
+	for _, spec := range []string{
+		"seed=11,drop=0.05,skip=6,maxfaults=25",
+		"seed=12,corrupt=0.05,skip=6,maxfaults=25",
+		"seed=13,severat=9;31,skip=6",
+	} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			fc, err := transport.ParseFaultSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
+			outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false)
+			for node, err := range errs {
+				if err != nil {
+					t.Fatalf("node %d: %v (faults: %+v)\n%s", node, err, ft.Stats(), outs[node].String())
+				}
+			}
+			got := append(digestLines(outs[0].String()), digestLines(outs[1].String())...)
+			if len(got) != 1 || got[0] != want[0] {
+				t.Errorf("digests diverged under %s:\nwant %v\ngot  %v (faults: %+v)",
+					spec, want, got, ft.Stats())
+			}
+		})
+	}
+}
+
+// TestPipelineDegradedExit severs the inter-node link permanently: with
+// -degrade semantics both nodes must finish, print partial digests plus a
+// per-peer failure summary, and return a DegradedError (exit status 3).
+func TestPipelineDegradedExit(t *testing.T) {
+	fc, err := transport.ParseFaultSpec("seed=21,severat=15,skip=6,denydials=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
+	rc := transport.ReconnectConfig{Attempts: 4, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Deadline: 500 * time.Millisecond}
+	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true)
+	for node, err := range errs {
+		var de *spi.DegradedError
+		if !errors.As(err, &de) {
+			t.Fatalf("node %d: err = %v, want *spi.DegradedError\n%s", node, err, outs[node].String())
+		}
+		out := outs[node].String()
+		if node == 1 && !strings.Contains(out, "partial-digest sink") {
+			t.Errorf("node 1 printed no partial sink digest:\n%s", out)
+		}
+		other := 1 - node
+		if !strings.Contains(out, fmt.Sprintf("peer node %d at", other)) {
+			t.Errorf("node %d summary does not name peer %d:\n%s", node, other, out)
+		}
+		if !strings.Contains(out, "degraded: node") {
+			t.Errorf("node %d printed no degradation summary:\n%s", node, out)
+		}
+	}
+}
+
+// TestConnectFailureNamesPeer checks the -connect-timeout satellite: an
+// unreachable peer fails fast with a message naming the peer and address
+// rather than a bare handshake timeout.
+func TestConnectFailureNamesPeer(t *testing.T) {
+	cfg := nodeConfig{
+		Graph:          parseTestGraph(t),
+		Assign:         []int{0, 1, 1},
+		NodeOf:         []int{0, 1},
+		Addrs:          []string{"nobody-home", "unused"},
+		Node:           1,
+		Iterations:     5,
+		Seed:           7,
+		ConnectTimeout: 200 * time.Millisecond,
+	}
+	var out bytes.Buffer
+	err := runNode(cfg, transport.NewLoopback(), nil, &out)
+	if err == nil {
+		t.Fatal("run with an unreachable peer succeeded")
+	}
+	if !strings.Contains(err.Error(), "could not reach node 0 at nobody-home") {
+		t.Errorf("err = %v, want a could-not-reach message naming peer and address", err)
 	}
 }

@@ -1,0 +1,111 @@
+package lpc
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/signal"
+	"repro/internal/spi"
+	"repro/internal/transport"
+)
+
+// TestDistributedResidualChaosRecovers runs the two-process LPC error
+// generation system over a fault-injected transport: under every seeded
+// schedule that link resumption can repair, the assembled residual must be
+// bit-identical to the fault-free single-process run — the paper's
+// determinism claim extended across transient network failures.
+func TestDistributedResidualChaosRecovers(t *testing.T) {
+	const N, nPE, iters = 256, 3, 4
+	frame := signal.Speech(N, 77)
+	model, err := dsp.LPCAnalyze(frame, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault-free single-process reference.
+	p := DefaultDeploy(N, nPE)
+	p.SampleBytes = 8
+	sys, err := ErrorGenSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	kernels, err := residualKernels(sys.Graph, p, model, frame, func(a []float64) { ref = a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spi.Execute(sys.Graph, sys.Mapping, kernels, iters); err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) != N {
+		t.Fatalf("reference assembled %d samples", len(ref))
+	}
+
+	rc := transport.ReconnectConfig{Attempts: 50, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Deadline: 20 * time.Second}
+	schedules := []struct {
+		name string
+		cfg  transport.FaultConfig
+	}{
+		{"drops", transport.FaultConfig{Seed: 301, Drop: 0.03, SkipFrames: 8, MaxFaults: 25}},
+		{"severs", transport.FaultConfig{Seed: 302, SeverAt: []int{13, 41}, SkipFrames: 8}},
+		{"mixed", transport.FaultConfig{Seed: 303, Drop: 0.02, Corrupt: 0.02, Duplicate: 0.03,
+			Delay: 0.05, DelayFor: time.Millisecond, SkipFrames: 8, MaxFaults: 30}},
+	}
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			ft := transport.NewFaultTransport(transport.NewLoopback(), sc.cfg)
+			ln, err := ft.Listen("lpc-chaos0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs := []string{ln.Addr(), "unused"}
+			var (
+				results [2][]float64
+				errs    [2]error
+				wg      sync.WaitGroup
+			)
+			for node := 0; node < 2; node++ {
+				wg.Add(1)
+				go func(node int) {
+					defer wg.Done()
+					opts := spi.DistOptions{
+						Transport: ft,
+						Node:      node,
+						Addrs:     addrs,
+						Reconnect: rc,
+						Retry:     transport.RetryConfig{Attempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+					}
+					if node == 0 {
+						opts.Listener = ln
+					}
+					results[node], _, errs[node] = DistributedResidual(model, frame, nPE, iters, opts)
+				}(node)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("LPC chaos run wedged (recovery failed to terminate)")
+			}
+			for node, err := range errs {
+				if err != nil {
+					t.Fatalf("node %d: %v (faults: %+v)", node, err, ft.Stats())
+				}
+			}
+			got := results[0]
+			if len(got) != N {
+				t.Fatalf("recovered run assembled %d samples, want %d (faults: %+v)", len(got), N, ft.Stats())
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("sample %d: recovered %v, fault-free %v (faults: %+v)", i, got[i], ref[i], ft.Stats())
+				}
+			}
+		})
+	}
+}

@@ -1,8 +1,11 @@
 package spi
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,12 +38,62 @@ type DistOptions struct {
 	Listener transport.Listener
 	// Retry configures dial retry/backoff (zero value = transport.DefaultRetry).
 	Retry transport.RetryConfig
+	// Context, when non-nil, bounds connection establishment: cancelling
+	// it interrupts dial retry backoff. It does not cancel the run itself.
+	Context context.Context
+	// Reconnect enables transparent link resumption: a dropped connection
+	// is re-dialed (dialer side) or awaited (acceptor side) and the
+	// unacknowledged frame suffix replayed, so transient network faults
+	// are invisible to the dataflow run. The zero value keeps the original
+	// fail-fast behavior.
+	Reconnect transport.ReconnectConfig
+	// Degrade selects graceful degradation: when a peer is declared dead
+	// (reconnects exhausted, or fail-fast link error), only the actors
+	// transitively starved by that peer stop; the rest of the graph drains
+	// to completion and ExecuteDistributed returns partial stats alongside
+	// a *DegradedError naming the dead peers and starved actors. Without
+	// it a link failure aborts the whole node (the original behavior).
+	Degrade bool
 	// SendTimeout / IdleTimeout / CloseTimeout parameterize each link;
 	// see transport.LinkConfig.
 	SendTimeout  time.Duration
 	IdleTimeout  time.Duration
 	CloseTimeout time.Duration
 }
+
+// DegradedError reports a distributed run that finished in degraded mode:
+// some peers were lost, the surviving actors drained, and the returned
+// ExecStats cover only the work that completed. Peers maps each dead peer
+// node to its link failure; Starved lists the local actors that could not
+// finish because their inputs or outputs died.
+type DegradedError struct {
+	Node    int
+	Peers   map[int]error
+	Starved []string
+	Cause   error
+}
+
+func (e *DegradedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spi: node %d degraded", e.Node)
+	if len(e.Peers) > 0 {
+		peers := make([]int, 0, len(e.Peers))
+		for p := range e.Peers {
+			peers = append(peers, p)
+		}
+		sort.Ints(peers)
+		fmt.Fprintf(&b, "; dead peers:")
+		for _, p := range peers {
+			fmt.Fprintf(&b, " node %d (%v)", p, e.Peers[p])
+		}
+	}
+	if len(e.Starved) > 0 {
+		fmt.Fprintf(&b, "; starved actors: %s", strings.Join(e.Starved, ", "))
+	}
+	return b.String()
+}
+
+func (e *DegradedError) Unwrap() error { return e.Cause }
 
 func (o *DistOptions) nodeOf(m *sched.Mapping) ([]int, error) {
 	nodes := len(o.Addrs)
@@ -78,13 +131,20 @@ func (o *DistOptions) nodeOf(m *sched.Mapping) ([]int, error) {
 type linkHandler struct {
 	rt    *Runtime
 	edges []EdgeID
-	fail  *failBox
+	peer  int
+	fails *peerFails
 }
 
 func (h *linkHandler) HandleData(edge uint16, msg []byte) { h.rt.DeliverData(edge, msg) }
 func (h *linkHandler) HandleAck(edge uint16, count uint32) {
 	h.rt.DeliverAck(edge, count)
 }
+
+// HandleFin closes exactly one edge: the peer declared that its half is
+// permanently done (its hosting actor starved), so local receivers drain
+// and local senders stop — without touching the link's other edges.
+func (h *linkHandler) HandleFin(edge uint16) { h.rt.CloseEdge(EdgeID(edge)) }
+
 func (h *linkHandler) HandleLinkClose(err error) {
 	if err == nil {
 		// Graceful GOODBYE: the peer completed its run. Its data frames all
@@ -94,29 +154,56 @@ func (h *linkHandler) HandleLinkClose(err error) {
 		// legitimately carry messages the finished peer never consumes.
 		return
 	}
-	h.fail.record(err)
+	h.fails.record(h.peer, err)
 	h.rt.CloseEdges(h.edges)
 }
 
-// failBox records the first link failure so the run's ErrClosed symptom can
-// be reported with its network root cause.
-type failBox struct {
-	mu  sync.Mutex
-	err error
+// peerFails records the first failure per peer node, so a degraded run can
+// report which peers died and the fail-fast path can name its root cause.
+type peerFails struct {
+	mu   sync.Mutex
+	errs map[int]error
 }
 
-func (f *failBox) record(err error) {
-	f.mu.Lock()
-	if f.err == nil {
-		f.err = err
-	}
-	f.mu.Unlock()
-}
-
-func (f *failBox) get() error {
+func (f *peerFails) record(peer int, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.err
+	if f.errs == nil {
+		f.errs = map[int]error{}
+	}
+	if f.errs[peer] == nil {
+		f.errs[peer] = err
+	}
+}
+
+// first returns the failure of the lowest-numbered dead peer (deterministic
+// across runs), or nil.
+func (f *peerFails) first() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	best := -1
+	for p := range f.errs {
+		if best < 0 || p < best {
+			best = p
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return f.errs[best]
+}
+
+func (f *peerFails) snapshot() map[int]error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.errs) == 0 {
+		return nil
+	}
+	out := make(map[int]error, len(f.errs))
+	for p, err := range f.errs {
+		out[p] = err
+	}
+	return out
 }
 
 // peerPlan is the set of cross-node edges shared with one peer node.
@@ -186,9 +273,12 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	}
 	env := &execEnv{
 		g: g, m: m, kernels: kernels, plan: plan,
-		rt:      NewRuntime(),
-		remotes: map[dataflow.EdgeID]remotePair{},
-		locals:  map[dataflow.EdgeID][][]byte{},
+		rt:       NewRuntime(),
+		remotes:  map[dataflow.EdgeID]remotePair{},
+		locals:   map[dataflow.EdgeID][][]byte{},
+		degrade:  opts.Degrade,
+		edgeID:   map[dataflow.EdgeID]EdgeID{},
+		edgeLink: map[dataflow.EdgeID]MessageLink{},
 	}
 
 	// Classify edges. Every edge touching this node is Init'd on the local
@@ -224,6 +314,7 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 			return nil, err
 		}
 		env.remotes[eid] = remotePair{tx: tx, rx: rx}
+		env.edgeID[eid] = cfg.ID
 		if srcNode == me && snkNode == me {
 			// Both endpoints here: a plain in-process SPI edge.
 			if err := plan.preload(tx, eid, cfg); err != nil {
@@ -246,8 +337,8 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		bound = append(bound, boundEdge{eid: eid, cfg: cfg, tx: tx, out: out, peer: peer})
 	}
 
-	fail := &failBox{}
-	links, err := connectPeers(env.rt, peers, fail, opts)
+	fails := &peerFails{}
+	links, stopResume, err := connectPeers(env.rt, peers, fails, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +355,7 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	// sender-side only, so the initial tokens cross the wire exactly once.
 	for _, b := range bound {
 		link := links[b.peer]
+		env.edgeLink[b.eid] = link
 		if b.out {
 			err = env.rt.BindRemoteSender(b.cfg.ID, link)
 		} else {
@@ -275,12 +367,14 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		if err != nil {
 			env.rt.CloseAll()
 			closeLinks()
+			stopResume()
 			return nil, err
 		}
 	}
 
-	runErr := env.run(myProcs, iterations)
-	if runErr != nil {
+	procErrs := env.run(myProcs, iterations)
+	runErr := collapseErrs(procErrs)
+	if runErr != nil && !opts.Degrade {
 		// Abort, not Close: the peers must observe a connection error so
 		// they close the shared edges, not a GOODBYE that looks like a
 		// normal completion.
@@ -288,30 +382,68 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 			l.Abort()
 		}
 	} else {
+		// Degraded runs close gracefully: surviving peers already received
+		// FINs for the starved edges, and a GOODBYE lets them finish their
+		// own drains normally.
 		closeLinks()
 	}
+	stopResume()
+
+	stats := &ExecStats{
+		Iterations:     iterations,
+		SPI:            env.rt.TotalStats(),
+		LocalTransfers: env.localTransfers,
+	}
+	if opts.Degrade {
+		peerErrs := fails.snapshot()
+		var starved []string
+		var cause error
+		for i, perr := range procErrs {
+			if perr == nil {
+				continue
+			}
+			if cause == nil || errors.Is(cause, ErrClosed) && !errors.Is(perr, ErrClosed) {
+				cause = perr
+			}
+			for _, a := range m.Order[myProcs[i]] {
+				starved = append(starved, g.Actor(a).Name)
+			}
+		}
+		if cause == nil && len(peerErrs) == 0 {
+			return stats, nil
+		}
+		if cause == nil {
+			cause = fails.first()
+		}
+		sort.Strings(starved)
+		return stats, &DegradedError{Node: me, Peers: peerErrs, Starved: starved, Cause: cause}
+	}
 	if runErr != nil {
-		if cause := fail.get(); cause != nil && errors.Is(runErr, ErrClosed) {
+		if cause := fails.first(); cause != nil && errors.Is(runErr, ErrClosed) {
 			return nil, fmt.Errorf("spi: node %d: %w (link failure: %v)", me, runErr, cause)
 		}
 		return nil, runErr
 	}
-	return &ExecStats{
-		Iterations:     iterations,
-		SPI:            env.rt.TotalStats(),
-		LocalTransfers: env.localTransfers,
-	}, nil
+	return stats, nil
 }
 
 // connectPeers establishes one link per peer node: this node dials every
 // lower-numbered peer (with retry/backoff, since peers boot in arbitrary
 // order) and accepts connections from every higher-numbered one. The
 // deterministic dial direction means each pair establishes exactly one
-// connection.
-func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts DistOptions) (map[int]*transport.Link, error) {
+// connection. With reconnection enabled the listener stays open after
+// setup, routing RESUME connections from re-dialing peers back to their
+// established links; the returned stop function shuts that dispatcher
+// down (it is a no-op otherwise).
+func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts DistOptions) (map[int]*transport.Link, func(), error) {
 	links := map[int]*transport.Link{}
+	stopNothing := func() {}
 	if len(peers) == 0 {
-		return links, nil
+		return links, stopNothing, nil
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	me := opts.Node
 	lcfg := transport.LinkConfig{
@@ -319,13 +451,14 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts Dist
 		SendTimeout:  opts.SendTimeout,
 		IdleTimeout:  opts.IdleTimeout,
 		CloseTimeout: opts.CloseTimeout,
+		Reconnect:    opts.Reconnect,
 	}
 	handlerFor := func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {
 		pp := peers[peer]
 		if pp == nil {
 			return nil, nil, fmt.Errorf("no shared edges with node %d", peer)
 		}
-		return pp.decls, &linkHandler{rt: rt, edges: pp.ids, fail: fail}, nil
+		return pp.decls, &linkHandler{rt: rt, edges: pp.ids, peer: peer, fails: fails}, nil
 	}
 
 	expectAccept := 0
@@ -351,6 +484,16 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts Dist
 		links[peer] = l
 		mu.Unlock()
 	}
+	// lookupResume routes a RESUME handshake to the established link it
+	// belongs to, identified by (peer node, session token).
+	lookupResume := func(peer int, token uint64) *transport.Link {
+		mu.Lock()
+		defer mu.Unlock()
+		if l := links[peer]; l != nil && l.Token() == token {
+			return l
+		}
+		return nil
+	}
 
 	var wg sync.WaitGroup
 	var ln transport.Listener
@@ -360,24 +503,31 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts Dist
 			var err error
 			ln, err = opts.Transport.Listen(opts.Addrs[me])
 			if err != nil {
-				return nil, err
+				return nil, stopNothing, err
 			}
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for got := 0; got < expectAccept; got++ {
+			for got := 0; got < expectAccept; {
 				conn, err := ln.Accept()
 				if err != nil {
 					record(err)
 					return
 				}
-				l, err := transport.AcceptLink(conn, lcfg, handlerFor)
+				l, err := transport.AcceptConn(conn, lcfg, handlerFor, lookupResume)
 				if err != nil {
+					if opts.Reconnect.Enabled() {
+						continue // a faulty first attempt; the peer re-dials
+					}
 					record(err)
 					return
 				}
+				if l == nil {
+					continue // RESUME routed to an established link
+				}
 				addLink(l.PeerNode(), l)
+				got++
 			}
 		}()
 	}
@@ -388,26 +538,27 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts Dist
 		wg.Add(1)
 		go func(peer int) {
 			defer wg.Done()
-			conn, err := transport.DialRetry(opts.Transport, opts.Addrs[peer], opts.Retry)
+			addr := opts.Addrs[peer]
+			conn, err := transport.DialRetry(ctx, opts.Transport, addr, opts.Retry)
 			if err != nil {
-				record(fmt.Errorf("dial node %d: %w", peer, err))
+				record(fmt.Errorf("could not reach node %d at %s: %w", peer, addr, err))
 				return
 			}
 			decls, h, _ := handlerFor(peer)
 			dcfg := lcfg
 			dcfg.Edges = decls
+			if opts.Reconnect.Enabled() {
+				dcfg.Redial = func() (transport.Conn, error) { return opts.Transport.Dial(addr) }
+			}
 			l, err := transport.NewLink(conn, dcfg, h)
 			if err != nil {
-				record(fmt.Errorf("handshake with node %d: %w", peer, err))
+				record(fmt.Errorf("handshake with node %d at %s: %w", peer, addr, err))
 				return
 			}
 			addLink(peer, l)
 		}(peer)
 	}
 	wg.Wait()
-	if ln != nil {
-		ln.Close()
-	}
 	if firstErr == nil {
 		for peer := range peers {
 			if links[peer] == nil {
@@ -417,10 +568,45 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fail *failBox, opts Dist
 		}
 	}
 	if firstErr != nil {
+		if ln != nil {
+			ln.Close()
+		}
 		for _, l := range links {
 			l.Close()
 		}
-		return nil, firstErr
+		return nil, stopNothing, firstErr
 	}
-	return links, nil
+	stop := stopNothing
+	if ln != nil {
+		if opts.Reconnect.Enabled() {
+			// Keep accepting: severed higher-numbered peers re-dial us with
+			// RESUME, and lookupResume hands the connection to their link.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					conn, err := ln.Accept()
+					if err != nil {
+						return // listener closed: dispatcher retires
+					}
+					l, err := transport.AcceptConn(conn, lcfg, handlerFor, lookupResume)
+					if err != nil {
+						continue
+					}
+					if l != nil {
+						// A fresh handshake after setup is not part of this
+						// run; drop it rather than leak a link.
+						l.Abort()
+					}
+				}
+			}()
+			stop = func() {
+				ln.Close()
+				<-done
+			}
+		} else {
+			ln.Close()
+		}
+	}
+	return links, stop, nil
 }

@@ -1,0 +1,236 @@
+package spi
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/transport"
+)
+
+// Chaos harness for distributed execution: run the two-node distGraph
+// partition over a FaultTransport and check the paper's bit-exactness
+// claim survives transport faults — whenever link resumption recovers, the
+// sink's payload sequence is byte-identical to the fault-free run; when
+// recovery is impossible, the run degrades (partial results plus a
+// DegradedError) instead of hanging.
+
+// chaosReconnect is the aggressive reconnect policy the chaos runs use:
+// fast retries, generous overall deadline.
+func chaosReconnect(deadline time.Duration) transport.ReconnectConfig {
+	return transport.ReconnectConfig{
+		Attempts:  50,
+		BaseDelay: time.Millisecond,
+		MaxDelay:  5 * time.Millisecond,
+		Deadline:  deadline,
+	}
+}
+
+// runTwoNodesChaos is runTwoNodes over a FaultTransport with resumption
+// and (optionally) degradation enabled. It returns the sink payloads and
+// both nodes' errors; a watchdog fails the test if the run wedges.
+func runTwoNodesChaos(t *testing.T, ft *transport.FaultTransport, iterations int,
+	rc transport.ReconnectConfig, degrade bool) ([][]byte, [2]error) {
+	t.Helper()
+	g, m := distGraph()
+	var sink [][]byte
+	var mu sync.Mutex
+
+	ln, err := ft.Listen("chaos0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr(), "unused"}
+
+	var errs [2]error
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			opts := DistOptions{
+				Transport: ft,
+				Node:      node,
+				Addrs:     addrs,
+				NodeOf:    []int{0, 1},
+				Reconnect: rc,
+				Degrade:   degrade,
+				Retry:     transport.RetryConfig{Attempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+			}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			_, errs[node] = ExecuteDistributed(g, m, distKernels(&sink, &mu), iterations, opts)
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed chaos run wedged (graceful degradation failed)")
+	}
+	return sink, errs
+}
+
+// TestExecuteDistributedChaosRecovers drives the two-node run through a
+// table of seeded fault schedules that resumption can always repair and
+// asserts the sink output is bit-identical to the fault-free reference.
+func TestExecuteDistributedChaosRecovers(t *testing.T) {
+	const iterations = 40
+	ref := runReference(t, iterations)
+	schedules := []struct {
+		name string
+		cfg  transport.FaultConfig
+	}{
+		{"drops", transport.FaultConfig{Seed: 101, Drop: 0.04, SkipFrames: 6, MaxFaults: 30}},
+		{"corruption", transport.FaultConfig{Seed: 102, Corrupt: 0.04, SkipFrames: 6, MaxFaults: 30}},
+		{"duplicates", transport.FaultConfig{Seed: 103, Duplicate: 0.08, SkipFrames: 6, MaxFaults: 40}},
+		{"severs", transport.FaultConfig{Seed: 104, SeverAt: []int{11, 29}, SkipFrames: 6}},
+		{"everything", transport.FaultConfig{Seed: 105, Drop: 0.02, Corrupt: 0.02, Duplicate: 0.03,
+			Delay: 0.05, DelayFor: time.Millisecond, Sever: 0.01, SkipFrames: 6, MaxFaults: 40}},
+	}
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			ft := transport.NewFaultTransport(transport.NewLoopback(), sc.cfg)
+			sink, errs := runTwoNodesChaos(t, ft, iterations, chaosReconnect(20*time.Second), false)
+			for node, err := range errs {
+				if err != nil {
+					t.Fatalf("node %d: %v (faults: %+v)", node, err, ft.Stats())
+				}
+			}
+			if !samePayloadsReport(t, ref, sink) {
+				t.Errorf("recovered run diverged from fault-free reference (faults: %+v)", ft.Stats())
+			}
+		})
+	}
+}
+
+// TestExecuteDistributedDegraded declares node 0's peer permanently dead
+// mid-run: the connection is severed and every re-dial denied. Both nodes
+// must finish (no hang), return the partial results they managed, and
+// report a DegradedError naming the dead peer — not panic or block.
+func TestExecuteDistributedDegraded(t *testing.T) {
+	const iterations = 200
+	ref := runReference(t, iterations)
+	ft := transport.NewFaultTransport(transport.NewLoopback(), transport.FaultConfig{
+		Seed: 201, SeverAt: []int{25}, SkipFrames: 6, DenyDialsAfter: 1,
+	})
+	rc := transport.ReconnectConfig{Attempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Deadline: 500 * time.Millisecond}
+	sink, errs := runTwoNodesChaos(t, ft, iterations, rc, true)
+
+	for node, err := range errs {
+		if err == nil {
+			t.Fatalf("node %d: run with a dead peer completed cleanly (sever never landed?)", node)
+		}
+		var de *DegradedError
+		if !errors.As(err, &de) {
+			t.Fatalf("node %d: err = %v, want *DegradedError", node, err)
+		}
+		if de.Node != node {
+			t.Errorf("node %d: DegradedError.Node = %d", node, de.Node)
+		}
+		other := 1 - node
+		if _, ok := de.Peers[other]; !ok {
+			t.Errorf("node %d: DegradedError.Peers = %v, want entry for node %d", node, de.Peers, other)
+		}
+		if node == 0 && len(de.Starved) == 0 {
+			t.Errorf("node 0: no starved actors reported, want A/C")
+		}
+		if de.Cause == nil {
+			t.Errorf("node %d: DegradedError.Cause is nil", node)
+		}
+	}
+	// Partial results must be a bit-identical prefix of the reference: the
+	// fault model loses availability, never integrity.
+	if len(sink) >= len(ref) {
+		t.Fatalf("degraded run delivered %d payloads, reference has %d — peer death had no effect", len(sink), len(ref))
+	}
+	for i := range sink {
+		if !bytes.Equal(sink[i], ref[i]) {
+			t.Fatalf("partial payload %d = %x, want %x (degraded run corrupted data)", i, sink[i], ref[i])
+		}
+	}
+}
+
+// TestExecuteDistributedDegradedFin checks FIN-based starvation directly:
+// a mid-pipeline kernel fails on one node while the link stays healthy, so
+// the peer must be starved by per-edge FINs (drain, then ErrClosed) and
+// still report its partial results.
+func TestExecuteDistributedDegradedFin(t *testing.T) {
+	const iterations = 30
+	const failAt = 11
+	g, m := distGraph()
+	ref := runReference(t, iterations)
+
+	tr := transport.NewLoopback()
+	ln, err := tr.Listen("fin0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr(), "unused"}
+
+	var sink [][]byte
+	var mu sync.Mutex
+	var errs [2]error
+	var wg sync.WaitGroup
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			kernels := distKernels(&sink, &mu)
+			if node == 1 {
+				inner := kernels[1]
+				kernels[1] = func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+					if iter == failAt {
+						return nil, errors.New("injected kernel fault")
+					}
+					return inner(iter, in)
+				}
+			}
+			opts := DistOptions{
+				Transport: tr,
+				Node:      node,
+				Addrs:     addrs,
+				NodeOf:    []int{0, 1},
+				Degrade:   true,
+			}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			_, errs[node] = ExecuteDistributed(g, m, kernels, iterations, opts)
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("FIN starvation run wedged")
+	}
+
+	var de *DegradedError
+	if !errors.As(errs[1], &de) {
+		t.Fatalf("node 1: err = %v, want *DegradedError from the failing kernel", errs[1])
+	}
+	if !errors.As(errs[0], &de) {
+		t.Fatalf("node 0: err = %v, want *DegradedError (starved via FIN)", errs[0])
+	}
+	if len(de.Peers) != 0 {
+		t.Errorf("node 0 lost no links, but Peers = %v", de.Peers)
+	}
+	// B failed at iteration failAt, so C collected exactly the payloads B
+	// produced before dying — a bit-identical prefix.
+	if len(sink) != failAt {
+		t.Errorf("sink has %d payloads, want %d (B's completed iterations)", len(sink), failAt)
+	}
+	for i := range sink {
+		if i < len(ref) && !bytes.Equal(sink[i], ref[i]) {
+			t.Fatalf("partial payload %d diverged: %x vs %x", i, sink[i], ref[i])
+		}
+	}
+}

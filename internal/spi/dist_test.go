@@ -347,8 +347,8 @@ func TestExecuteDistributedDialFailure(t *testing.T) {
 		NodeOf:    []int{0, 1},
 		Retry:     transport.RetryConfig{Attempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
 	})
-	if err == nil || !strings.Contains(err.Error(), "dial node 0") {
-		t.Fatalf("err = %v, want dial failure", err)
+	if err == nil || !strings.Contains(err.Error(), "could not reach node 0 at nobody-home") {
+		t.Fatalf("err = %v, want dial failure naming the peer and address", err)
 	}
 	if !transport.IsTransient(err) {
 		t.Errorf("refused dial should classify transient: %v", err)

@@ -56,13 +56,23 @@ type execEnv struct {
 	localMu sync.Mutex
 
 	localTransfers int64
+
+	// Graceful degradation (distributed runs with DistOptions.Degrade): a
+	// failing processor starves only its own edges instead of closing the
+	// whole runtime, so independent actors keep draining. edgeID maps each
+	// cross-processor dataflow edge to its runtime edge; edgeLink holds the
+	// link carrying each cross-node edge, so starvation can FIN the remote
+	// half.
+	degrade  bool
+	edgeID   map[dataflow.EdgeID]EdgeID
+	edgeLink map[dataflow.EdgeID]MessageLink
 }
 
-// run executes the given processors, one goroutine each, and collapses
-// their errors preferring the root cause: a processor that died on its own
-// kernel or bound violation, not the peers unblocked with ErrClosed as a
-// consequence.
-func (env *execEnv) run(procs []int, iterations int) error {
+// run executes the given processors, one goroutine each, and returns the
+// per-processor outcomes (parallel to procs). A failing processor releases
+// its peers: in fail-fast mode by closing every runtime edge, in degraded
+// mode by starving only the edges incident to its own actors.
+func (env *execEnv) run(procs []int, iterations int) []error {
 	errs := make([]error, len(procs))
 	var wg sync.WaitGroup
 	for i, p := range procs {
@@ -72,13 +82,59 @@ func (env *execEnv) run(procs []int, iterations int) error {
 			// A failing processor must release peers blocked on SPI edges.
 			defer func() {
 				if errs[i] != nil {
-					env.rt.CloseAll()
+					if env.degrade {
+						env.starveProc(p)
+					} else {
+						env.rt.CloseAll()
+					}
 				}
 			}()
 			errs[i] = env.runProc(p, iterations)
 		}(i, p)
 	}
 	wg.Wait()
+	return errs
+}
+
+// starveProc propagates one processor's death along exactly its own edges:
+// every cross-processor edge incident to its actors is closed (receivers
+// drain what is already queued, then see ErrClosed) and, for cross-node
+// edges, FIN'd so the remote half starves too — out-edge FINs cut the data
+// supply, in-edge FINs release remote BBS senders waiting on credits that
+// will never come. Actors not reachable from the dead processor keep
+// running to completion.
+func (env *execEnv) starveProc(p int) {
+	seen := map[dataflow.EdgeID]bool{}
+	for _, a := range env.m.Order[p] {
+		for _, eid := range env.g.In(a) {
+			env.starveEdge(eid, seen)
+		}
+		for _, eid := range env.g.Out(a) {
+			env.starveEdge(eid, seen)
+		}
+	}
+}
+
+func (env *execEnv) starveEdge(eid dataflow.EdgeID, seen map[dataflow.EdgeID]bool) {
+	if seen[eid] {
+		return
+	}
+	seen[eid] = true
+	id, ok := env.edgeID[eid]
+	if !ok {
+		return // same-processor edge: dies with the processor
+	}
+	if link, remote := env.edgeLink[eid]; remote {
+		// Best effort: the link may be the very thing that died.
+		_ = link.SendFin(uint16(id))
+	}
+	env.rt.CloseEdge(id)
+}
+
+// collapseErrs reduces per-processor outcomes to one error, preferring the
+// root cause: a processor that died on its own kernel or bound violation,
+// not the peers unblocked with ErrClosed as a consequence.
+func collapseErrs(errs []error) error {
 	var closedErr error
 	for _, err := range errs {
 		if err == nil {
@@ -203,7 +259,7 @@ func Execute(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]K
 	for p := range procs {
 		procs[p] = p
 	}
-	if err := env.run(procs, iterations); err != nil {
+	if err := collapseErrs(env.run(procs, iterations)); err != nil {
 		return nil, err
 	}
 	return &ExecStats{

@@ -25,13 +25,19 @@ import (
 // interface.
 
 // MessageLink is the subset of a transport link the runtime needs: framed
-// delivery of SPI-encoded messages and of acknowledgement counts. Both
-// methods must be safe for concurrent use.
+// delivery of SPI-encoded messages, acknowledgement counts, and per-edge
+// FIN markers. All methods must be safe for concurrent use.
 type MessageLink interface {
 	// SendData transmits one SPI-encoded message (header included).
 	SendData(edge uint16, msg []byte) error
 	// SendAck transmits a BBS credit / UBS acknowledgement count.
 	SendAck(edge uint16, count uint32) error
+	// SendFin tells the peer this side of one edge is permanently done —
+	// no more data will be produced (out edges) and no more credits
+	// returned (in edges). Used by graceful degradation to starve exactly
+	// the actors downstream of a failure while the rest of the graph
+	// drains.
+	SendFin(edge uint16) error
 }
 
 // BindRemoteSender routes the edge's Send side over link: payloads are
@@ -130,15 +136,22 @@ func (r *Runtime) DeliverAck(edge uint16, count uint32) {
 // propagation.
 func (r *Runtime) CloseEdges(ids []EdgeID) {
 	for _, id := range ids {
-		r.mu.Lock()
-		e, ok := r.edges[id]
-		r.mu.Unlock()
-		if !ok {
-			continue
-		}
-		e.mu.Lock()
-		e.closed = true
-		e.cond.Broadcast()
-		e.mu.Unlock()
+		r.CloseEdge(id)
 	}
+}
+
+// CloseEdge closes one edge: blocked senders return ErrClosed immediately,
+// receivers drain the already-queued messages first. Unknown edges are
+// ignored for the same reason DeliverData drops them.
+func (r *Runtime) CloseEdge(id EdgeID) {
+	r.mu.Lock()
+	e, ok := r.edges[id]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
 }

@@ -12,6 +12,7 @@ type fakeLink struct {
 	data  [][]byte
 	acks  []uint32
 	edges []uint16
+	fins  []uint16
 	fail  error
 }
 
@@ -35,6 +36,16 @@ func (f *fakeLink) SendAck(edge uint16, count uint32) error {
 		return f.fail
 	}
 	f.acks = append(f.acks, count)
+	return nil
+}
+
+func (f *fakeLink) SendFin(edge uint16) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return f.fail
+	}
+	f.fins = append(f.fins, edge)
 	return nil
 }
 

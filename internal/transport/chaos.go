@@ -1,0 +1,299 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FaultConfig is a seeded, deterministic fault schedule for a
+// FaultTransport. The same config against the same workload injects the
+// same faults, so chaos tests are reproducible by seed.
+//
+// Probabilistic faults (Drop, Duplicate, Corrupt) apply only to numbered
+// session frames — DATA, ACK, FIN — never to handshake or control frames,
+// so every injected fault is one the resume protocol is designed to
+// repair: a drop surfaces as a sequence gap, a corruption as a CRC
+// mismatch, a duplicate is discarded by the sequence filter. Delay and
+// Sever apply to any frame.
+type FaultConfig struct {
+	// Seed drives the per-connection RNG. Connections draw from the
+	// schedule in dial/accept order.
+	Seed int64
+	// Drop is the probability a session frame write is silently
+	// swallowed (the peer sees a sequence gap on the next frame).
+	Drop float64
+	// Duplicate is the probability a session frame is written twice.
+	Duplicate float64
+	// Corrupt is the probability one byte of a session frame is flipped
+	// before writing. The flip lands beyond the length prefix so the
+	// frame CRC always catches it: a corrupted length prefix would
+	// desynchronize the stream instead, which only an idle timeout (not
+	// a checksum) can detect — a failure mode outside this schedule's
+	// scope.
+	Corrupt float64
+	// Delay is the probability a write is stalled by DelayFor.
+	Delay float64
+	// DelayFor is the stall applied to delayed writes (default 2ms).
+	DelayFor time.Duration
+	// SeverAt lists frame ordinals (counted per connection across both
+	// directions' writes through this wrapper) at which the connection
+	// is severed: the write fails and the conn is closed. Deterministic
+	// sever points, independent of the RNG.
+	SeverAt []int
+	// Sever is the probability any frame write severs the connection.
+	Sever float64
+	// SkipFrames exempts the first N writes on each connection from all
+	// faults, keeping handshakes intact so schedules exercise
+	// mid-session recovery rather than connect failures.
+	SkipFrames int
+	// MaxFaults caps the total number of injected faults across the
+	// whole transport (0 = unlimited). A capped schedule guarantees the
+	// workload eventually runs fault-free and completes.
+	MaxFaults int
+	// DenyDialsAfter, when > 0, makes every dial fail once that many
+	// dials have succeeded — simulating a peer that dies and never comes
+	// back, which drives reconnect exhaustion and graceful degradation.
+	DenyDialsAfter int
+}
+
+// FaultStats counts the faults a FaultTransport actually injected.
+type FaultStats struct {
+	Drops, Duplicates, Corruptions, Delays, Severs, DeniedDials int64
+}
+
+// FaultTransport wraps another Transport and injects the configured
+// faults into every connection it creates (both dialed and accepted).
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	nextRNG int64 // per-connection RNG seeds derive from Seed + counter
+	dials   int64
+	faults  int64 // total injected, compared against MaxFaults
+
+	drops, dups, corrupts, delays, severs, denied int64
+}
+
+// NewFaultTransport wraps inner with the given fault schedule.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	if cfg.DelayFor <= 0 {
+		cfg.DelayFor = 2 * time.Millisecond
+	}
+	return &FaultTransport{inner: inner, cfg: cfg}
+}
+
+// Name identifies the wrapper in flags and logs.
+func (t *FaultTransport) Name() string { return t.inner.Name() + "+chaos" }
+
+// Stats returns a snapshot of the injected-fault counters.
+func (t *FaultTransport) Stats() FaultStats {
+	return FaultStats{
+		Drops:       atomic.LoadInt64(&t.drops),
+		Duplicates:  atomic.LoadInt64(&t.dups),
+		Corruptions: atomic.LoadInt64(&t.corrupts),
+		Delays:      atomic.LoadInt64(&t.delays),
+		Severs:      atomic.LoadInt64(&t.severs),
+		DeniedDials: atomic.LoadInt64(&t.denied),
+	}
+}
+
+// spendFault consumes one unit of the MaxFaults budget; it returns false
+// when the budget is exhausted and the fault must not be injected.
+func (t *FaultTransport) spendFault() bool {
+	if t.cfg.MaxFaults <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.faults >= int64(t.cfg.MaxFaults) {
+		return false
+	}
+	t.faults++
+	return true
+}
+
+func (t *FaultTransport) newConn(c Conn) Conn {
+	t.mu.Lock()
+	seed := t.cfg.Seed + t.nextRNG
+	t.nextRNG++
+	t.mu.Unlock()
+	return &faultConn{Conn: c, t: t, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Dial connects through the inner transport, unless the schedule has
+// declared the peer permanently dead.
+func (t *FaultTransport) Dial(addr string) (Conn, error) {
+	if t.cfg.DenyDialsAfter > 0 {
+		t.mu.Lock()
+		deny := t.dials >= int64(t.cfg.DenyDialsAfter)
+		if !deny {
+			t.dials++
+		}
+		t.mu.Unlock()
+		if deny {
+			atomic.AddInt64(&t.denied, 1)
+			return nil, &Error{Op: "dial", Addr: addr, Transient: true,
+				Err: fmt.Errorf("chaos: dial denied (peer declared dead)")}
+		}
+	}
+	c, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.newConn(c), nil
+}
+
+// Listen wraps the inner listener so accepted connections inject faults
+// too.
+func (t *FaultTransport) Listen(addr string) (Listener, error) {
+	ln, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &faultListener{Listener: ln, t: t}, nil
+}
+
+type faultListener struct {
+	Listener
+	t *FaultTransport
+}
+
+func (ln *faultListener) Accept() (Conn, error) {
+	c, err := ln.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return ln.t.newConn(c), nil
+}
+
+// faultConn injects the schedule into Write calls. The Link layer writes
+// exactly one frame per Write (writeFrame and the resend buffer both
+// produce whole-frame byte slices), so per-write faults are per-frame
+// faults.
+type faultConn struct {
+	Conn
+	t *FaultTransport
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+	dead   bool
+}
+
+// errSevered is what writes on a chaos-severed connection report.
+var errSevered = fmt.Errorf("chaos: connection severed")
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, &Error{Op: "send", Addr: c.RemoteAddr(), Err: errSevered}
+	}
+	ord := c.writes
+	c.writes++
+	cfg := &c.t.cfg
+	if ord < cfg.SkipFrames {
+		return c.Conn.Write(p)
+	}
+	for _, at := range cfg.SeverAt {
+		if at == ord && c.t.spendFault() {
+			return c.sever()
+		}
+	}
+	// One frame per write: byte 4 is the frame type, so session frames
+	// are identifiable without extra plumbing.
+	session := len(p) > 4 && numberedFrame(p[4])
+	roll := c.rng.Float64()
+	switch {
+	case cfg.Sever > 0 && roll < cfg.Sever && c.t.spendFault():
+		return c.sever()
+	case session && cfg.Drop > 0 && roll < cfg.Drop && c.t.spendFault():
+		atomic.AddInt64(&c.t.drops, 1)
+		return len(p), nil // swallowed; peer sees a sequence gap next frame
+	case session && cfg.Corrupt > 0 && roll < cfg.Corrupt && c.t.spendFault():
+		atomic.AddInt64(&c.t.corrupts, 1)
+		bad := make([]byte, len(p))
+		copy(bad, p)
+		bad[4+c.rng.Intn(len(bad)-4)] ^= 0x20
+		return c.Conn.Write(bad)
+	case session && cfg.Duplicate > 0 && roll < cfg.Duplicate && c.t.spendFault():
+		atomic.AddInt64(&c.t.dups, 1)
+		if n, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(p)
+	case cfg.Delay > 0 && roll < cfg.Delay && c.t.spendFault():
+		atomic.AddInt64(&c.t.delays, 1)
+		time.Sleep(cfg.DelayFor)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *faultConn) sever() (int, error) {
+	atomic.AddInt64(&c.t.severs, 1)
+	c.dead = true
+	c.Conn.Close()
+	return 0, &Error{Op: "send", Addr: c.RemoteAddr(), Err: errSevered}
+}
+
+// ParseFaultSpec parses a "key=value,key=value" chaos specification, as
+// accepted by spinode's -chaos flag. Keys: seed, drop, dup, corrupt,
+// delay, delayms, sever, severat (semicolon-separated ordinals), skip,
+// maxfaults, denydials.
+func ParseFaultSpec(spec string) (FaultConfig, error) {
+	var cfg FaultConfig
+	if strings.TrimSpace(spec) == "" {
+		return cfg, fmt.Errorf("empty chaos spec")
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return cfg, fmt.Errorf("chaos spec entry %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "drop":
+			cfg.Drop, err = strconv.ParseFloat(val, 64)
+		case "dup":
+			cfg.Duplicate, err = strconv.ParseFloat(val, 64)
+		case "corrupt":
+			cfg.Corrupt, err = strconv.ParseFloat(val, 64)
+		case "delay":
+			cfg.Delay, err = strconv.ParseFloat(val, 64)
+		case "delayms":
+			var ms int
+			ms, err = strconv.Atoi(val)
+			cfg.DelayFor = time.Duration(ms) * time.Millisecond
+		case "sever":
+			cfg.Sever, err = strconv.ParseFloat(val, 64)
+		case "severat":
+			for _, s := range strings.Split(val, ";") {
+				var at int
+				if at, err = strconv.Atoi(s); err != nil {
+					break
+				}
+				cfg.SeverAt = append(cfg.SeverAt, at)
+			}
+		case "skip":
+			cfg.SkipFrames, err = strconv.Atoi(val)
+		case "maxfaults":
+			cfg.MaxFaults, err = strconv.Atoi(val)
+		case "denydials":
+			cfg.DenyDialsAfter, err = strconv.Atoi(val)
+		default:
+			return cfg, fmt.Errorf("unknown chaos spec key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("chaos spec %s=%s: %v", key, val, err)
+		}
+	}
+	return cfg, nil
+}

@@ -3,38 +3,69 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Link wire protocol. Every frame is length-delimited so the SPI message
-// inside a DATA frame crosses the stream byte-identical to its in-process
-// encoding (spi.EncodeMessage):
+// Link wire protocol, version 2. Every frame is length-delimited and
+// self-checking so the SPI message inside a DATA frame crosses the stream
+// byte-identical to its in-process encoding (spi.EncodeMessage), and so a
+// corrupted or truncated frame is detected at the receiver instead of
+// silently poisoning the dataflow:
 //
-//	frame   := u32 length | u8 type | body          (length covers type+body)
-//	HELLO   := u32 magic | u8 version | u16 node | u16 nedges | nedges * decl
-//	decl    := u16 edge | u8 mode | u8 flags | u32 bytes | u8 protocol | u32 capacity
-//	DATA    := SPI-encoded message (edge ID in its first 2 bytes)
-//	ACK     := u16 edge | u32 count                 (BBS credits / UBS acks)
-//	GOODBYE := empty                                (graceful shutdown)
+//	frame    := u32 length | u8 type | u64 seq | u32 crc | body
+//	HELLO    := u32 magic | u8 version | u16 node | u64 token | u16 nedges | nedges * decl
+//	decl     := u16 edge | u8 mode | u8 flags | u32 bytes | u8 protocol | u32 capacity
+//	DATA     := SPI-encoded message (edge ID in its first 2 bytes)
+//	ACK      := u16 edge | u32 count                (BBS credits / UBS acks)
+//	FIN      := u16 edge                            (edge teardown, degradation)
+//	CUMACK   := u64 recvSeq                         (transport-level cumulative ack)
+//	RESUME   := u32 magic | u8 version | u16 node | u64 token | u64 recvSeq
+//	RESUMEOK := u64 recvSeq
+//	GOODBYE  := empty                               (graceful shutdown)
 //
-// All integers are little-endian, matching the SPI message headers.
+// length covers type+seq+crc+body; crc is CRC-32 (IEEE) over type|seq|body.
+// seq is a per-direction monotonic sequence number carried by the session
+// frames (DATA, ACK, FIN) — those are buffered by the sender until the
+// peer's CUMACK covers them, which is what makes a RESUME handshake able to
+// replay exactly the unacknowledged suffix after a connection is re-dialed.
+// Control frames (HELLO, CUMACK, RESUME, RESUMEOK, GOODBYE) carry seq 0 and
+// are never replayed. All integers are little-endian, matching the SPI
+// message headers.
 const (
-	frameHello   byte = 1
-	frameData    byte = 2
-	frameAck     byte = 3
-	frameGoodbye byte = 4
+	frameHello    byte = 1
+	frameData     byte = 2
+	frameAck      byte = 3
+	frameGoodbye  byte = 4
+	frameCumAck   byte = 5
+	frameResume   byte = 6
+	frameResumeOK byte = 7
+	frameFin      byte = 8
 
 	helloMagic   uint32 = 0x53504931 // "SPI1"
-	helloVersion byte   = 1
+	helloVersion byte   = 2
 
-	frameHeaderBytes = 5
+	frameHeaderBytes = 17 // u32 length + u8 type + u64 seq + u32 crc
+	helloFixedBytes  = 17 // magic + version + node + token + nedges
 	declBytes        = 13
 	ackBodyBytes     = 6
+	finBodyBytes     = 2
+	cumAckBodyBytes  = 8
+	resumeBodyBytes  = 23 // magic + version + node + token + recvSeq
 
 	// DefaultMaxFrame bounds one frame; anything larger on the wire is a
 	// framing error, protecting the receiver from hostile length fields.
 	DefaultMaxFrame = 1 << 24
 )
+
+// numberedFrame reports whether a frame type carries a session sequence
+// number, i.e. participates in resend buffering and RESUME replay.
+// GOODBYE is numbered so a graceful close cannot outrun lost data: the
+// frame only passes the receiver's sequence filter once every prior
+// session frame has arrived, and a RESUME replays it like any other.
+func numberedFrame(typ byte) bool {
+	return typ == frameData || typ == frameAck || typ == frameFin || typ == frameGoodbye
+}
 
 // EdgeDecl is one edge's entry in the handshake manifest. Both sides of a
 // link declare every SPI edge they expect to carry; the handshake fails
@@ -56,40 +87,60 @@ type EdgeDecl struct {
 	Capacity uint32
 }
 
-func writeFrame(w io.Writer, typ byte, body []byte) error {
+// frameCRC covers everything the length field delimits except the crc
+// itself, so any single corrupted byte — including in the type or sequence
+// fields — fails verification.
+func frameCRC(typ byte, seq uint64, body []byte) uint32 {
+	var hdr [9]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint64(hdr[1:], seq)
+	return crc32.Update(crc32.ChecksumIEEE(hdr[:]), crc32.IEEETable, body)
+}
+
+func writeFrame(w io.Writer, typ byte, seq uint64, body []byte) error {
 	hdr := make([]byte, frameHeaderBytes, frameHeaderBytes+len(body))
-	binary.LittleEndian.PutUint32(hdr, uint32(1+len(body)))
+	binary.LittleEndian.PutUint32(hdr, uint32(13+len(body)))
 	hdr[4] = typ
+	binary.LittleEndian.PutUint64(hdr[5:], seq)
+	binary.LittleEndian.PutUint32(hdr[13:], frameCRC(typ, seq, body))
 	_, err := w.Write(append(hdr, body...))
 	return err
 }
 
-func readFrame(r io.Reader, maxFrame int) (typ byte, body []byte, err error) {
+func readFrame(r io.Reader, maxFrame int) (typ byte, seq uint64, body []byte, err error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(lenBuf[:])
-	if n < 1 {
-		return 0, nil, fmt.Errorf("frame of %d bytes shorter than type byte", n)
+	if n < 13 {
+		return 0, 0, nil, fmt.Errorf("frame of %d bytes shorter than its header", n)
 	}
 	if int(n) > maxFrame {
-		return 0, nil, fmt.Errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
+		return 0, 0, nil, fmt.Errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return buf[0], buf[1:], nil
+	typ = buf[0]
+	seq = binary.LittleEndian.Uint64(buf[1:])
+	crc := binary.LittleEndian.Uint32(buf[9:])
+	body = buf[13:]
+	if got := frameCRC(typ, seq, body); got != crc {
+		return 0, 0, nil, fmt.Errorf("frame checksum mismatch: %#x on the wire, computed %#x", crc, got)
+	}
+	return typ, seq, body, nil
 }
 
-func encodeHello(node uint16, edges []EdgeDecl) []byte {
-	body := make([]byte, 9+len(edges)*declBytes)
+func encodeHello(node uint16, token uint64, edges []EdgeDecl) []byte {
+	body := make([]byte, helloFixedBytes+len(edges)*declBytes)
 	binary.LittleEndian.PutUint32(body, helloMagic)
 	body[4] = helloVersion
 	binary.LittleEndian.PutUint16(body[5:], node)
-	binary.LittleEndian.PutUint16(body[7:], uint16(len(edges)))
-	off := 9
+	binary.LittleEndian.PutUint64(body[7:], token)
+	binary.LittleEndian.PutUint16(body[15:], uint16(len(edges)))
+	off := helloFixedBytes
 	for _, d := range edges {
 		binary.LittleEndian.PutUint16(body[off:], d.ID)
 		body[off+2] = d.Mode
@@ -104,23 +155,24 @@ func encodeHello(node uint16, edges []EdgeDecl) []byte {
 	return body
 }
 
-func decodeHello(body []byte) (node uint16, edges []EdgeDecl, err error) {
-	if len(body) < 9 {
-		return 0, nil, fmt.Errorf("hello of %d bytes shorter than fixed header", len(body))
+func decodeHello(body []byte) (node uint16, token uint64, edges []EdgeDecl, err error) {
+	if len(body) < helloFixedBytes {
+		return 0, 0, nil, fmt.Errorf("hello of %d bytes shorter than fixed header", len(body))
 	}
 	if m := binary.LittleEndian.Uint32(body); m != helloMagic {
-		return 0, nil, fmt.Errorf("bad magic %#x", m)
+		return 0, 0, nil, fmt.Errorf("bad magic %#x", m)
 	}
 	if v := body[4]; v != helloVersion {
-		return 0, nil, fmt.Errorf("protocol version %d, want %d", v, helloVersion)
+		return 0, 0, nil, fmt.Errorf("protocol version %d, want %d", v, helloVersion)
 	}
 	node = binary.LittleEndian.Uint16(body[5:])
-	n := int(binary.LittleEndian.Uint16(body[7:]))
-	if len(body) != 9+n*declBytes {
-		return 0, nil, fmt.Errorf("hello declares %d edges but carries %d bytes", n, len(body))
+	token = binary.LittleEndian.Uint64(body[7:])
+	n := int(binary.LittleEndian.Uint16(body[15:]))
+	if len(body) != helloFixedBytes+n*declBytes {
+		return 0, 0, nil, fmt.Errorf("hello declares %d edges but carries %d bytes", n, len(body))
 	}
 	edges = make([]EdgeDecl, n)
-	off := 9
+	off := helloFixedBytes
 	for i := range edges {
 		edges[i] = EdgeDecl{
 			ID:       binary.LittleEndian.Uint16(body[off:]),
@@ -132,7 +184,7 @@ func decodeHello(body []byte) (node uint16, edges []EdgeDecl, err error) {
 		}
 		off += declBytes
 	}
-	return node, edges, nil
+	return node, token, edges, nil
 }
 
 func encodeAck(edge uint16, count uint32) []byte {
@@ -147,4 +199,69 @@ func decodeAck(body []byte) (edge uint16, count uint32, err error) {
 		return 0, 0, fmt.Errorf("ack frame of %d bytes, want %d", len(body), ackBodyBytes)
 	}
 	return binary.LittleEndian.Uint16(body), binary.LittleEndian.Uint32(body[2:]), nil
+}
+
+func encodeFin(edge uint16) []byte {
+	body := make([]byte, finBodyBytes)
+	binary.LittleEndian.PutUint16(body, edge)
+	return body
+}
+
+func decodeFin(body []byte) (edge uint16, err error) {
+	if len(body) != finBodyBytes {
+		return 0, fmt.Errorf("fin frame of %d bytes, want %d", len(body), finBodyBytes)
+	}
+	return binary.LittleEndian.Uint16(body), nil
+}
+
+func encodeCumAck(recvSeq uint64) []byte {
+	body := make([]byte, cumAckBodyBytes)
+	binary.LittleEndian.PutUint64(body, recvSeq)
+	return body
+}
+
+func decodeCumAck(body []byte) (recvSeq uint64, err error) {
+	if len(body) != cumAckBodyBytes {
+		return 0, fmt.Errorf("cumack frame of %d bytes, want %d", len(body), cumAckBodyBytes)
+	}
+	return binary.LittleEndian.Uint64(body), nil
+}
+
+func encodeResume(node uint16, token uint64, recvSeq uint64) []byte {
+	body := make([]byte, resumeBodyBytes)
+	binary.LittleEndian.PutUint32(body, helloMagic)
+	body[4] = helloVersion
+	binary.LittleEndian.PutUint16(body[5:], node)
+	binary.LittleEndian.PutUint64(body[7:], token)
+	binary.LittleEndian.PutUint64(body[15:], recvSeq)
+	return body
+}
+
+func decodeResume(body []byte) (node uint16, token uint64, recvSeq uint64, err error) {
+	if len(body) != resumeBodyBytes {
+		return 0, 0, 0, fmt.Errorf("resume frame of %d bytes, want %d", len(body), resumeBodyBytes)
+	}
+	if m := binary.LittleEndian.Uint32(body); m != helloMagic {
+		return 0, 0, 0, fmt.Errorf("bad resume magic %#x", m)
+	}
+	if v := body[4]; v != helloVersion {
+		return 0, 0, 0, fmt.Errorf("resume protocol version %d, want %d", v, helloVersion)
+	}
+	node = binary.LittleEndian.Uint16(body[5:])
+	token = binary.LittleEndian.Uint64(body[7:])
+	recvSeq = binary.LittleEndian.Uint64(body[15:])
+	return node, token, recvSeq, nil
+}
+
+func encodeResumeOK(recvSeq uint64) []byte {
+	body := make([]byte, cumAckBodyBytes)
+	binary.LittleEndian.PutUint64(body, recvSeq)
+	return body
+}
+
+func decodeResumeOK(body []byte) (recvSeq uint64, err error) {
+	if len(body) != cumAckBodyBytes {
+		return 0, fmt.Errorf("resume-ok frame of %d bytes, want %d", len(body), cumAckBodyBytes)
+	}
+	return binary.LittleEndian.Uint64(body), nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,10 +15,15 @@ import (
 // Handler receives a Link's inbound traffic. Calls are made from the
 // link's single reader goroutine, in wire order. HandleLinkClose is called
 // exactly once — with nil after a graceful GOODBYE, with an error when the
-// connection died or the peer violated the protocol.
+// connection died (and, if reconnection is enabled, every recovery attempt
+// was exhausted) or the peer violated the protocol.
 type Handler interface {
 	HandleData(edge uint16, msg []byte)
 	HandleAck(edge uint16, count uint32)
+	// HandleFin marks one edge as finished by the peer: no more DATA will
+	// arrive on an inbound edge, no more ACK credits on an outbound one.
+	// Degrading nodes use it to release actors blocked on a dead peer.
+	HandleFin(edge uint16)
 	HandleLinkClose(err error)
 }
 
@@ -30,22 +36,35 @@ type LinkConfig struct {
 	// the same edges with complementary directions and identical
 	// mode/bytes/protocol/capacity.
 	Edges []EdgeDecl
-	// SendTimeout bounds each frame write. A timed-out write leaves a
-	// partial frame on the stream, so it poisons the link: the returned
-	// error reports Timeout() but further sends fail with ErrLinkClosed.
-	// Zero means no bound.
+	// SendTimeout bounds each frame write. Without reconnection a
+	// timed-out write poisons the link (the partial frame is
+	// unrecoverable); with reconnection it is treated as a dead
+	// connection and repaired by RESUME replay. Zero means no bound.
 	SendTimeout time.Duration
 	// IdleTimeout bounds the gap between inbound frames; exceeding it
-	// closes the link with a timeout error. Zero means no bound.
+	// counts as a connection failure. Zero means no bound.
 	IdleTimeout time.Duration
 	// HandshakeTimeout bounds the hello exchange (default 5s).
 	HandshakeTimeout time.Duration
-	// CloseTimeout bounds how long Close waits for the peer's GOODBYE
-	// before forcing the connection shut (default 5s).
+	// CloseTimeout bounds how long Close waits — first for a pending
+	// reconnection to replay unacknowledged frames, then for the peer's
+	// GOODBYE — before forcing the connection shut (default 5s).
 	CloseTimeout time.Duration
 	// MaxFrame rejects inbound frames larger than this (default
 	// DefaultMaxFrame).
 	MaxFrame int
+	// Reconnect is the session-resumption policy. The zero value fails
+	// fast on the first connection error, exactly like links behaved
+	// before resumption existed.
+	Reconnect ReconnectConfig
+	// Redial re-establishes the transport connection during an outage.
+	// Required on the dialing side when Reconnect is enabled; the
+	// accepting side leaves it nil and waits for the peer to re-dial.
+	Redial func() (Conn, error)
+	// ResendLimit bounds the resend buffer: session frames are retained
+	// until covered by the peer's cumulative ack, and senders block when
+	// the buffer is full. Default 256 frames.
+	ResendLimit int
 }
 
 func (c *LinkConfig) handshakeTimeout() time.Duration {
@@ -69,118 +88,245 @@ func (c *LinkConfig) maxFrame() int {
 	return DefaultMaxFrame
 }
 
-// LinkStats counts one link's wire traffic (frame bodies plus the 5-byte
+func (c *LinkConfig) resendLimit() int {
+	if c.ResendLimit > 0 {
+		return c.ResendLimit
+	}
+	return 256
+}
+
+// LinkStats counts one link's wire traffic (frame bodies plus the
 // frame headers).
 type LinkStats struct {
 	FramesSent, FramesReceived int64
 	BytesSent, BytesReceived   int64
 	DataSent, DataReceived     int64
 	AcksSent, AcksReceived     int64
+	FinsSent, FinsReceived     int64
+	// Resumes counts successful RESUME handshakes, Retransmits the
+	// frames replayed by them, DuplicatesDropped the inbound frames
+	// discarded by the sequence filter.
+	Resumes, Retransmits, DuplicatesDropped int64
+}
+
+// Link connection states. A link starts up, drops to down when its
+// connection dies with reconnection enabled, returns to up after a RESUME,
+// and ends in closed (deliberate shutdown) or failed (unrecoverable).
+const (
+	stateUp = iota
+	stateDown
+	stateClosed
+	stateFailed
+)
+
+type savedFrame struct {
+	seq  uint64
+	wire []byte
+}
+
+type resumeOffer struct {
+	conn    Conn
+	recvSeq uint64 // peer's receive high-water mark from its RESUME
 }
 
 // Link multiplexes all SPI edges between two PE groups over one Conn.
-// DATA and ACK frames are routed by edge ID; one writer mutex serializes
-// outbound frames and one reader goroutine dispatches inbound ones.
+// DATA, ACK, and FIN frames carry per-link monotonic sequence numbers and
+// stay in a bounded resend buffer until the peer's cumulative transport
+// ack covers them; when the connection dies and LinkConfig.Reconnect
+// allows it, a re-dialed connection replays exactly the unacknowledged
+// suffix via the RESUME handshake. One writer mutex serializes outbound
+// frames and one reader goroutine per connection generation dispatches
+// inbound ones.
+//
+// Lock order: wmu before mu, never the reverse.
 type Link struct {
-	conn Conn
-	cfg  LinkConfig
-	h    Handler
-	peer int
-	out  map[uint16]EdgeDecl // edges the local side sends data on
-	in   map[uint16]EdgeDecl // edges the local side receives data on
+	cfg    LinkConfig
+	h      Handler
+	peer   int
+	token  uint64
+	raddr  string
+	dialer bool
+	out    map[uint16]EdgeDecl // edges the local side sends data on
+	in     map[uint16]EdgeDecl // edges the local side receives data on
 
-	wmu        sync.Mutex
-	sendClosed bool
+	wmu sync.Mutex // serializes connection writes and RESUME replay
 
-	closing    atomic.Bool
+	mu         sync.Mutex
+	conn       Conn
+	state      int
+	gen        int // bumped each time the connection goes down
+	closing    bool
+	graceful   bool // local Close has begun; close notifications report nil
+	peerClosed bool // peer sent GOODBYE
+	failErr    error
+	sendSeq    uint64 // last sequence number assigned to an outbound frame
+	recvSeq    uint64 // last in-order sequence number received
+	peerAcked  uint64 // highest cumulative ack received from the peer
+	unacked    []savedFrame
+	changed    chan struct{} // closed+replaced on every state/buffer change
+	readerDone chan struct{} // current generation's reader exit
+
+	closedCh chan struct{} // closed once when Close/Abort begins
+	resumeCh chan resumeOffer
+
 	notifyOnce sync.Once
 	closeOnce  sync.Once
-	readerDone chan struct{}
 
-	framesSent, framesRecv int64
-	bytesSent, bytesRecv   int64
-	dataSent, dataRecv     int64
-	acksSent, acksRecv     int64
+	framesSent, framesRecv            int64
+	bytesSent, bytesRecv              int64
+	dataSent, dataRecv                int64
+	acksSent, acksRecv                int64
+	finsSent, finsRecv                int64
+	resumes, retransmits, dupsDropped int64
 }
 
-// NewLink runs the dialer side of the handshake on conn — send hello, read
-// the peer's hello, verify the manifests — and starts the reader. On any
-// handshake failure the connection is closed.
+func newToken() (uint64, error) {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// NewLink runs the dialer side of the handshake on conn — send hello
+// (carrying a fresh session token), read the peer's echo, verify the
+// manifests — and starts the reader. On any handshake failure the
+// connection is closed.
 func NewLink(conn Conn, cfg LinkConfig, h Handler) (*Link, error) {
-	deadline := time.Now().Add(cfg.handshakeTimeout())
-	conn.SetWriteDeadline(deadline)
-	if err := writeFrame(conn, frameHello, encodeHello(uint16(cfg.Node), cfg.Edges)); err != nil {
+	token, err := newToken()
+	if err != nil {
 		conn.Close()
 		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
-	peer, peerEdges, err := readHello(conn, deadline, cfg.maxFrame())
+	deadline := time.Now().Add(cfg.handshakeTimeout())
+	conn.SetWriteDeadline(deadline)
+	if err := writeFrame(conn, frameHello, 0, encodeHello(uint16(cfg.Node), token, cfg.Edges)); err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
+	peer, peerToken, peerEdges, err := readHello(conn, deadline, cfg.maxFrame())
 	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	if peerToken != token {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
+			Err: fmt.Errorf("peer echoed session token %#x, want %#x", peerToken, token)}
 	}
 	if err := verifyManifest(cfg.Edges, peerEdges); err != nil {
 		conn.Close()
 		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
-	return startLink(conn, cfg, h, int(peer)), nil
+	return startLink(conn, cfg, h, int(peer), token, true), nil
 }
 
 // AcceptLink runs the listener side of the handshake: read the dialer's
 // hello first (learning which peer connected), obtain the local manifest
 // and handler for that peer from lookup, then answer with the local hello.
 func AcceptLink(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Handler, error)) (*Link, error) {
-	deadline := time.Now().Add(cfg.handshakeTimeout())
-	peer, peerEdges, err := readHello(conn, deadline, cfg.maxFrame())
-	if err != nil {
-		conn.Close()
-		return nil, err
-	}
-	edges, h, err := lookup(int(peer))
-	if err != nil {
-		conn.Close()
-		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
-	}
-	cfg.Edges = edges
-	if err := verifyManifest(cfg.Edges, peerEdges); err != nil {
-		conn.Close()
-		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
-	}
-	conn.SetWriteDeadline(deadline)
-	if err := writeFrame(conn, frameHello, encodeHello(uint16(cfg.Node), cfg.Edges)); err != nil {
-		conn.Close()
-		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
-	}
-	return startLink(conn, cfg, h, int(peer)), nil
+	return AcceptConn(conn, cfg, lookup, nil)
 }
 
-func readHello(conn Conn, deadline time.Time, maxFrame int) (uint16, []EdgeDecl, error) {
+// AcceptConn reads the first frame on an inbound connection and routes it.
+// A HELLO runs the full listener-side handshake and returns a new link. A
+// RESUME hands the connection to the parked link returned by resume(peer,
+// token) and returns (nil, nil); the resumed link replays its
+// unacknowledged frames internally. With resume == nil, RESUME frames are
+// rejected.
+func AcceptConn(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Handler, error), resume func(peer int, token uint64) *Link) (*Link, error) {
+	deadline := time.Now().Add(cfg.handshakeTimeout())
 	conn.SetReadDeadline(deadline)
-	typ, body, err := readFrame(conn, maxFrame)
+	typ, _, body, err := readFrame(conn, cfg.maxFrame())
 	if err != nil {
-		return 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Transient: isTimeout(err), Err: err}
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Transient: isTimeout(err), Err: err}
+	}
+	switch typ {
+	case frameResume:
+		peer, token, recvSeq, err := decodeResume(body)
+		if err != nil {
+			conn.Close()
+			return nil, &Error{Op: "resume", Addr: conn.RemoteAddr(), Err: err}
+		}
+		var l *Link
+		if resume != nil {
+			l = resume(int(peer), token)
+		}
+		if l == nil {
+			conn.Close()
+			return nil, &Error{Op: "resume", Addr: conn.RemoteAddr(),
+				Err: fmt.Errorf("no resumable link for node %d", peer)}
+		}
+		if err := l.adoptConn(conn, recvSeq); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case frameHello:
+		peer, token, peerEdges, err := decodeHello(body)
+		if err != nil {
+			conn.Close()
+			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		}
+		edges, h, err := lookup(int(peer))
+		if err != nil {
+			conn.Close()
+			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		}
+		cfg.Edges = edges
+		if err := verifyManifest(cfg.Edges, peerEdges); err != nil {
+			conn.Close()
+			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		}
+		conn.SetWriteDeadline(deadline)
+		if err := writeFrame(conn, frameHello, 0, encodeHello(uint16(cfg.Node), token, cfg.Edges)); err != nil {
+			conn.Close()
+			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		}
+		return startLink(conn, cfg, h, int(peer), token, false), nil
+	default:
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
+			Err: fmt.Errorf("first frame has type %d, want hello or resume", typ)}
+	}
+}
+
+func readHello(conn Conn, deadline time.Time, maxFrame int) (uint16, uint64, []EdgeDecl, error) {
+	conn.SetReadDeadline(deadline)
+	typ, _, body, err := readFrame(conn, maxFrame)
+	if err != nil {
+		return 0, 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Transient: isTimeout(err), Err: err}
 	}
 	if typ != frameHello {
-		return 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
+		return 0, 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
 			Err: fmt.Errorf("first frame has type %d, want hello", typ)}
 	}
-	peer, edges, err := decodeHello(body)
+	peer, token, edges, err := decodeHello(body)
 	if err != nil {
-		return 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		return 0, 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
-	return peer, edges, nil
+	return peer, token, edges, nil
 }
 
-func startLink(conn Conn, cfg LinkConfig, h Handler, peer int) *Link {
+func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dialer bool) *Link {
 	conn.SetReadDeadline(time.Time{})
 	conn.SetWriteDeadline(time.Time{})
+	cfg.Reconnect = cfg.Reconnect.withDefaults()
 	l := &Link{
-		conn:       conn,
 		cfg:        cfg,
 		h:          h,
 		peer:       peer,
+		token:      token,
+		raddr:      conn.RemoteAddr(),
+		dialer:     dialer,
 		out:        map[uint16]EdgeDecl{},
 		in:         map[uint16]EdgeDecl{},
+		conn:       conn,
+		state:      stateUp,
+		changed:    make(chan struct{}),
 		readerDone: make(chan struct{}),
+		closedCh:   make(chan struct{}),
+		resumeCh:   make(chan resumeOffer, 1),
 	}
 	for _, d := range cfg.Edges {
 		if d.Out {
@@ -189,7 +335,7 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int) *Link {
 			l.in[d.ID] = d
 		}
 	}
-	go l.readLoop()
+	go l.readLoop(conn, 0, l.readerDone)
 	return l
 }
 
@@ -239,30 +385,40 @@ func direction(out bool) string {
 // PeerNode returns the peer identity learned in the handshake.
 func (l *Link) PeerNode() int { return l.peer }
 
+// Token returns the session token negotiated in the handshake; the
+// accepting side's owner uses it to route RESUME connections back to this
+// link (see AcceptConn).
+func (l *Link) Token() uint64 { return l.token }
+
 // RemoteAddr reports the peer's address for diagnostics.
-func (l *Link) RemoteAddr() string { return l.conn.RemoteAddr() }
+func (l *Link) RemoteAddr() string { return l.raddr }
 
 // Stats returns a snapshot of the link's traffic counters.
 func (l *Link) Stats() LinkStats {
 	return LinkStats{
-		FramesSent:     atomic.LoadInt64(&l.framesSent),
-		FramesReceived: atomic.LoadInt64(&l.framesRecv),
-		BytesSent:      atomic.LoadInt64(&l.bytesSent),
-		BytesReceived:  atomic.LoadInt64(&l.bytesRecv),
-		DataSent:       atomic.LoadInt64(&l.dataSent),
-		DataReceived:   atomic.LoadInt64(&l.dataRecv),
-		AcksSent:       atomic.LoadInt64(&l.acksSent),
-		AcksReceived:   atomic.LoadInt64(&l.acksRecv),
+		FramesSent:        atomic.LoadInt64(&l.framesSent),
+		FramesReceived:    atomic.LoadInt64(&l.framesRecv),
+		BytesSent:         atomic.LoadInt64(&l.bytesSent),
+		BytesReceived:     atomic.LoadInt64(&l.bytesRecv),
+		DataSent:          atomic.LoadInt64(&l.dataSent),
+		DataReceived:      atomic.LoadInt64(&l.dataRecv),
+		AcksSent:          atomic.LoadInt64(&l.acksSent),
+		AcksReceived:      atomic.LoadInt64(&l.acksRecv),
+		FinsSent:          atomic.LoadInt64(&l.finsSent),
+		FinsReceived:      atomic.LoadInt64(&l.finsRecv),
+		Resumes:           atomic.LoadInt64(&l.resumes),
+		Retransmits:       atomic.LoadInt64(&l.retransmits),
+		DuplicatesDropped: atomic.LoadInt64(&l.dupsDropped),
 	}
 }
 
 // SendData transmits one SPI-encoded message on an outbound edge.
 func (l *Link) SendData(edge uint16, msg []byte) error {
 	if _, ok := l.out[edge]; !ok {
-		return &Error{Op: "send", Addr: l.conn.RemoteAddr(),
+		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not outbound on this link", edge)}
 	}
-	if err := l.sendFrame(frameData, msg); err != nil {
+	if err := l.sendSession(frameData, msg); err != nil {
 		return err
 	}
 	atomic.AddInt64(&l.dataSent, 1)
@@ -272,141 +428,174 @@ func (l *Link) SendData(edge uint16, msg []byte) error {
 // SendAck transmits a BBS credit / UBS acknowledgement for an inbound edge.
 func (l *Link) SendAck(edge uint16, count uint32) error {
 	if _, ok := l.in[edge]; !ok {
-		return &Error{Op: "send", Addr: l.conn.RemoteAddr(),
+		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not inbound on this link", edge)}
 	}
-	if err := l.sendFrame(frameAck, encodeAck(edge, count)); err != nil {
+	if err := l.sendSession(frameAck, encodeAck(edge, count)); err != nil {
 		return err
 	}
 	atomic.AddInt64(&l.acksSent, 1)
 	return nil
 }
 
-func (l *Link) sendFrame(typ byte, body []byte) error {
-	l.wmu.Lock()
-	defer l.wmu.Unlock()
-	if l.sendClosed {
-		return &Error{Op: "send", Addr: l.conn.RemoteAddr(), Err: ErrLinkClosed}
+// SendFin marks one edge finished: the peer stops expecting DATA (outbound
+// edge) or ACK credits (inbound edge) on it. Degrading nodes send FINs on
+// every edge touching a dead peer's actors so the survivors unblock.
+func (l *Link) SendFin(edge uint16) error {
+	_, outOK := l.out[edge]
+	_, inOK := l.in[edge]
+	if !outOK && !inOK {
+		return &Error{Op: "send", Addr: l.raddr,
+			Err: fmt.Errorf("edge %d is not declared on this link", edge)}
 	}
-	if l.cfg.SendTimeout > 0 {
-		l.conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
+	if err := l.sendSession(frameFin, encodeFin(edge)); err != nil {
+		return err
 	}
-	if err := writeFrame(l.conn, typ, body); err != nil {
-		// Any failed write may leave a partial frame on the stream, so
-		// the link is unusable either way; Timeout() still distinguishes
-		// a slow peer from a dead one for the caller's diagnostics.
-		l.sendClosed = true
-		return &Error{Op: "send", Addr: l.conn.RemoteAddr(), Err: err}
-	}
-	atomic.AddInt64(&l.framesSent, 1)
-	atomic.AddInt64(&l.bytesSent, int64(frameHeaderBytes+len(body)))
+	atomic.AddInt64(&l.finsSent, 1)
 	return nil
 }
 
-func (l *Link) readLoop() {
-	defer close(l.readerDone)
+// sendSession assigns the next sequence number to one session frame,
+// stores it in the resend buffer, and writes it out. While the link is
+// down with reconnection pending, or the resend buffer is full, it blocks
+// until the state changes. With reconnection enabled a failed write is not
+// an error: the frame is already buffered and the RESUME replay delivers
+// it.
+func (l *Link) sendSession(typ byte, body []byte) error {
 	for {
-		if l.cfg.IdleTimeout > 0 {
-			l.conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
+		l.wmu.Lock()
+		l.mu.Lock()
+		switch {
+		case l.closing || l.state == stateClosed:
+			l.mu.Unlock()
+			l.wmu.Unlock()
+			return &Error{Op: "send", Addr: l.raddr, Err: ErrLinkClosed}
+		case l.state == stateFailed:
+			err := l.failErr
+			l.mu.Unlock()
+			l.wmu.Unlock()
+			if err == nil {
+				err = ErrLinkClosed
+			}
+			return &Error{Op: "send", Addr: l.raddr, Err: err}
+		case l.state == stateDown, len(l.unacked) >= l.cfg.resendLimit():
+			ch := l.changed
+			l.mu.Unlock()
+			l.wmu.Unlock()
+			<-ch
+			continue
 		}
-		typ, body, err := readFrame(l.conn, l.cfg.maxFrame())
+		l.sendSeq++
+		seq := l.sendSeq
+		wire := encodeFrame(typ, seq, body)
+		l.unacked = append(l.unacked, savedFrame{seq: seq, wire: wire})
+		conn, gen := l.conn, l.gen
+		l.mu.Unlock()
+		if l.cfg.SendTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
+		}
+		_, err := conn.Write(wire)
+		l.wmu.Unlock()
 		if err != nil {
-			if l.closing.Load() {
-				// Local Close already decided the link's fate; the read
-				// error is just the connection being torn down.
-				l.notifyClose(nil)
-			} else {
-				l.notifyClose(&Error{Op: "recv", Addr: l.conn.RemoteAddr(),
-					Transient: isTimeout(err), Err: err})
+			werr := &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err}
+			if l.cfg.Reconnect.Enabled() {
+				// The frame is buffered; recovery will replay it.
+				l.connError(gen, werr)
+				return nil
 			}
-			return
+			l.poisonSend(gen)
+			return werr
 		}
-		atomic.AddInt64(&l.framesRecv, 1)
-		atomic.AddInt64(&l.bytesRecv, int64(frameHeaderBytes+len(body)))
-		switch typ {
-		case frameData:
-			if len(body) < 2 {
-				l.protocolError(fmt.Errorf("data frame of %d bytes shorter than an SPI header", len(body)))
-				return
-			}
-			id := binary.LittleEndian.Uint16(body)
-			if _, ok := l.in[id]; !ok {
-				l.protocolError(fmt.Errorf("data frame for undeclared inbound edge %d", id))
-				return
-			}
-			atomic.AddInt64(&l.dataRecv, 1)
-			l.h.HandleData(id, body)
-		case frameAck:
-			id, n, err := decodeAck(body)
-			if err != nil {
-				l.protocolError(err)
-				return
-			}
-			if _, ok := l.out[id]; !ok {
-				l.protocolError(fmt.Errorf("ack frame for undeclared outbound edge %d", id))
-				return
-			}
-			atomic.AddInt64(&l.acksRecv, 1)
-			l.h.HandleAck(id, n)
-		case frameGoodbye:
-			l.notifyClose(nil)
-			return
-		default:
-			l.protocolError(fmt.Errorf("unexpected frame type %d", typ))
-			return
-		}
+		atomic.AddInt64(&l.framesSent, 1)
+		atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+		return nil
 	}
 }
 
-func (l *Link) protocolError(err error) {
-	l.notifyClose(&Error{Op: "recv", Addr: l.conn.RemoteAddr(), Err: err})
+// encodeFrame builds the complete wire bytes for one frame, so the resend
+// buffer can replay it with a single Write and the CRC is computed once.
+func encodeFrame(typ byte, seq uint64, body []byte) []byte {
+	wire := make([]byte, frameHeaderBytes+len(body))
+	binary.LittleEndian.PutUint32(wire, uint32(13+len(body)))
+	wire[4] = typ
+	binary.LittleEndian.PutUint64(wire[5:], seq)
+	binary.LittleEndian.PutUint32(wire[13:], frameCRC(typ, seq, body))
+	copy(wire[frameHeaderBytes:], body)
+	return wire
+}
+
+// poisonSend marks the link failed after a write error in fail-fast mode.
+// The connection stays open — inbound frames may still drain — matching
+// the pre-resumption behavior where only the send half was poisoned.
+func (l *Link) poisonSend(gen int) {
+	l.mu.Lock()
+	if gen == l.gen && l.state == stateUp {
+		l.state = stateFailed
+		l.failErr = ErrLinkClosed
+		l.broadcastLocked()
+	}
+	l.mu.Unlock()
+}
+
+// connError reports a dead connection observed by generation gen. Stale
+// generations and deliberate shutdowns are ignored; otherwise the link
+// goes down (reconnection enabled) or fails (fail-fast).
+func (l *Link) connError(gen int, err error) {
+	l.mu.Lock()
+	if gen != l.gen || l.state != stateUp {
+		l.mu.Unlock()
+		return
+	}
+	if l.closing || l.peerGoneLocked() {
+		l.mu.Unlock()
+		l.notifyClose(nil)
+		return
+	}
+	notify := l.goDownLocked(err)
+	l.mu.Unlock()
+	if notify != nil {
+		l.notifyClose(notify)
+	}
+}
+
+// goDownLocked transitions up→down (spawning recovery) or up→failed. The
+// caller holds mu; the returned error, if non-nil, must be passed to
+// notifyClose after unlocking.
+func (l *Link) goDownLocked(cause error) error {
 	l.conn.Close()
+	l.gen++
+	prevDone := l.readerDone
+	if l.cfg.Reconnect.Enabled() {
+		l.state = stateDown
+		l.broadcastLocked()
+		go l.recover(l.gen, prevDone, cause)
+		return nil
+	}
+	l.state = stateFailed
+	l.failErr = ErrLinkClosed
+	l.broadcastLocked()
+	return cause
+}
+
+func (l *Link) broadcastLocked() {
+	close(l.changed)
+	l.changed = make(chan struct{})
 }
 
 func (l *Link) notifyClose(err error) {
+	l.mu.Lock()
+	if l.graceful {
+		// The local side chose to close; whatever the connection did
+		// while draining, the shutdown is deliberate, not a failure.
+		err = nil
+	}
+	l.mu.Unlock()
 	l.notifyOnce.Do(func() { l.h.HandleLinkClose(err) })
-}
-
-// Close shuts the link down gracefully: send GOODBYE, wait (bounded by
-// CloseTimeout) until the peer's GOODBYE arrives so in-flight frames in
-// both directions drain, then close the connection and reap the reader
-// goroutine. Close is idempotent and safe to call from any goroutine.
-func (l *Link) Close() error {
-	l.closeOnce.Do(func() {
-		l.wmu.Lock()
-		if !l.sendClosed {
-			l.conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
-			writeFrame(l.conn, frameGoodbye, nil)
-			l.sendClosed = true
-		}
-		l.wmu.Unlock()
-		select {
-		case <-l.readerDone:
-		case <-time.After(l.cfg.closeTimeout()):
-		}
-		l.closing.Store(true)
-		l.conn.Close()
-		<-l.readerDone
-	})
-	return nil
-}
-
-// Abort tears the link down immediately, without the GOODBYE exchange: the
-// peer observes a connection error, distinguishing a failed node from one
-// that completed and closed gracefully. The local handler's close callback
-// reports nil (the shutdown was deliberate).
-func (l *Link) Abort() {
-	l.closeOnce.Do(func() {
-		l.wmu.Lock()
-		l.sendClosed = true
-		l.wmu.Unlock()
-		l.closing.Store(true)
-		l.conn.Close()
-		<-l.readerDone
-	})
 }
 
 func isTimeout(err error) bool {
 	var ne net.Error
 	return errors.As(err, &ne) && ne.Timeout()
 }
+
+var errResumePending = errors.New("resume already pending")

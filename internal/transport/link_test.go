@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -13,6 +14,7 @@ type recordingHandler struct {
 	mu     sync.Mutex
 	data   map[uint16][][]byte
 	acks   map[uint16]uint32
+	fins   map[uint16]int
 	closed chan error
 }
 
@@ -20,6 +22,7 @@ func newRecordingHandler() *recordingHandler {
 	return &recordingHandler{
 		data:   map[uint16][][]byte{},
 		acks:   map[uint16]uint32{},
+		fins:   map[uint16]int{},
 		closed: make(chan error, 1),
 	}
 }
@@ -36,6 +39,12 @@ func (h *recordingHandler) HandleAck(edge uint16, n uint32) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.acks[edge] += n
+}
+
+func (h *recordingHandler) HandleFin(edge uint16) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.fins[edge]++
 }
 
 func (h *recordingHandler) HandleLinkClose(err error) { h.closed <- err }
@@ -107,7 +116,7 @@ func linkPair(t *testing.T, tr Transport, addr string, hd, ha Handler) (*Link, *
 		})
 		acceptCh <- acceptResult{l, err}
 	}()
-	c, err := DialRetry(tr, ln.Addr(), RetryConfig{Attempts: 20, BaseDelay: time.Millisecond})
+	c, err := DialRetry(context.Background(), tr, ln.Addr(), RetryConfig{Attempts: 20, BaseDelay: time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,12 +301,18 @@ func TestSendTimeoutPoisonsLink(t *testing.T) {
 		if err != nil {
 			return
 		}
-		// Handshake manually, then stop reading: the link's writes must
-		// hit their deadline instead of blocking forever.
-		if _, _, err := readFrame(c, DefaultMaxFrame); err != nil {
+		// Handshake manually (echoing the dialer's session token), then
+		// stop reading: the link's writes must hit their deadline instead
+		// of blocking forever.
+		_, _, body, err := readFrame(c, DefaultMaxFrame)
+		if err != nil {
 			return
 		}
-		if err := writeFrame(c, frameHello, encodeHello(1, testManifest(false))); err != nil {
+		_, token, _, err := decodeHello(body)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(c, frameHello, 0, encodeHello(1, token, testManifest(false))); err != nil {
 			return
 		}
 		peerReady <- c
@@ -421,4 +436,117 @@ func TestAbruptPeerDeathReportsError(t *testing.T) {
 			acceptor.Close()
 		})
 	}
+}
+
+// TestCloseRacesSend drives concurrent Send traffic into a link while
+// Close runs on both sides, plus a racing double-Close. Run under -race
+// (make check does) this verifies the shutdown path holds its locking
+// discipline: every send either delivers or fails with ErrLinkClosed, and
+// nothing panics or deadlocks.
+func TestCloseRacesSend(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			hd, ha := newRecordingHandler(), newRecordingHandler()
+			dialer, acceptor := linkPair(t, tr, testAddr(name), hd, ha)
+			msg := []byte{7, 0, 4, 0, 0, 0, 1, 2, 3, 4}
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for i := 0; i < 4; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for j := 0; j < 200; j++ {
+						if err := dialer.SendData(7, msg); err != nil {
+							return // link closed underneath us: expected
+						}
+					}
+				}()
+			}
+			// Two goroutines per side call Close: double-Close must be a
+			// no-op, concurrent Close+Send must not race.
+			for i := 0; i < 2; i++ {
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					<-start
+					dialer.Close()
+				}()
+				go func() {
+					defer wg.Done()
+					<-start
+					acceptor.Close()
+				}()
+			}
+			close(start)
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("close racing send deadlocked")
+			}
+			if err := dialer.SendData(7, msg); err == nil {
+				t.Fatal("send after close should fail")
+			}
+		})
+	}
+}
+
+// TestDoubleCloseAndAbort checks the teardown entry points are idempotent
+// and safe to combine.
+func TestDoubleCloseAndAbort(t *testing.T) {
+	tr := NewLoopback()
+	hd, ha := newRecordingHandler(), newRecordingHandler()
+	dialer, acceptor := linkPair(t, tr, "dc", hd, ha)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(2)
+		go func() { defer wg.Done(); dialer.Close() }()
+		go func() { defer wg.Done(); acceptor.Abort() }()
+	}
+	wg.Wait()
+	if err := <-hd.closed; err == nil {
+		// Acceptor aborted, so the dialer may see either its own nil
+		// close (if Close won) or the abort error — both acceptable.
+		_ = err
+	}
+	<-ha.closed
+}
+
+// TestLinkFinRoundTrip sends FIN both directions and checks dispatch and
+// stats.
+func TestLinkFinRoundTrip(t *testing.T) {
+	tr := NewLoopback()
+	hd, ha := newRecordingHandler(), newRecordingHandler()
+	dialer, acceptor := linkPair(t, tr, "fin", hd, ha)
+	if err := dialer.SendFin(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := dialer.SendFin(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := acceptor.SendFin(7); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ha.mu.Lock()
+		n := ha.fins[7] + ha.fins[9]
+		ha.mu.Unlock()
+		hd.mu.Lock()
+		m := hd.fins[7]
+		hd.mu.Unlock()
+		if n == 2 && m == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := dialer.Stats(); st.FinsSent != 2 {
+		t.Fatalf("dialer fin stats = %+v", st)
+	}
+	if err := dialer.SendFin(42); err == nil {
+		t.Fatal("fin on an undeclared edge should fail")
+	}
+	closeBoth(dialer, acceptor)
 }

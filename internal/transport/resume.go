@@ -1,0 +1,717 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// readLoop dispatches inbound frames for one connection generation. It
+// exits on the first read error (stale generations just die quietly; the
+// live one reports through readError) or when the link is torn down. The
+// peer's GOODBYE does not stop it: the connection stays readable so the
+// final ack exchange of a graceful close can complete in both directions.
+func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
+	defer close(done)
+	sinceAck := 0
+	interval := l.cfg.resendLimit() / 4
+	if interval < 1 {
+		interval = 1
+	}
+	for {
+		if l.cfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
+		}
+		typ, seq, body, err := readFrame(conn, l.cfg.maxFrame())
+		if err != nil {
+			l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Transient: isTimeout(err), Err: err})
+			return
+		}
+		atomic.AddInt64(&l.framesRecv, 1)
+		atomic.AddInt64(&l.bytesRecv, int64(frameHeaderBytes+len(body)))
+		if numberedFrame(typ) {
+			l.mu.Lock()
+			if seq <= l.recvSeq {
+				// Replay overlap or a duplicated frame: already delivered.
+				l.mu.Unlock()
+				atomic.AddInt64(&l.dupsDropped, 1)
+				continue
+			}
+			if seq != l.recvSeq+1 {
+				want := l.recvSeq + 1
+				l.mu.Unlock()
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("sequence gap: got frame %d, want %d (frames lost)", seq, want)})
+				return
+			}
+			l.recvSeq = seq
+			l.mu.Unlock()
+			sinceAck++
+		}
+		switch typ {
+		case frameData:
+			if len(body) < 2 {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("data frame of %d bytes shorter than an SPI header", len(body))})
+				return
+			}
+			id := binary.LittleEndian.Uint16(body)
+			if _, ok := l.in[id]; !ok {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("data frame for undeclared inbound edge %d", id)})
+				return
+			}
+			atomic.AddInt64(&l.dataRecv, 1)
+			l.h.HandleData(id, body)
+		case frameAck:
+			id, n, derr := decodeAck(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			if _, ok := l.out[id]; !ok {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("ack frame for undeclared outbound edge %d", id)})
+				return
+			}
+			atomic.AddInt64(&l.acksRecv, 1)
+			l.h.HandleAck(id, n)
+		case frameFin:
+			id, derr := decodeFin(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			_, inOK := l.in[id]
+			_, outOK := l.out[id]
+			if !inOK && !outOK {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("fin frame for undeclared edge %d", id)})
+				return
+			}
+			atomic.AddInt64(&l.finsRecv, 1)
+			l.h.HandleFin(id)
+		case frameCumAck:
+			n, derr := decodeCumAck(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			l.trimUnacked(n)
+		case frameGoodbye:
+			// Ack from a separate goroutine — two symmetric closes on
+			// loopback would deadlock if both readers stopped to write —
+			// and keep reading: the final CUMACK for our own GOODBYE may
+			// still be inbound. The reader exits when the peer, done
+			// draining, closes the connection.
+			go l.ackGoodbye(conn, gen)
+			l.peerGoodbye()
+			continue
+		default:
+			l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+				Err: fmt.Errorf("unexpected frame type %d", typ)})
+			return
+		}
+		if sinceAck >= interval && l.tryCumAck(conn, gen) {
+			sinceAck = 0
+		}
+	}
+}
+
+// trimUnacked drops resend-buffer frames covered by the peer's cumulative
+// ack n and wakes senders blocked on buffer room.
+func (l *Link) trimUnacked(n uint64) {
+	l.mu.Lock()
+	if n > l.peerAcked {
+		l.peerAcked = n
+		i := 0
+		for i < len(l.unacked) && l.unacked[i].seq <= n {
+			i++
+		}
+		if i > 0 {
+			l.unacked = append([]savedFrame(nil), l.unacked[i:]...)
+		}
+		l.broadcastLocked()
+	}
+	l.mu.Unlock()
+}
+
+// tryCumAck sends a cumulative transport ack from the reader goroutine.
+// It must never block on the writer mutex: on loopback (net.Pipe) a reader
+// waiting behind a writer whose peer is symmetrically stuck would
+// deadlock, so a contended lock just defers the ack to a later frame (the
+// RESUME handshake carries recvSeq anyway).
+func (l *Link) tryCumAck(conn Conn, gen int) bool {
+	if !l.wmu.TryLock() {
+		return false
+	}
+	l.mu.Lock()
+	if l.gen != gen || l.state != stateUp {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		return true
+	}
+	n := l.recvSeq
+	l.mu.Unlock()
+	if l.cfg.SendTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
+	}
+	wire := encodeFrame(frameCumAck, 0, encodeCumAck(n))
+	_, err := conn.Write(wire)
+	l.wmu.Unlock()
+	if err != nil {
+		l.connError(gen, &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err})
+		return true
+	}
+	atomic.AddInt64(&l.framesSent, 1)
+	atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+	return true
+}
+
+// ackGoodbye sends the final cumulative ack telling the peer its GOODBYE
+// (and, by the sequence filter, everything before it) arrived, so the
+// peer's Close can stop draining. Errors are ignored: the RESUME
+// handshake carries the same high-water mark if this write is lost.
+func (l *Link) ackGoodbye(conn Conn, gen int) {
+	l.wmu.Lock()
+	l.mu.Lock()
+	if l.gen != gen || l.state != stateUp {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		return
+	}
+	n := l.recvSeq
+	l.mu.Unlock()
+	conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
+	wire := encodeFrame(frameCumAck, 0, encodeCumAck(n))
+	_, err := conn.Write(wire)
+	conn.SetWriteDeadline(time.Time{})
+	l.wmu.Unlock()
+	if err == nil {
+		atomic.AddInt64(&l.framesSent, 1)
+		atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+	}
+}
+
+// readError classifies a reader failure for generation gen.
+func (l *Link) readError(gen int, err *Error) {
+	l.mu.Lock()
+	if l.closing || l.state == stateClosed {
+		l.mu.Unlock()
+		l.notifyClose(nil)
+		return
+	}
+	if gen != l.gen {
+		l.mu.Unlock()
+		return
+	}
+	if l.state == stateFailed {
+		// Send half already poisoned this link; the read error carries
+		// the peer-visible cause.
+		l.mu.Unlock()
+		l.notifyClose(err)
+		return
+	}
+	if l.state != stateUp {
+		l.mu.Unlock()
+		return
+	}
+	if l.peerGoneLocked() {
+		l.mu.Unlock()
+		l.notifyClose(nil)
+		return
+	}
+	notify := l.goDownLocked(err)
+	l.mu.Unlock()
+	if notify != nil {
+		l.notifyClose(notify)
+	}
+}
+
+// peerGoneLocked handles a connection error after the peer's GOODBYE. If
+// nothing of ours remains to replay (or resumption is off), the link is
+// done for good: fail it — waking a draining Close and blocked senders —
+// rather than going down quietly with the state stuck at up. Reports
+// whether it consumed the error; false means recovery should still run to
+// replay our unacknowledged tail. Caller holds mu.
+func (l *Link) peerGoneLocked() bool {
+	if !l.peerClosed {
+		return false
+	}
+	if l.cfg.Reconnect.Enabled() && len(l.unacked) > 0 {
+		return false
+	}
+	l.state = stateFailed
+	l.failErr = ErrLinkClosed
+	l.broadcastLocked()
+	return true
+}
+
+// peerGoodbye records the peer's graceful shutdown: the handler sees a nil
+// close, later connection errors are benign, and no resume is attempted.
+func (l *Link) peerGoodbye() {
+	l.mu.Lock()
+	l.peerClosed = true
+	l.broadcastLocked()
+	l.mu.Unlock()
+	l.notifyClose(nil)
+}
+
+// recover owns one outage for generation gen: wait for the previous reader
+// to drain, then re-dial with RESUME (dialer side) or wait for the peer's
+// re-dialed connection (accepting side), bounded by the reconnect policy.
+func (l *Link) recover(gen int, prevDone chan struct{}, cause error) {
+	<-prevDone
+	rc := l.cfg.Reconnect
+	deadline := time.Now().Add(rc.Deadline)
+	lastErr := cause
+	if l.dialer {
+		delay := rc.BaseDelay
+		for attempt := 0; attempt < rc.Attempts; attempt++ {
+			if attempt > 0 {
+				if !l.sleepUntil(delay, deadline) {
+					break
+				}
+				delay = time.Duration(float64(delay) * rc.Multiplier)
+				if delay > rc.MaxDelay {
+					delay = rc.MaxDelay
+				}
+			}
+			if l.recoveryOver(gen) {
+				return
+			}
+			conn, peerRecv, err := l.dialResume(deadline)
+			if err != nil {
+				lastErr = err
+				if !IsTransient(err) {
+					break
+				}
+				continue
+			}
+			l.install(conn, peerRecv, gen)
+			return
+		}
+		l.giveUp(gen, lastErr)
+		return
+	}
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for {
+		select {
+		case off := <-l.resumeCh:
+			done, err := l.acceptOffer(off, gen, deadline)
+			if done {
+				return
+			}
+			lastErr = err
+		case <-timer.C:
+			l.giveUp(gen, lastErr)
+			return
+		case <-l.closedCh:
+			return
+		}
+	}
+}
+
+// recoveryOver reports whether this recovery attempt lost ownership of the
+// link (shutdown, or another transition raced it).
+func (l *Link) recoveryOver(gen int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closing || l.gen != gen || l.state != stateDown
+}
+
+func (l *Link) sleepUntil(d time.Duration, deadline time.Time) bool {
+	if rem := time.Until(deadline); rem < d {
+		d = rem
+	}
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-l.closedCh:
+		return false
+	}
+}
+
+// dialResume re-dials the peer and runs the RESUME handshake: send our
+// receive high-water mark, read the peer's. Handshake failures are
+// transient — the peer may still be noticing the outage.
+func (l *Link) dialResume(deadline time.Time) (Conn, uint64, error) {
+	if l.cfg.Redial == nil {
+		return nil, 0, &Error{Op: "resume", Addr: l.raddr,
+			Err: fmt.Errorf("reconnect enabled but no redial function configured")}
+	}
+	conn, err := l.cfg.Redial()
+	if err != nil {
+		return nil, 0, err
+	}
+	conn.SetWriteDeadline(deadline)
+	conn.SetReadDeadline(deadline)
+	l.mu.Lock()
+	recv := l.recvSeq
+	l.mu.Unlock()
+	if err := writeFrame(conn, frameResume, 0, encodeResume(uint16(l.cfg.Node), l.token, recv)); err != nil {
+		conn.Close()
+		return nil, 0, &Error{Op: "resume", Addr: l.raddr, Transient: true, Err: err}
+	}
+	typ, _, body, err := readFrame(conn, l.cfg.maxFrame())
+	if err != nil {
+		conn.Close()
+		return nil, 0, &Error{Op: "resume", Addr: l.raddr, Transient: true, Err: err}
+	}
+	if typ != frameResumeOK {
+		conn.Close()
+		return nil, 0, &Error{Op: "resume", Addr: l.raddr, Transient: true,
+			Err: fmt.Errorf("resume answered with frame type %d, want resume-ok", typ)}
+	}
+	peerRecv, err := decodeResumeOK(body)
+	if err != nil {
+		conn.Close()
+		return nil, 0, &Error{Op: "resume", Addr: l.raddr, Transient: true, Err: err}
+	}
+	return conn, peerRecv, nil
+}
+
+// acceptOffer answers a peer-initiated RESUME on the accepting side:
+// reply with our receive high-water mark, then install the connection.
+// done=false means this offer failed but recovery should keep waiting.
+func (l *Link) acceptOffer(off resumeOffer, gen int, deadline time.Time) (done bool, err error) {
+	off.conn.SetWriteDeadline(deadline)
+	l.mu.Lock()
+	recv := l.recvSeq
+	l.mu.Unlock()
+	if werr := writeFrame(off.conn, frameResumeOK, 0, encodeResumeOK(recv)); werr != nil {
+		off.conn.Close()
+		return false, &Error{Op: "resume", Addr: l.raddr, Transient: true, Err: werr}
+	}
+	l.install(off.conn, off.recvSeq, gen)
+	return true, nil
+}
+
+// install brings a resumed connection up: trim the resend buffer to the
+// peer's high-water mark, start the new reader, then replay the
+// unacknowledged suffix. The reader starts before the replay — on
+// loopback both sides replay into unbuffered pipes, so each side must be
+// draining inbound frames while its own replay writes block. New sends
+// stay blocked on wmu until the replay lands, preserving frame order.
+func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
+	l.wmu.Lock()
+	l.mu.Lock()
+	if l.closing || l.gen != gen || l.state != stateDown {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		conn.Close()
+		return
+	}
+	if peerRecv > l.peerAcked {
+		l.peerAcked = peerRecv
+		i := 0
+		for i < len(l.unacked) && l.unacked[i].seq <= peerRecv {
+			i++
+		}
+		if i > 0 {
+			l.unacked = append([]savedFrame(nil), l.unacked[i:]...)
+		}
+	}
+	replay := make([]savedFrame, len(l.unacked))
+	copy(replay, l.unacked)
+	l.conn = conn
+	l.state = stateUp
+	done := make(chan struct{})
+	l.readerDone = done
+	atomic.AddInt64(&l.resumes, 1)
+	l.broadcastLocked()
+	l.mu.Unlock()
+	conn.SetReadDeadline(time.Time{})
+	conn.SetWriteDeadline(time.Time{})
+	go l.readLoop(conn, gen, done)
+	var werr error
+	for _, f := range replay {
+		if l.cfg.SendTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
+		}
+		if _, err := conn.Write(f.wire); err != nil {
+			werr = err
+			break
+		}
+		atomic.AddInt64(&l.retransmits, 1)
+		atomic.AddInt64(&l.framesSent, 1)
+		atomic.AddInt64(&l.bytesSent, int64(len(f.wire)))
+	}
+	l.wmu.Unlock()
+	if werr != nil {
+		// The new connection died mid-replay; this schedules the next
+		// recovery round (ownership passes to it).
+		l.connError(gen, &Error{Op: "resume", Addr: l.raddr, Transient: isTimeout(werr), Err: werr})
+	}
+}
+
+// adoptConn routes a peer's re-dialed RESUME connection to this link. If
+// the link still thinks its old connection is up (asymmetric failure —
+// only the peer noticed), the old connection is torn down first and the
+// spawned recovery picks the offer up.
+// A peer whose GOODBYE already arrived may still re-dial: its graceful
+// close is draining and needs the RESUME handshake to pick up our receive
+// high-water mark, so peerClosed does not reject the offer.
+func (l *Link) adoptConn(conn Conn, peerRecv uint64) error {
+	l.mu.Lock()
+	if l.closing || l.state == stateClosed || l.state == stateFailed || !l.cfg.Reconnect.Enabled() {
+		l.mu.Unlock()
+		conn.Close()
+		return &Error{Op: "resume", Addr: conn.RemoteAddr(),
+			Err: fmt.Errorf("link to node %d is not resumable", l.peer)}
+	}
+	if l.state == stateUp {
+		l.goDownLocked(&Error{Op: "resume", Addr: l.raddr,
+			Err: fmt.Errorf("peer re-dialed; abandoning current connection")})
+	}
+	l.mu.Unlock()
+	select {
+	case l.resumeCh <- resumeOffer{conn: conn, recvSeq: peerRecv}:
+		return nil
+	default:
+		conn.Close()
+		return &Error{Op: "resume", Addr: conn.RemoteAddr(), Err: errResumePending}
+	}
+}
+
+// giveUp marks the link failed after recovery is exhausted and notifies
+// the handler with the last cause.
+func (l *Link) giveUp(gen int, cause error) {
+	l.mu.Lock()
+	if l.closing || l.gen != gen || l.state != stateDown {
+		l.mu.Unlock()
+		return
+	}
+	l.state = stateFailed
+	l.failErr = ErrLinkClosed
+	l.broadcastLocked()
+	l.mu.Unlock()
+	l.drainOffers()
+	if cause == nil {
+		cause = ErrLinkClosed
+	}
+	l.notifyClose(&Error{Op: "resume", Addr: l.raddr,
+		Err: fmt.Errorf("reconnect exhausted: %w", cause)})
+}
+
+func (l *Link) drainOffers() {
+	for {
+		select {
+		case off := <-l.resumeCh:
+			off.conn.Close()
+		default:
+			return
+		}
+	}
+}
+
+// awaitSettled blocks while the link is down (a recovery is replaying the
+// unacknowledged suffix), bounded by deadline.
+func (l *Link) awaitSettled(deadline time.Time) {
+	for {
+		l.mu.Lock()
+		if l.state != stateDown || !time.Now().Before(deadline) {
+			l.mu.Unlock()
+			return
+		}
+		ch := l.changed
+		l.mu.Unlock()
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// Close shuts the link down gracefully: wait out a pending reconnection so
+// unacknowledged frames are replayed, send a sequence-numbered GOODBYE,
+// drain until the peer's cumulative ack covers it (cycling the connection
+// once if the session tail was silently lost), wait for the peer's own
+// GOODBYE so inbound frames drain too, then tear the connection down and
+// reap the reader. Every wait is bounded by CloseTimeout. Close is
+// idempotent and safe to call from any goroutine.
+func (l *Link) Close() error {
+	l.closeOnce.Do(func() {
+		deadline := time.Now().Add(l.cfg.closeTimeout())
+		l.mu.Lock()
+		l.graceful = true
+		l.mu.Unlock()
+		l.awaitSettled(deadline)
+		if seq, sent := l.sendGoodbye(); sent {
+			l.drainGoodbye(seq, deadline)
+		}
+		l.awaitPeerGoodbye(deadline)
+		l.finalAck()
+		l.mu.Lock()
+		l.closing = true
+		close(l.closedCh)
+		l.state = stateClosed
+		conn := l.conn
+		rd := l.readerDone
+		l.broadcastLocked()
+		l.mu.Unlock()
+		conn.Close()
+		<-rd
+		l.drainOffers()
+		l.notifyClose(nil)
+	})
+	return nil
+}
+
+// sendGoodbye assigns the GOODBYE the next session sequence number and
+// buffers it like any session frame: passing the receiver's sequence
+// filter proves every prior frame arrived, and a RESUME replays it if the
+// connection dies first. It reports the assigned sequence and whether the
+// peer can still be expected to acknowledge it.
+func (l *Link) sendGoodbye() (uint64, bool) {
+	l.wmu.Lock()
+	l.mu.Lock()
+	if l.closing || l.state == stateClosed || l.state == stateFailed {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		return 0, false
+	}
+	l.sendSeq++
+	seq := l.sendSeq
+	wire := encodeFrame(frameGoodbye, seq, nil)
+	l.unacked = append(l.unacked, savedFrame{seq: seq, wire: wire})
+	down := l.state == stateDown
+	conn, gen := l.conn, l.gen
+	l.mu.Unlock()
+	if down {
+		// Buffered only: the pending recovery's replay delivers it.
+		l.wmu.Unlock()
+		return seq, l.cfg.Reconnect.Enabled()
+	}
+	conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
+	_, err := conn.Write(wire)
+	conn.SetWriteDeadline(time.Time{})
+	l.wmu.Unlock()
+	if err != nil {
+		l.mu.Lock()
+		peerClosed := l.peerClosed
+		l.mu.Unlock()
+		if l.cfg.Reconnect.Enabled() && !peerClosed {
+			l.connError(gen, &Error{Op: "close", Addr: l.raddr, Transient: isTimeout(err), Err: err})
+			return seq, true
+		}
+		return seq, false
+	}
+	atomic.AddInt64(&l.framesSent, 1)
+	atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+	return seq, true
+}
+
+// drainGoodbye waits until the peer's cumulative ack covers the GOODBYE.
+// No ack means the session tail — possibly the GOODBYE itself — was lost
+// with no later frame to expose the gap, so with reconnection enabled the
+// connection is cycled once: the RESUME handshake exchanges high-water
+// marks and the replay delivers the missing suffix.
+func (l *Link) drainGoodbye(seq uint64, deadline time.Time) {
+	if !l.cfg.Reconnect.Enabled() {
+		l.awaitAck(seq, deadline)
+		return
+	}
+	probe := time.Now().Add(l.cfg.closeTimeout() / 4)
+	if probe.After(deadline) {
+		probe = deadline
+	}
+	if l.awaitAck(seq, probe) {
+		return
+	}
+	l.mu.Lock()
+	if l.state == stateUp {
+		l.goDownLocked(&Error{Op: "close", Addr: l.raddr,
+			Err: fmt.Errorf("final frames unacknowledged; cycling connection to replay")})
+	}
+	l.mu.Unlock()
+	l.awaitSettled(deadline)
+	l.awaitAck(seq, deadline)
+}
+
+// awaitAck waits until the peer's cumulative ack reaches seq, the link
+// dies, or the deadline passes, and reports whether the ack arrived.
+func (l *Link) awaitAck(seq uint64, deadline time.Time) bool {
+	for {
+		l.mu.Lock()
+		acked := l.peerAcked >= seq
+		dead := l.state == stateFailed || l.state == stateClosed
+		ch := l.changed
+		l.mu.Unlock()
+		if acked || dead || !time.Now().Before(deadline) {
+			return acked
+		}
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// finalAck makes sure the peer's GOODBYE got its closing CUMACK before we
+// tear the connection down: the reader spawns one asynchronously, but a
+// fast Close could otherwise win that race and strand the peer's drain.
+// Duplicate cumulative acks are harmless.
+func (l *Link) finalAck() {
+	l.mu.Lock()
+	if !l.peerClosed || l.state != stateUp {
+		l.mu.Unlock()
+		return
+	}
+	conn, gen := l.conn, l.gen
+	l.mu.Unlock()
+	l.ackGoodbye(conn, gen)
+}
+
+// awaitPeerGoodbye waits (bounded) for the peer's own GOODBYE so frames
+// in flight toward us drain before the connection is torn down.
+func (l *Link) awaitPeerGoodbye(deadline time.Time) {
+	for {
+		l.mu.Lock()
+		done := l.peerClosed || l.state != stateUp
+		ch := l.changed
+		l.mu.Unlock()
+		if done || !time.Now().Before(deadline) {
+			return
+		}
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+		case <-t.C:
+		}
+		t.Stop()
+	}
+}
+
+// Abort tears the link down immediately, without the GOODBYE exchange or
+// any reconnection: the peer observes a connection error, distinguishing a
+// failed node from one that completed and closed gracefully. The local
+// handler's close callback reports nil (the shutdown was deliberate).
+func (l *Link) Abort() {
+	l.closeOnce.Do(func() {
+		l.mu.Lock()
+		l.graceful = true
+		l.closing = true
+		close(l.closedCh)
+		l.state = stateClosed
+		conn := l.conn
+		rd := l.readerDone
+		l.broadcastLocked()
+		l.mu.Unlock()
+		conn.Close()
+		<-rd
+		l.drainOffers()
+		l.notifyClose(nil)
+	})
+}

@@ -21,6 +21,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -160,18 +161,24 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 
 // DialRetry dials addr, retrying transient failures with exponential
 // backoff. It returns the first fatal error immediately and the last
-// transient error once attempts are exhausted.
-func DialRetry(t Transport, addr string, rc RetryConfig) (Conn, error) {
+// transient error once attempts are exhausted. Cancelling ctx interrupts
+// the backoff sleeps and returns ctx.Err() wrapped in a transport Error.
+func DialRetry(ctx context.Context, t Transport, addr string, rc RetryConfig) (Conn, error) {
 	rc = rc.withDefaults()
 	delay := rc.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < rc.Attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(delay)
+			if err := sleepCtx(ctx, delay); err != nil {
+				return nil, &Error{Op: "dial", Addr: addr, Err: err}
+			}
 			delay = time.Duration(float64(delay) * rc.Multiplier)
 			if delay > rc.MaxDelay {
 				delay = rc.MaxDelay
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, &Error{Op: "dial", Addr: addr, Err: err}
 		}
 		c, err := t.Dial(addr)
 		if err == nil {
@@ -183,4 +190,62 @@ func DialRetry(t Transport, addr string, rc RetryConfig) (Conn, error) {
 		lastErr = err
 	}
 	return nil, lastErr
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ReconnectConfig is a Link's reconnect policy after its connection dies
+// mid-session. The zero value disables reconnection entirely — the link
+// fails fast exactly as it did before session resumption existed. With
+// Attempts > 0 the surviving side re-dials (or, on the accepting side,
+// waits for the peer's re-dial) and replays the unacknowledged frame
+// suffix via the RESUME handshake.
+type ReconnectConfig struct {
+	// Attempts is the maximum number of re-dials per outage; 0 disables
+	// reconnection.
+	Attempts int
+	// BaseDelay is the sleep before the first re-dial; each failure
+	// multiplies it by Multiplier up to MaxDelay. Defaults mirror
+	// DefaultRetry when Attempts > 0.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Deadline bounds one whole outage (all attempts plus handshakes).
+	// Zero means 30s when reconnection is enabled.
+	Deadline time.Duration
+}
+
+// Enabled reports whether the policy allows any reconnection at all.
+func (rc ReconnectConfig) Enabled() bool { return rc.Attempts > 0 }
+
+func (rc ReconnectConfig) withDefaults() ReconnectConfig {
+	if !rc.Enabled() {
+		return rc
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = DefaultRetry.BaseDelay
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = DefaultRetry.MaxDelay
+	}
+	if rc.Multiplier <= 1 {
+		rc.Multiplier = DefaultRetry.Multiplier
+	}
+	if rc.Deadline <= 0 {
+		rc.Deadline = 30 * time.Second
+	}
+	return rc
 }

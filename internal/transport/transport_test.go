@@ -1,6 +1,8 @@
 package transport
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -12,7 +14,7 @@ func TestDialRetryRefusedThenUp(t *testing.T) {
 	tr := NewLoopback()
 	// Nothing listening: all attempts burn, the last error is transient.
 	start := time.Now()
-	_, err := DialRetry(tr, "ghost", RetryConfig{
+	_, err := DialRetry(context.Background(), tr, "ghost", RetryConfig{
 		Attempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2,
 	})
 	if err == nil {
@@ -40,7 +42,7 @@ func TestDialRetryRefusedThenUp(t *testing.T) {
 		c.Close()
 		ln.Close()
 	}()
-	c, err := DialRetry(tr, "late", RetryConfig{
+	c, err := DialRetry(context.Background(), tr, "late", RetryConfig{
 		Attempts: 50, BaseDelay: 2 * time.Millisecond, MaxDelay: 10 * time.Millisecond,
 	})
 	if err != nil {
@@ -60,7 +62,7 @@ func TestDialRetryTCPRefused(t *testing.T) {
 	ln.Close()
 	attempts := 3
 	start := time.Now()
-	_, err = DialRetry(tr, addr, RetryConfig{
+	_, err = DialRetry(context.Background(), tr, addr, RetryConfig{
 		Attempts: attempts, BaseDelay: 2 * time.Millisecond, MaxDelay: 4 * time.Millisecond,
 	})
 	if err == nil {
@@ -78,7 +80,7 @@ func TestDialFatalErrorNotRetried(t *testing.T) {
 	tr := &TCP{DialTimeout: time.Second}
 	var attempts atomic.Int64
 	counted := countingTransport{Transport: tr, dials: &attempts}
-	_, err := DialRetry(counted, "not-an-address", RetryConfig{
+	_, err := DialRetry(context.Background(), counted, "not-an-address", RetryConfig{
 		Attempts: 5, BaseDelay: time.Millisecond,
 	})
 	if err == nil {
@@ -157,31 +159,40 @@ func truncateStack(s string) string {
 func TestFrameRoundTrip(t *testing.T) {
 	var buf strings.Builder
 	body := []byte{1, 2, 3, 4, 5}
-	if err := writeFrame(&buf, frameData, body); err != nil {
+	if err := writeFrame(&buf, frameData, 42, body); err != nil {
 		t.Fatal(err)
 	}
-	typ, got, err := readFrame(strings.NewReader(buf.String()), DefaultMaxFrame)
+	typ, seq, got, err := readFrame(strings.NewReader(buf.String()), DefaultMaxFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if typ != frameData || string(got) != string(body) {
-		t.Fatalf("round trip: type %d body %x", typ, got)
+	if typ != frameData || seq != 42 || string(got) != string(body) {
+		t.Fatalf("round trip: type %d seq %d body %x", typ, seq, got)
 	}
 	// Oversized length field is rejected, not allocated.
 	huge := string([]byte{0xff, 0xff, 0xff, 0x7f, frameData})
-	if _, _, err := readFrame(strings.NewReader(huge), DefaultMaxFrame); err == nil {
+	if _, _, _, err := readFrame(strings.NewReader(huge), DefaultMaxFrame); err == nil {
 		t.Fatal("oversized frame should be rejected")
+	}
+	// Any single flipped byte fails the frame CRC.
+	raw := []byte(buf.String())
+	for i := 4; i < len(raw); i++ {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x01
+		if _, _, _, err := readFrame(strings.NewReader(string(bad)), DefaultMaxFrame); err == nil {
+			t.Fatalf("corrupted byte %d should fail the CRC", i)
+		}
 	}
 }
 
 func TestHelloRoundTrip(t *testing.T) {
 	edges := testManifest(true)
-	node, got, err := decodeHello(encodeHello(42, edges))
+	node, token, got, err := decodeHello(encodeHello(42, 0xfeedface, edges))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if node != 42 || len(got) != len(edges) {
-		t.Fatalf("decoded node %d, %d edges", node, len(got))
+	if node != 42 || token != 0xfeedface || len(got) != len(edges) {
+		t.Fatalf("decoded node %d token %#x, %d edges", node, token, len(got))
 	}
 	for i := range edges {
 		if got[i] != edges[i] {
@@ -189,15 +200,59 @@ func TestHelloRoundTrip(t *testing.T) {
 		}
 	}
 	// Truncated and corrupted hellos fail cleanly.
-	raw := encodeHello(1, edges)
+	raw := encodeHello(1, 7, edges)
 	for cut := 0; cut < len(raw); cut++ {
-		if _, _, err := decodeHello(raw[:cut]); err == nil {
+		if _, _, _, err := decodeHello(raw[:cut]); err == nil {
 			t.Fatalf("hello truncated to %d bytes should fail", cut)
 		}
 	}
 	bad := append([]byte(nil), raw...)
 	bad[0] ^= 0xff
-	if _, _, err := decodeHello(bad); err == nil {
+	if _, _, _, err := decodeHello(bad); err == nil {
 		t.Fatal("corrupted magic should fail")
+	}
+}
+
+// TestDialRetryCancelledContext checks cancellation interrupts the backoff
+// sleeps instead of waiting out the whole retry ladder.
+func TestDialRetryCancelledContext(t *testing.T) {
+	tr := NewLoopback()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := DialRetry(ctx, tr, "ghost", RetryConfig{
+		Attempts: 1000, BaseDelay: 50 * time.Millisecond, MaxDelay: 50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("cancelled dial should fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error should wrap context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v, backoff was not interrupted", d)
+	}
+}
+
+// TestResumeFrameRoundTrips covers the v2 control-frame codecs.
+func TestResumeFrameRoundTrips(t *testing.T) {
+	node, token, recv, err := decodeResume(encodeResume(3, 0xdeadbeef, 99))
+	if err != nil || node != 3 || token != 0xdeadbeef || recv != 99 {
+		t.Fatalf("resume round trip: %d %#x %d %v", node, token, recv, err)
+	}
+	if _, _, _, err := decodeResume(encodeResume(3, 1, 2)[:10]); err == nil {
+		t.Fatal("truncated resume should fail")
+	}
+	if n, err := decodeResumeOK(encodeResumeOK(7)); err != nil || n != 7 {
+		t.Fatalf("resume-ok round trip: %d %v", n, err)
+	}
+	if n, err := decodeCumAck(encodeCumAck(12)); err != nil || n != 12 {
+		t.Fatalf("cumack round trip: %d %v", n, err)
+	}
+	if e, err := decodeFin(encodeFin(9)); err != nil || e != 9 {
+		t.Fatalf("fin round trip: %d %v", e, err)
 	}
 }
