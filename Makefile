@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke chaos
+.PHONY: check fmt vet build test race bench fuzz-smoke chaos obs
 
 check: fmt vet build race fuzz-smoke
 
@@ -42,3 +42,11 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -run 'Chaos|Degraded|Fault' -count=1 \
 		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode
+
+# Observability suite: the obs package under the race detector, the
+# spinode metrics/trace/HTTP integration tests, and the A7 overhead
+# benchmark (per-edge counters + trace ring on the SPI round trip).
+obs:
+	$(GO) test -race -count=1 ./internal/obs
+	$(GO) test -race -run 'Metrics|Trace|HTTP|Degraded' -count=1 ./cmd/spinode
+	$(GO) test -run=NONE -bench 'BenchmarkObsOverhead' -benchmem .

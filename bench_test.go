@@ -22,6 +22,7 @@ import (
 	"repro/internal/kpn"
 	"repro/internal/lpc"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/particle"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -752,4 +753,148 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 			network(b, &transport.TCP{}, "127.0.0.1:0", size)
 		})
 	}
+}
+
+// BenchmarkObsOverhead quantifies the cost of full observability — per-edge
+// counters, gauges, and trace-ring events on every message — on the SPI
+// round trip (experiment A7). Each carrier runs bare and then observed;
+// the acceptance bar is <5% added latency on the networked (loopback)
+// path, where a round trip already pays framing, mux, and ack costs. The
+// in-process chan path is included for scale: its sub-microsecond trips
+// make the same absolute cost loom larger.
+func BenchmarkObsOverhead(b *testing.B) {
+	const pingID, pongID, size = 1, 2, 64
+
+	initEdges := func(b *testing.B, rt *spi.Runtime) (ptx *spi.Sender, prx *spi.Receiver, qtx *spi.Sender, qrx *spi.Receiver) {
+		b.Helper()
+		ptx, prx, err := rt.Init(spi.EdgeConfig{ID: pingID, Name: "ping", Mode: spi.Dynamic, MaxBytes: size, Protocol: spi.UBS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qtx, qrx, err = rt.Init(spi.EdgeConfig{ID: pongID, Name: "pong", Mode: spi.Dynamic, MaxBytes: size, Protocol: spi.UBS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return ptx, prx, qtx, qrx
+	}
+	echo := func(rx *spi.Receiver, tx *spi.Sender, done chan<- struct{}) {
+		defer close(done)
+		for {
+			p, err := rx.Receive()
+			if err != nil {
+				return
+			}
+			if err := tx.Send(p); err != nil {
+				return
+			}
+		}
+	}
+	run := func(b *testing.B, tx *spi.Sender, rx *spi.Receiver) {
+		payload := make([]byte, size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tx.Send(payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rx.Receive(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+	}
+
+	chanTrip := func(b *testing.B, o *obs.Observer) {
+		rt := spi.NewRuntime()
+		rt.SetObserver(o)
+		ptx, prx, qtx, qrx := initEdges(b, rt)
+		done := make(chan struct{})
+		go echo(prx, qtx, done)
+		run(b, ptx, qrx)
+		rt.CloseAll()
+		<-done
+	}
+	netTrip := func(b *testing.B, tr transport.Transport, addr string, oA, oB *obs.Observer) {
+		rtA, rtB := spi.NewRuntime(), spi.NewRuntime()
+		rtA.SetObserver(oA)
+		rtB.SetObserver(oB)
+		ptxA, _, _, qrxA := initEdges(b, rtA)
+		_, prxB, qtxB, _ := initEdges(b, rtB)
+		decls := func(pingOut bool) []transport.EdgeDecl {
+			return []transport.EdgeDecl{
+				{ID: pingID, Mode: uint8(spi.Dynamic), Out: pingOut, Bytes: size, Protocol: uint8(spi.UBS)},
+				{ID: pongID, Mode: uint8(spi.Dynamic), Out: !pingOut, Bytes: size, Protocol: uint8(spi.UBS)},
+			}
+		}
+		ln, err := tr.Listen(addr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		linkCh := make(chan *transport.Link, 1)
+		go func() {
+			conn, err := ln.Accept()
+			if err != nil {
+				b.Error(err)
+				linkCh <- nil
+				return
+			}
+			l, err := transport.AcceptLink(conn, transport.LinkConfig{Node: 1, Obs: oB},
+				func(int) ([]transport.EdgeDecl, transport.Handler, error) {
+					return decls(false), &benchEchoHandler{rt: rtB}, nil
+				})
+			if err != nil {
+				b.Error(err)
+			}
+			linkCh <- l
+		}()
+		conn, err := transport.DialRetry(context.Background(), tr, ln.Addr(), transport.RetryConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		linkA, err := transport.NewLink(conn, transport.LinkConfig{Node: 0, Edges: decls(true), Obs: oA}, &benchEchoHandler{rt: rtA})
+		if err != nil {
+			b.Fatal(err)
+		}
+		linkB := <-linkCh
+		if linkB == nil {
+			b.FailNow()
+		}
+		ln.Close()
+		for _, bind := range []error{
+			rtA.BindRemoteSender(pingID, linkA), rtA.BindRemoteReceiver(pongID, linkA),
+			rtB.BindRemoteReceiver(pingID, linkB), rtB.BindRemoteSender(pongID, linkB),
+		} {
+			if bind != nil {
+				b.Fatal(bind)
+			}
+		}
+		done := make(chan struct{})
+		go echo(prxB, qtxB, done)
+		run(b, ptxA, qrxA)
+		var wg sync.WaitGroup
+		for _, l := range []*transport.Link{linkA, linkB} {
+			wg.Add(1)
+			go func(l *transport.Link) { defer wg.Done(); l.Close() }(l)
+		}
+		wg.Wait()
+		rtA.CloseAll()
+		rtB.CloseAll()
+		<-done
+	}
+
+	// obs.New uses the production wall clock; the seeded test clock would
+	// add a mutex per timestamp that real runs never pay. The metrics
+	// variant (registry but no tracer) isolates counter cost from
+	// trace-ring cost. The acceptance bar applies to the tcp pair — the
+	// carrier spinode deployments actually run on; chan and loopback trips
+	// are synchronous in-process handoffs that amplify the same absolute
+	// cost into a larger ratio.
+	metricsOnly := func() *obs.Observer { return &obs.Observer{Metrics: obs.NewRegistry()} }
+	lo := transport.NewLoopback()
+	b.Run("chan/bare", func(b *testing.B) { chanTrip(b, nil) })
+	b.Run("chan/observed", func(b *testing.B) { chanTrip(b, obs.New()) })
+	b.Run("loopback/bare", func(b *testing.B) { netTrip(b, lo, "obs-bench", nil, nil) })
+	b.Run("loopback/metrics", func(b *testing.B) { netTrip(b, lo, "obs-bench", metricsOnly(), metricsOnly()) })
+	b.Run("loopback/observed", func(b *testing.B) { netTrip(b, lo, "obs-bench", obs.New(), obs.New()) })
+	b.Run("tcp/bare", func(b *testing.B) { netTrip(b, &transport.TCP{}, "127.0.0.1:0", nil, nil) })
+	b.Run("tcp/observed", func(b *testing.B) { netTrip(b, &transport.TCP{}, "127.0.0.1:0", obs.New(), obs.New()) })
 }

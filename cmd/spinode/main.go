@@ -29,14 +29,18 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spi"
 	"repro/internal/transport"
@@ -65,6 +69,10 @@ func main() {
 		"on a dead peer, drain the surviving actors and report partial digests (exit status 3) instead of aborting")
 	chaosSpec := flag.String("chaos", "",
 		"fault-injection spec, e.g. seed=7,drop=0.05,severat=40;90 (see transport.ParseFaultSpec)")
+	flag.StringVar(&cfg.HTTPAddr, "http", "",
+		"serve live introspection (GET /metrics, /healthz, /trace) on this address, e.g. 127.0.0.1:9090")
+	flag.DurationVar(&cfg.StatsInterval, "stats-interval", 0,
+		"print a periodic traffic summary line at this interval (0 = off)")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -155,6 +163,17 @@ type nodeConfig struct {
 	ConnectTimeout time.Duration
 	Reconnect      transport.ReconnectConfig
 	Degrade        bool
+	// HTTPAddr, when set, serves GET /metrics (Prometheus text),
+	// /healthz (JSON status), and /trace (Chrome trace_event JSON) for
+	// the duration of the run.
+	HTTPAddr string
+	// StatsInterval, when positive, prints a periodic one-line traffic
+	// summary while the run executes.
+	StatsInterval time.Duration
+	// Obs optionally supplies a pre-built observer (tests inject a
+	// seeded one for deterministic traces). When nil, runNode creates a
+	// wall-clock observer if HTTPAddr or StatsInterval require one.
+	Obs *obs.Observer
 }
 
 // buildMapping turns the actor-to-processor assignment into a
@@ -298,6 +317,64 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		}
 	}
 
+	// Observability: tests inject a seeded observer via cfg.Obs; the
+	// -http / -stats-interval flags demand a wall-clock one.
+	o := cfg.Obs
+	if o == nil && (cfg.HTTPAddr != "" || cfg.StatsInterval > 0) {
+		o = obs.New()
+		o.Node = cfg.Node
+	}
+	if ft, ok := tr.(*transport.FaultTransport); ok {
+		ft.SetObserver(o)
+	}
+	var phase atomic.Value
+	phase.Store("connecting")
+	if cfg.HTTPAddr != "" {
+		httpLn, lerr := net.Listen("tcp", cfg.HTTPAddr)
+		if lerr != nil {
+			return fmt.Errorf("-http: %w", lerr)
+		}
+		srv := &http.Server{Handler: o.Handler(func() any {
+			return map[string]any{
+				"status":     phase.Load(),
+				"node":       cfg.Node,
+				"graph":      g.Name(),
+				"iterations": cfg.Iterations,
+			}
+		})}
+		go srv.Serve(httpLn)
+		defer srv.Close()
+		fmt.Fprintf(w, "observability: http://%s/metrics /healthz /trace\n", httpLn.Addr())
+	}
+	stopStats := func() {}
+	if cfg.StatsInterval > 0 {
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(cfg.StatsInterval)
+			defer tick.Stop()
+			start := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					r := o.Metrics
+					fmt.Fprintf(w, "stats[%s]: msgs=%d data_bytes=%d acks=%d credit_waits=%d frames_sent=%d frames_recv=%d resumes=%d faults=%d\n",
+						time.Since(start).Round(time.Second),
+						r.Sum("spi_edge_messages_total"), r.Sum("spi_edge_data_bytes_total"),
+						r.Sum("spi_edge_acks_total"), r.Sum("spi_edge_credit_waits_total"),
+						r.Sum("transport_link_frames_sent_total"), r.Sum("transport_link_frames_received_total"),
+						r.Sum("transport_link_resumes_total"), r.Sum("chaos_faults_total"))
+				}
+			}
+		}()
+		var once sync.Once
+		stopStats = func() { once.Do(func() { close(stop); <-done }) }
+		defer stopStats()
+	}
+
 	opts := spi.DistOptions{
 		Transport: tr,
 		Node:      cfg.Node,
@@ -306,16 +383,23 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		Listener:  ln,
 		Reconnect: cfg.Reconnect,
 		Degrade:   cfg.Degrade,
+		Obs:       o,
 	}
 	if cfg.ConnectTimeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.ConnectTimeout)
 		defer cancel()
 		opts.Context = ctx
 	}
+	phase.Store("running")
 	st, err := spi.ExecuteDistributed(g, m, kernels, cfg.Iterations, opts)
+	stopStats() // the run is over; no ticker write may interleave with the summary
+	phase.Store("done")
 	var de *spi.DegradedError
 	if err != nil && !errors.As(err, &de) {
 		return err
+	}
+	if de != nil {
+		phase.Store("degraded")
 	}
 
 	sort.Strings(sinkNames)
@@ -331,6 +415,10 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 	if st != nil {
 		fmt.Fprintf(w, "stats: %d messages, %d wire bytes, %d acks, %d local transfers\n",
 			st.SPI.Messages, st.SPI.WireBytes, st.SPI.Acks, st.LocalTransfers)
+		for _, e := range st.Edges {
+			fmt.Fprintf(w, "  edge %s (%s): %d messages, %d data bytes, %d acks, %d ack bytes\n",
+				e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes)
+		}
 	}
 	if de != nil {
 		fmt.Fprintf(w, "degraded: node %d finished without %d peer(s)\n", de.Node, len(de.Peers))
@@ -344,6 +432,10 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		}
 		if len(de.Starved) > 0 {
 			fmt.Fprintf(w, "  starved actors: %s\n", strings.Join(de.Starved, " "))
+			// How far each starved actor got before its edges died.
+			for _, name := range de.Starved {
+				fmt.Fprintf(w, "    %s completed %d/%d firings\n", name, de.Firings[name], cfg.Iterations)
+			}
 		}
 		return err
 	}

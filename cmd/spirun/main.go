@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/dsp"
@@ -108,7 +109,8 @@ func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
 	} else {
 		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges (%s transport, 2 nodes)\n", stats.PEs, trans)
 	}
-	fmt.Printf("  messages: %d, wire bytes: %d\n", stats.Messages, stats.WireBytes)
+	fmt.Printf("  messages: %d, wire bytes: %d, ack bytes: %d\n", stats.Messages, stats.WireBytes, stats.AckBytes)
+	printEdgeTable(stats.Edges)
 	fmt.Printf("  max |serial - parallel| = %g (bit-identical split)\n", maxDiff)
 	if hw {
 		hwRes := lpc.HardwareResidual(model, frame)
@@ -198,14 +200,64 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 			return nil, nil, fmt.Errorf("node %d: %w", node, err)
 		}
 	}
-	// Messages are counted on the sending node, so summing does not double
-	// count; wire bytes likewise.
+	// Messages are counted on the sending node and acks on the receiving
+	// node, so summing does not double count; per-edge rows merge the two
+	// halves of each cross-node edge the same way.
 	total := &lpc.ParallelStats{PEs: pes}
 	for _, st := range stats {
 		total.Messages += st.SPI.Messages
 		total.WireBytes += st.SPI.WireBytes
+		total.Acks += st.SPI.Acks
+		total.AckBytes += st.SPI.AckBytes
 	}
+	total.Edges = mergeEdgeTraffic(stats[0].Edges, stats[1].Edges)
 	return results[0], total, nil
+}
+
+// mergeEdgeTraffic combines per-edge rows from the nodes of a distributed
+// run: a cross-node edge appears on both nodes (sender half counts data,
+// receiver half counts acks), so rows with the same ID sum into one.
+func mergeEdgeTraffic(lists ...[]spi.EdgeTraffic) []spi.EdgeTraffic {
+	byID := map[spi.EdgeID]*spi.EdgeTraffic{}
+	var order []spi.EdgeID
+	for _, list := range lists {
+		for _, e := range list {
+			m := byID[e.ID]
+			if m == nil {
+				cp := e
+				byID[e.ID] = &cp
+				order = append(order, e.ID)
+				continue
+			}
+			m.Stats.Messages += e.Stats.Messages
+			m.Stats.PayloadBytes += e.Stats.PayloadBytes
+			m.Stats.WireBytes += e.Stats.WireBytes
+			m.Stats.Acks += e.Stats.Acks
+			m.Stats.AckBytes += e.Stats.AckBytes
+			m.Stats.CreditWaits += e.Stats.CreditWaits
+			if e.Stats.MaxQueued > m.Stats.MaxQueued {
+				m.Stats.MaxQueued = e.Stats.MaxQueued
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]spi.EdgeTraffic, len(order))
+	for i, id := range order {
+		out[i] = *byID[id]
+	}
+	return out
+}
+
+// printEdgeTable renders the per-edge traffic breakdown.
+func printEdgeTable(edges []spi.EdgeTraffic) {
+	if len(edges) == 0 {
+		return
+	}
+	fmt.Printf("  %-10s %-8s %9s %11s %10s %10s\n", "edge", "proto", "messages", "data bytes", "acks", "ack bytes")
+	for _, e := range edges {
+		fmt.Printf("  %-10s %-8s %9d %11d %10d %10d\n",
+			e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes)
+	}
 }
 
 func abs(v float64) float64 {

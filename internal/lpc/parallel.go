@@ -68,6 +68,10 @@ func decodeSection(b []byte) (hist int, samples []float64, err error) {
 type ParallelStats struct {
 	// Messages and WireBytes aggregate all SPI edges.
 	Messages, WireBytes int64
+	// Acks and AckBytes aggregate the acknowledgement traffic.
+	Acks, AckBytes int64
+	// Edges breaks the traffic down per SPI edge, sorted by edge ID.
+	Edges []spi.EdgeTraffic
 	// PEs is the worker count used.
 	PEs int
 }
@@ -104,19 +108,22 @@ func ParallelResidual(model *dsp.LPCModel, frame []float64, nPE int) ([]float64,
 		var err error
 		var e peEdges
 		e.coeffTx, e.coeffRx, err = rt.Init(spi.EdgeConfig{
-			ID: spi.EdgeID(3 * i), Mode: spi.Dynamic, MaxBytes: maxCoeffs, Protocol: spi.UBS,
+			ID: spi.EdgeID(3 * i), Name: fmt.Sprintf("coeff%d", i),
+			Mode: spi.Dynamic, MaxBytes: maxCoeffs, Protocol: spi.UBS,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		e.sectTx, e.sectRx, err = rt.Init(spi.EdgeConfig{
-			ID: spi.EdgeID(3*i + 1), Mode: spi.Dynamic, MaxBytes: maxSection, Protocol: spi.UBS,
+			ID: spi.EdgeID(3*i + 1), Name: fmt.Sprintf("sect%d", i),
+			Mode: spi.Dynamic, MaxBytes: maxSection, Protocol: spi.UBS,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
 		e.errTx, e.errRx, err = rt.Init(spi.EdgeConfig{
-			ID: spi.EdgeID(3*i + 2), Mode: spi.Dynamic, MaxBytes: maxErrs, Protocol: spi.UBS,
+			ID: spi.EdgeID(3*i + 2), Name: fmt.Sprintf("err%d", i),
+			Mode: spi.Dynamic, MaxBytes: maxErrs, Protocol: spi.UBS,
 		})
 		if err != nil {
 			return nil, nil, err
@@ -198,6 +205,9 @@ func ParallelResidual(model *dsp.LPCModel, frame []float64, nPE int) ([]float64,
 	return out, &ParallelStats{
 		Messages:  total.Messages,
 		WireBytes: total.WireBytes,
+		Acks:      total.Acks,
+		AckBytes:  total.AckBytes,
+		Edges:     rt.AllStats(),
 		PEs:       nPE,
 	}, nil
 }

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Live introspection endpoint. The daemon opts in with -http; the handler
+// is deliberately tiny (stdlib only, three read-only routes) so it can be
+// served during a run without competing with the dataflow for anything
+// but one accept loop.
+//
+//	GET /metrics  Prometheus text exposition of the registry
+//	GET /healthz  JSON health document (caller-supplied, default {"status":"ok"})
+//	GET /trace    Chrome trace_event JSON snapshot of the event ring
+
+// HealthFunc produces the /healthz document. It is called per request, so
+// it can report live progress.
+type HealthFunc func() any
+
+// Handler serves /metrics, /healthz, and /trace for this observer. A nil
+// health falls back to a static ok document.
+func (o *Observer) Handler(health HealthFunc) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if o != nil && o.Metrics != nil {
+			o.Metrics.WritePrometheus(w)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		doc := any(map[string]string{"status": "ok"})
+		if health != nil {
+			doc = health()
+		}
+		json.NewEncoder(w).Encode(doc)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", "attachment; filename=\"spinode-trace.json\"")
+		if o != nil {
+			o.Trace.WriteChrome(w)
+		} else {
+			WriteChromeEvents(w, nil)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	o := NewSeeded(2, 5)
+	o.Counter("spi_edge_messages_total", "messages", L("edge", "sm")).Add(21)
+	o.Tracer().Instant("edge", "send:sm", o.Pid(), 0)
+
+	h := o.Handler(func() any {
+		return map[string]any{"status": "running", "node": 2}
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.Contains(metrics, `spi_edge_messages_total{edge="sm"} 21`) {
+		t.Errorf("/metrics missing counter:\n%s", metrics)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+
+	health, ctype := get("/healthz")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(health), &doc); err != nil {
+		t.Fatalf("/healthz not JSON: %v", err)
+	}
+	if doc["status"] != "running" {
+		t.Errorf("/healthz = %v", doc)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/healthz content type %q", ctype)
+	}
+
+	trace, _ := get("/trace")
+	var tdoc chromeDoc
+	if err := json.Unmarshal([]byte(trace), &tdoc); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(tdoc.TraceEvents) != 1 || tdoc.TraceEvents[0].Pid != 2 {
+		t.Errorf("/trace events = %+v", tdoc.TraceEvents)
+	}
+}
+
+func TestHandlerDefaultHealth(t *testing.T) {
+	srv := httptest.NewServer(New().Handler(nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc["status"] != "ok" {
+		t.Errorf("default health = %v", doc)
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+// Observer bundles one process's metrics registry and event tracer. A nil
+// *Observer is the disabled state: every accessor returns nil handles
+// whose record methods are no-ops, so instrumented code never branches on
+// "is observability on" beyond the nil checks built into the handles.
+type Observer struct {
+	Metrics *Registry
+	Trace   *Tracer
+	// Node is the Chrome trace pid for events recorded by this process,
+	// set by the daemon to its node index.
+	Node int
+}
+
+// New returns an enabled observer with a fresh registry and a wall-clock
+// tracer of the default capacity.
+func New() *Observer {
+	return &Observer{Metrics: NewRegistry(), Trace: NewTracer(DefaultTraceEvents, nil)}
+}
+
+// NewSeeded returns an observer whose tracer uses the deterministic
+// TestClock(seed) — reproducible timestamps for golden-file tests.
+func NewSeeded(node int, seed uint64) *Observer {
+	return &Observer{
+		Metrics: NewRegistry(),
+		Trace:   NewTracer(DefaultTraceEvents, TestClock(seed)),
+		Node:    node,
+	}
+}
+
+// Counter resolves a counter handle, nil when the observer is disabled.
+func (o *Observer) Counter(name, help string, labels ...Label) *Counter {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Counter(name, help, labels...)
+}
+
+// Gauge resolves a gauge handle, nil when the observer is disabled.
+func (o *Observer) Gauge(name, help string, labels ...Label) *Gauge {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Gauge(name, help, labels...)
+}
+
+// Histogram resolves a histogram handle, nil when the observer is
+// disabled.
+func (o *Observer) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if o == nil || o.Metrics == nil {
+		return nil
+	}
+	return o.Metrics.Histogram(name, help, bounds, labels...)
+}
+
+// Tracer returns the event tracer, nil when the observer is disabled
+// (tracer methods are nil-safe).
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Pid returns the Chrome trace pid for this observer (0 when disabled).
+func (o *Observer) Pid() int {
+	if o == nil {
+		return 0
+	}
+	return o.Node
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE pair per family,
+// series sorted by label key, histograms expanded into cumulative
+// _bucket{le=...} series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	// Snapshot the series slices under the lock; the values themselves are
+	// atomics and read lock-free below.
+	snaps := make([][]*series, len(fams))
+	for i, f := range fams {
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].key < ss[b].key })
+		snaps[i] = ss
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range snaps[i] {
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
+			case typeGauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+			case typeHistogram:
+				writeHistogram(&b, f.name, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, Label{"le", formatBound(bound)}), cum)
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, renderLabels(s.labels, Label{"le", "+Inf"}), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, renderLabels(s.labels), formatBound(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, renderLabels(s.labels), h.Count())
+}
+
+func formatBound(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels formats {k="v",...} sorted by key, or "" without labels.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

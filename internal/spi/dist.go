@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/transport"
 )
@@ -59,6 +60,11 @@ type DistOptions struct {
 	SendTimeout  time.Duration
 	IdleTimeout  time.Duration
 	CloseTimeout time.Duration
+	// Obs, when non-nil, instruments the run: per-edge SPI counters,
+	// per-link transport counters, kernel firing latencies, and trace
+	// events all land in the observer's registry and tracer. Nil (the
+	// default) leaves the run uninstrumented.
+	Obs *obs.Observer
 }
 
 // DegradedError reports a distributed run that finished in degraded mode:
@@ -70,6 +76,9 @@ type DegradedError struct {
 	Node    int
 	Peers   map[int]error
 	Starved []string
+	// Firings maps each starved actor to the firings it completed before
+	// stalling — how far it got toward the run's iteration count.
+	Firings map[string]int
 	Cause   error
 }
 
@@ -280,6 +289,8 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		edgeID:   map[dataflow.EdgeID]EdgeID{},
 		edgeLink: map[dataflow.EdgeID]MessageLink{},
 	}
+	env.rt.SetObserver(opts.Obs)
+	env.initFirings(myProcs, opts.Obs)
 
 	// Classify edges. Every edge touching this node is Init'd on the local
 	// runtime before any link comes up, so inbound DATA frames always find
@@ -392,11 +403,14 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	stats := &ExecStats{
 		Iterations:     iterations,
 		SPI:            env.rt.TotalStats(),
+		Edges:          env.rt.AllStats(),
+		ActorFirings:   env.firingSnapshot(),
 		LocalTransfers: env.localTransfers,
 	}
 	if opts.Degrade {
 		peerErrs := fails.snapshot()
 		var starved []string
+		firings := map[string]int{}
 		var cause error
 		for i, perr := range procErrs {
 			if perr == nil {
@@ -406,7 +420,9 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 				cause = perr
 			}
 			for _, a := range m.Order[myProcs[i]] {
-				starved = append(starved, g.Actor(a).Name)
+				name := g.Actor(a).Name
+				starved = append(starved, name)
+				firings[name] = stats.ActorFirings[name]
 			}
 		}
 		if cause == nil && len(peerErrs) == 0 {
@@ -416,7 +432,7 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 			cause = fails.first()
 		}
 		sort.Strings(starved)
-		return stats, &DegradedError{Node: me, Peers: peerErrs, Starved: starved, Cause: cause}
+		return stats, &DegradedError{Node: me, Peers: peerErrs, Starved: starved, Firings: firings, Cause: cause}
 	}
 	if runErr != nil {
 		if cause := fails.first(); cause != nil && errors.Is(runErr, ErrClosed) {
@@ -452,6 +468,7 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 		IdleTimeout:  opts.IdleTimeout,
 		CloseTimeout: opts.CloseTimeout,
 		Reconnect:    opts.Reconnect,
+		Obs:          opts.Obs,
 	}
 	handlerFor := func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {
 		pp := peers[peer]

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -31,6 +32,13 @@ type ExecStats struct {
 	Iterations int
 	// SPI aggregates the interprocessor runtime statistics.
 	SPI EdgeStats
+	// Edges breaks the SPI traffic down per interprocessor edge, sorted
+	// by edge ID.
+	Edges []EdgeTraffic
+	// ActorFirings counts completed firings per actor hosted on this
+	// node. In a degraded run a starved actor's count shows how far it
+	// got before its inputs or outputs died.
+	ActorFirings map[string]int
 	// LocalTransfers counts same-processor payload hand-offs.
 	LocalTransfers int64
 }
@@ -57,6 +65,13 @@ type execEnv struct {
 
 	localTransfers int64
 
+	// Firing accounting. Each actor is owned by exactly one processor
+	// goroutine, so its slot is written without locks; run's WaitGroup
+	// orders the final reads. actorObs carries the optional firing
+	// metrics/trace handles (nil-safe when no observer is attached).
+	fired    map[dataflow.ActorID]*int64
+	actorObs map[dataflow.ActorID]actorObs
+
 	// Graceful degradation (distributed runs with DistOptions.Degrade): a
 	// failing processor starves only its own edges instead of closing the
 	// whole runtime, so independent actors keep draining. edgeID maps each
@@ -66,6 +81,54 @@ type execEnv struct {
 	degrade  bool
 	edgeID   map[dataflow.EdgeID]EdgeID
 	edgeLink map[dataflow.EdgeID]MessageLink
+}
+
+// actorRowBase offsets kernel-firing trace rows (tid = actorRowBase +
+// processor) past the per-edge rows (tid = edge ID) and the transport's
+// session rows, so one Chrome trace shows edges, links, and kernels on
+// distinct tracks.
+const actorRowBase = 1000
+
+// actorObs is one actor's firing instrumentation; the zero value (no
+// observer) reduces to the lock-free firing counter alone.
+type actorObs struct {
+	firings *obs.Counter
+	latency *obs.Histogram
+	tr      *obs.Tracer
+	pid     int
+	name    string
+	tid     int
+}
+
+// initFirings allocates the per-actor firing slots for the given
+// processors and, when an observer is attached, their metric handles.
+func (env *execEnv) initFirings(procs []int, o *obs.Observer) {
+	env.fired = map[dataflow.ActorID]*int64{}
+	env.actorObs = map[dataflow.ActorID]actorObs{}
+	for _, p := range procs {
+		for _, a := range env.m.Order[p] {
+			env.fired[a] = new(int64)
+			ao := actorObs{name: env.g.Actor(a).Name, tid: actorRowBase + p}
+			if o != nil {
+				l := obs.L("actor", ao.name)
+				ao.firings = o.Counter("spi_actor_firings_total", "Completed actor firings.", l)
+				ao.latency = o.Histogram("spi_actor_fire_latency_us", "Kernel execution time per firing in microseconds.", obs.LatencyBucketsUS, l)
+				ao.tr = o.Tracer()
+				ao.pid = o.Pid()
+			}
+			env.actorObs[a] = ao
+		}
+	}
+}
+
+// firingSnapshot reports completed firings per actor name. Call only
+// after run returns (the WaitGroup orders the reads).
+func (env *execEnv) firingSnapshot() map[string]int {
+	out := make(map[string]int, len(env.fired))
+	for a, n := range env.fired {
+		out[env.g.Actor(a).Name] = int(*n)
+	}
+	return out
 }
 
 // run executes the given processors, one goroutine each, and returns the
@@ -180,10 +243,14 @@ func (env *execEnv) runProc(p, iterations int) error {
 				env.localTransfers++
 				env.localMu.Unlock()
 			}
+			ao := env.actorObs[a]
+			start := ao.tr.Now()
 			out, err := env.kernels[a](iter, in)
 			if err != nil {
 				return fmt.Errorf("spi: actor %s iteration %d: %w", g.Actor(a).Name, iter, err)
 			}
+			ao.tr.Span("kernel", ao.name, ao.pid, ao.tid, start, obs.A("iter", int64(iter)))
+			ao.latency.Observe(float64(ao.tr.Now() - start))
 			for _, eid := range g.Out(a) {
 				payload, err := env.plan.pad(eid, out[eid])
 				if err != nil {
@@ -200,6 +267,8 @@ func (env *execEnv) runProc(p, iterations int) error {
 				env.locals[eid] = append(env.locals[eid], payload)
 				env.localMu.Unlock()
 			}
+			ao.firings.Inc()
+			*env.fired[a]++
 		}
 	}
 	return nil
@@ -259,12 +328,15 @@ func Execute(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]K
 	for p := range procs {
 		procs[p] = p
 	}
+	env.initFirings(procs, nil)
 	if err := collapseErrs(env.run(procs, iterations)); err != nil {
 		return nil, err
 	}
 	return &ExecStats{
 		Iterations:     iterations,
 		SPI:            env.rt.TotalStats(),
+		Edges:          env.rt.AllStats(),
+		ActorFirings:   env.firingSnapshot(),
 		LocalTransfers: env.localTransfers,
 	}, nil
 }

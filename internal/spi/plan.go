@@ -51,7 +51,7 @@ func (p *graphPlan) delayIters(eid dataflow.EdgeID) int {
 // protocols on the same edges.
 func (p *graphPlan) edgeConfig(eid dataflow.EdgeID) EdgeConfig {
 	info := p.conv.Info(eid)
-	cfg := EdgeConfig{ID: EdgeID(eid), Mode: Static, PayloadBytes: int(info.BMax)}
+	cfg := EdgeConfig{ID: EdgeID(eid), Name: p.g.Edge(eid).Name, Mode: Static, PayloadBytes: int(info.BMax)}
 	if info.Dynamic {
 		cfg.Mode = Dynamic
 		cfg.MaxBytes = int(info.BMax)

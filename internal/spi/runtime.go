@@ -3,7 +3,11 @@ package spi
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Protocol selects the buffer-synchronization protocol of an edge.
@@ -30,11 +34,20 @@ func (p Protocol) String() string {
 // ErrClosed is returned by operations on a closed edge.
 var ErrClosed = errors.New("spi: edge closed")
 
+// AckMessageBytes is the wire size charged per acknowledgement in edge
+// statistics — the UBS ack / BBS credit payload, matching the default
+// SystemSpec.AckBytes of the platform lowering.
+const AckMessageBytes = 4
+
 // EdgeConfig declares one interprocessor edge to the runtime — the work of
 // the SPI_init actor.
 type EdgeConfig struct {
 	// ID is the interprocessor edge identifier carried in every header.
 	ID EdgeID
+	// Name is the dataflow edge's display name, used for statistics,
+	// metrics labels, and trace events. Optional; the decimal ID stands in
+	// when empty.
+	Name string
 	// Mode selects SPI_static or SPI_dynamic framing.
 	Mode Mode
 	// PayloadBytes is the fixed transfer size for Static mode.
@@ -74,13 +87,67 @@ type EdgeStats struct {
 	PayloadBytes, WireBytes int64
 	// Acks counts UBS acknowledgements issued by the receiver.
 	Acks int64
+	// AckBytes is the wire cost of those acknowledgements
+	// (AckMessageBytes each) — the synchronization traffic OptimizeSync
+	// removes on bounded edges.
+	AckBytes int64
+	// CreditWaits counts Send calls that blocked on a full BBS window
+	// before proceeding.
+	CreditWaits int64
 	// MaxQueued is the largest observed buffer occupancy in messages.
 	MaxQueued int
+}
+
+// edgeObs bundles one edge's observability handles. The zero value (no
+// observer attached to the runtime) disables everything: every handle is
+// nil and every nil-receiver method is a no-op.
+type edgeObs struct {
+	msgs        *obs.Counter
+	dataBytes   *obs.Counter
+	acks        *obs.Counter
+	ackBytes    *obs.Counter
+	creditWaits *obs.Counter
+	queueDepth  *obs.Gauge
+	tr          *obs.Tracer
+	pid         int
+	name        string
+
+	// Precomputed trace event names so the hot paths never concatenate.
+	evSend, evRecv, evAck, evStall string
+}
+
+// newEdgeObs registers the per-edge metric series. All series share the
+// edge label so /metrics groups an edge's traffic together.
+func newEdgeObs(o *obs.Observer, cfg EdgeConfig) edgeObs {
+	if o == nil {
+		return edgeObs{}
+	}
+	name := cfg.Name
+	if name == "" {
+		name = strconv.Itoa(int(cfg.ID))
+	}
+	l := obs.L("edge", name)
+	return edgeObs{
+		msgs:        o.Counter("spi_edge_messages_total", "Data messages transferred per SPI edge.", l),
+		dataBytes:   o.Counter("spi_edge_data_bytes_total", "Wire bytes (payload+header) of data messages per SPI edge.", l),
+		acks:        o.Counter("spi_edge_acks_total", "Acknowledgements (UBS acks / BBS credits) issued per SPI edge.", l),
+		ackBytes:    o.Counter("spi_edge_ack_bytes_total", "Wire bytes of acknowledgement traffic per SPI edge.", l),
+		creditWaits: o.Counter("spi_edge_credit_waits_total", "Send calls that blocked on a full BBS window per SPI edge.", l),
+		queueDepth:  o.Gauge("spi_edge_queue_depth", "Current buffer occupancy in messages per SPI edge.", l),
+		tr:          o.Tracer(),
+		pid:         o.Pid(),
+		name:        name,
+		evSend:      "send:" + name,
+		evRecv:      "recv:" + name,
+		evAck:       "ack:" + name,
+		evStall:     "credit-stall:" + name,
+	}
 }
 
 // edge is the shared state between a Sender and Receiver.
 type edge struct {
 	cfg EdgeConfig
+	obs edgeObs
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -109,11 +176,22 @@ type Receiver struct{ e *edge }
 type Runtime struct {
 	mu    sync.Mutex
 	edges map[EdgeID]*edge
+	obs   *obs.Observer
 }
 
 // NewRuntime returns an empty runtime.
 func NewRuntime() *Runtime {
 	return &Runtime{edges: make(map[EdgeID]*edge)}
+}
+
+// SetObserver attaches metrics and tracing to the runtime. Edges
+// initialized after the call record per-edge counters and emit trace
+// events; call it before Init. A nil observer leaves the runtime
+// uninstrumented (the default).
+func (r *Runtime) SetObserver(o *obs.Observer) {
+	r.mu.Lock()
+	r.obs = o
+	r.mu.Unlock()
 }
 
 // Init declares an edge and returns its communication actor pair — the
@@ -127,7 +205,7 @@ func (r *Runtime) Init(cfg EdgeConfig) (*Sender, *Receiver, error) {
 	if _, dup := r.edges[cfg.ID]; dup {
 		return nil, nil, fmt.Errorf("spi: edge %d already initialized", cfg.ID)
 	}
-	e := &edge{cfg: cfg}
+	e := &edge{cfg: cfg, obs: newEdgeObs(r.obs, cfg)}
 	e.cond = sync.NewCond(&e.mu)
 	r.edges[cfg.ID] = e
 	return &Sender{e: e}, &Receiver{e: e}, nil
@@ -144,6 +222,37 @@ func (r *Runtime) Stats(id EdgeID) (EdgeStats, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats, true
+}
+
+// EdgeTraffic is one edge's statistics with its identity attached, as
+// reported by AllStats.
+type EdgeTraffic struct {
+	ID       EdgeID
+	Name     string
+	Protocol Protocol
+	Stats    EdgeStats
+}
+
+// AllStats snapshots every edge's statistics, sorted by edge ID.
+func (r *Runtime) AllStats() []EdgeTraffic {
+	r.mu.Lock()
+	edges := make([]*edge, 0, len(r.edges))
+	for _, e := range r.edges {
+		edges = append(edges, e)
+	}
+	r.mu.Unlock()
+	out := make([]EdgeTraffic, 0, len(edges))
+	for _, e := range edges {
+		name := e.cfg.Name
+		if name == "" {
+			name = strconv.Itoa(int(e.cfg.ID))
+		}
+		e.mu.Lock()
+		out = append(out, EdgeTraffic{ID: e.cfg.ID, Name: name, Protocol: e.cfg.Protocol, Stats: e.stats})
+		e.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // CloseAll closes every edge in the runtime, releasing any goroutine
@@ -180,6 +289,8 @@ func (r *Runtime) TotalStats() EdgeStats {
 		t.PayloadBytes += e.stats.PayloadBytes
 		t.WireBytes += e.stats.WireBytes
 		t.Acks += e.stats.Acks
+		t.AckBytes += e.stats.AckBytes
+		t.CreditWaits += e.stats.CreditWaits
 		if e.stats.MaxQueued > t.MaxQueued {
 			t.MaxQueued = e.stats.MaxQueued
 		}
@@ -213,8 +324,14 @@ func (s *Sender) Send(payload []byte) error {
 		// Remote edge: the BBS window is (sent - acked) against Capacity —
 		// the shared write/read-pointer distance, maintained from the
 		// peer's credit messages instead of the local queue length.
-		for e.cfg.Protocol == BBS && !e.closed && int(e.stats.Messages-e.acked) >= e.cfg.Capacity {
-			e.cond.Wait()
+		if e.cfg.Protocol == BBS && !e.closed && int(e.stats.Messages-e.acked) >= e.cfg.Capacity {
+			e.stats.CreditWaits++
+			e.obs.creditWaits.Inc()
+			start := e.obs.tr.Now()
+			for e.cfg.Protocol == BBS && !e.closed && int(e.stats.Messages-e.acked) >= e.cfg.Capacity {
+				e.cond.Wait()
+			}
+			e.obs.tr.Span("edge", e.obs.evStall, e.obs.pid, int(e.cfg.ID), start)
 		}
 		if e.closed {
 			e.mu.Unlock()
@@ -223,30 +340,47 @@ func (s *Sender) Send(payload []byte) error {
 		e.stats.Messages++
 		e.stats.PayloadBytes += int64(len(payload))
 		e.stats.WireBytes += int64(len(msg))
-		if q := int(e.stats.Messages - e.acked); q > e.stats.MaxQueued {
+		q := int(e.stats.Messages - e.acked)
+		if q > e.stats.MaxQueued {
 			e.stats.MaxQueued = q
 		}
 		e.mu.Unlock()
+		e.obs.msgs.Inc()
+		e.obs.dataBytes.Add(int64(len(msg)))
+		e.obs.queueDepth.Set(int64(q))
+		e.obs.tr.Instant("edge", e.obs.evSend, e.obs.pid, int(e.cfg.ID), obs.A("bytes", int64(len(msg))))
 		if err := link.SendData(uint16(e.cfg.ID), msg); err != nil {
 			return fmt.Errorf("spi: edge %d remote send: %w", e.cfg.ID, err)
 		}
 		return nil
 	}
-	defer e.mu.Unlock()
-	for e.cfg.Protocol == BBS && !e.closed && len(e.queue) >= e.cfg.Capacity {
-		e.cond.Wait()
+	if e.cfg.Protocol == BBS && !e.closed && len(e.queue) >= e.cfg.Capacity {
+		e.stats.CreditWaits++
+		e.obs.creditWaits.Inc()
+		start := e.obs.tr.Now()
+		for e.cfg.Protocol == BBS && !e.closed && len(e.queue) >= e.cfg.Capacity {
+			e.cond.Wait()
+		}
+		e.obs.tr.Span("edge", e.obs.evStall, e.obs.pid, int(e.cfg.ID), start)
 	}
 	if e.closed {
+		e.mu.Unlock()
 		return ErrClosed
 	}
 	e.queue = append(e.queue, msg)
-	if len(e.queue) > e.stats.MaxQueued {
-		e.stats.MaxQueued = len(e.queue)
+	depth := len(e.queue)
+	if depth > e.stats.MaxQueued {
+		e.stats.MaxQueued = depth
 	}
 	e.stats.Messages++
 	e.stats.PayloadBytes += int64(len(payload))
 	e.stats.WireBytes += int64(len(msg))
 	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.obs.msgs.Inc()
+	e.obs.dataBytes.Add(int64(len(msg)))
+	e.obs.queueDepth.Set(int64(depth))
+	e.obs.tr.Instant("edge", e.obs.evSend, e.obs.pid, int(e.cfg.ID), obs.A("bytes", int64(len(msg))))
 	return nil
 }
 
@@ -275,21 +409,35 @@ func (rc *Receiver) Receive() ([]byte, error) {
 	}
 	msg := e.queue[0]
 	e.queue = e.queue[1:]
+	depth := len(e.queue)
 	link := e.remoteRx
+	acked := false
 	if link == nil {
 		if e.cfg.Protocol == UBS {
 			e.acked++
 			e.stats.Acks++
+			e.stats.AckBytes += AckMessageBytes
+			acked = true
 		}
 	} else {
 		// Remote edge: the credit/ack must cross the wire. Count it for
 		// both protocols — on a network edge the BBS credit is a real
 		// synchronization message, not a shared-memory pointer update.
 		e.stats.Acks++
+		e.stats.AckBytes += AckMessageBytes
+		acked = true
 	}
 	e.cond.Broadcast() // return BBS credit / wake senders
 	mode, id, fixed, maxb := e.cfg.Mode, e.cfg.ID, e.cfg.PayloadBytes, e.cfg.MaxBytes
 	e.mu.Unlock()
+	e.obs.queueDepth.Set(int64(depth))
+	ts := e.obs.tr.Now()
+	e.obs.tr.InstantAt(ts, "edge", e.obs.evRecv, e.obs.pid, int(id), obs.A("bytes", int64(len(msg))))
+	if acked {
+		e.obs.acks.Inc()
+		e.obs.ackBytes.Add(AckMessageBytes)
+		e.obs.tr.InstantAt(ts, "edge", e.obs.evAck, e.obs.pid, int(id))
+	}
 	if link != nil {
 		// A failed ack only starves the remote sender of a credit, and a
 		// link that cannot carry the ack has already died or closed — the

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // FaultConfig is a seeded, deterministic fault schedule for a
@@ -78,6 +80,45 @@ type FaultTransport struct {
 	faults  int64 // total injected, compared against MaxFaults
 
 	drops, dups, corrupts, delays, severs, denied int64
+
+	obs faultObs
+}
+
+// faultObs carries the optional observability handles for a
+// FaultTransport; the zero value disables everything.
+type faultObs struct {
+	tr       *obs.Tracer
+	pid      int
+	counters map[string]*obs.Counter
+}
+
+// SetObserver attaches metrics and tracing to the transport. Each
+// injected fault increments chaos_faults_total{kind} and emits a "fault"
+// trace instant. Call before the transport carries traffic.
+func (t *FaultTransport) SetObserver(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	fo := faultObs{tr: o.Tracer(), pid: o.Pid(), counters: map[string]*obs.Counter{}}
+	for _, kind := range []string{"drop", "duplicate", "corrupt", "delay", "sever", "denydial"} {
+		fo.counters[kind] = o.Counter("chaos_faults_total",
+			"Faults injected by the chaos transport, by kind.", obs.L("kind", kind))
+	}
+	t.mu.Lock()
+	t.obs = fo
+	t.mu.Unlock()
+}
+
+// fault records one injected fault of the given kind.
+func (t *FaultTransport) fault(kind string) {
+	t.mu.Lock()
+	fo := t.obs
+	t.mu.Unlock()
+	if fo.counters == nil {
+		return
+	}
+	fo.counters[kind].Inc()
+	fo.tr.Instant("fault", kind, fo.pid, 0)
 }
 
 // NewFaultTransport wraps inner with the given fault schedule.
@@ -138,6 +179,7 @@ func (t *FaultTransport) Dial(addr string) (Conn, error) {
 		t.mu.Unlock()
 		if deny {
 			atomic.AddInt64(&t.denied, 1)
+			t.fault("denydial")
 			return nil, &Error{Op: "dial", Addr: addr, Transient: true,
 				Err: fmt.Errorf("chaos: dial denied (peer declared dead)")}
 		}
@@ -215,21 +257,25 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		return c.sever()
 	case session && cfg.Drop > 0 && roll < cfg.Drop && c.t.spendFault():
 		atomic.AddInt64(&c.t.drops, 1)
+		c.t.fault("drop")
 		return len(p), nil // swallowed; peer sees a sequence gap next frame
 	case session && cfg.Corrupt > 0 && roll < cfg.Corrupt && c.t.spendFault():
 		atomic.AddInt64(&c.t.corrupts, 1)
+		c.t.fault("corrupt")
 		bad := make([]byte, len(p))
 		copy(bad, p)
 		bad[4+c.rng.Intn(len(bad)-4)] ^= 0x20
 		return c.Conn.Write(bad)
 	case session && cfg.Duplicate > 0 && roll < cfg.Duplicate && c.t.spendFault():
 		atomic.AddInt64(&c.t.dups, 1)
+		c.t.fault("duplicate")
 		if n, err := c.Conn.Write(p); err != nil {
 			return n, err
 		}
 		return c.Conn.Write(p)
 	case cfg.Delay > 0 && roll < cfg.Delay && c.t.spendFault():
 		atomic.AddInt64(&c.t.delays, 1)
+		c.t.fault("delay")
 		time.Sleep(cfg.DelayFor)
 	}
 	return c.Conn.Write(p)
@@ -237,6 +283,7 @@ func (c *faultConn) Write(p []byte) (int, error) {
 
 func (c *faultConn) sever() (int, error) {
 	atomic.AddInt64(&c.t.severs, 1)
+	c.t.fault("sever")
 	c.dead = true
 	c.Conn.Close()
 	return 0, &Error{Op: "send", Addr: c.RemoteAddr(), Err: errSevered}

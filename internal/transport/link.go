@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Handler receives a Link's inbound traffic. Calls are made from the
@@ -65,6 +67,11 @@ type LinkConfig struct {
 	// until covered by the peer's cumulative ack, and senders block when
 	// the buffer is full. Default 256 frames.
 	ResendLimit int
+	// Obs, when non-nil, exports this link's traffic counters through the
+	// metrics registry (labeled by peer node) and records its session
+	// lifecycle events into the trace ring. Nil keeps the counters
+	// link-local (Stats still works) and disables tracing.
+	Obs *obs.Observer
 }
 
 func (c *LinkConfig) handshakeTimeout() time.Duration {
@@ -119,6 +126,72 @@ const (
 	stateFailed
 )
 
+// linkObs is one link's resolved observability handles. The counters and
+// gauge are always allocated — they are the link's only traffic
+// bookkeeping (Stats reads them) and cost one atomic op whether or not a
+// registry exports them. Only the tracer is nil without an observer; its
+// methods are nil-safe, so record sites call unconditionally.
+type linkObs struct {
+	tr  *obs.Tracer
+	pid int
+	// sessTid separates session-lifecycle events (reconnect, resume,
+	// link-down) from per-edge message rows in the Chrome view.
+	sessTid int
+
+	framesSent, framesRecv *obs.Counter
+	bytesSent, bytesRecv   *obs.Counter
+	dataSent, dataRecv     *obs.Counter
+	acksSent, acksRecv     *obs.Counter
+	finsSent, finsRecv     *obs.Counter
+	resumes, retransmits   *obs.Counter
+	dups, reconnects       *obs.Counter
+	sendStalls             *obs.Counter
+	resendDepth            *obs.Gauge
+}
+
+// sessionRowBase offsets session-event trace rows above edge IDs.
+const sessionRowBase = 900
+
+func newLinkObs(o *obs.Observer, peer int) linkObs {
+	if o == nil {
+		// Unregistered standalone counters: same single atomic op per
+		// record as registered ones, just not exported anywhere.
+		return linkObs{
+			framesSent: &obs.Counter{}, framesRecv: &obs.Counter{},
+			bytesSent: &obs.Counter{}, bytesRecv: &obs.Counter{},
+			dataSent: &obs.Counter{}, dataRecv: &obs.Counter{},
+			acksSent: &obs.Counter{}, acksRecv: &obs.Counter{},
+			finsSent: &obs.Counter{}, finsRecv: &obs.Counter{},
+			resumes: &obs.Counter{}, retransmits: &obs.Counter{},
+			dups: &obs.Counter{}, reconnects: &obs.Counter{},
+			sendStalls:  &obs.Counter{},
+			resendDepth: &obs.Gauge{},
+		}
+	}
+	pl := obs.L("peer", strconv.Itoa(peer))
+	return linkObs{
+		tr:          o.Tracer(),
+		pid:         o.Pid(),
+		sessTid:     sessionRowBase + peer,
+		framesSent:  o.Counter("transport_link_frames_sent_total", "frames written to the peer", pl),
+		framesRecv:  o.Counter("transport_link_frames_received_total", "frames read from the peer", pl),
+		bytesSent:   o.Counter("transport_link_bytes_sent_total", "wire bytes written (headers included)", pl),
+		bytesRecv:   o.Counter("transport_link_bytes_received_total", "wire bytes read (headers included)", pl),
+		dataSent:    o.Counter("transport_link_data_sent_total", "DATA frames sent", pl),
+		dataRecv:    o.Counter("transport_link_data_received_total", "DATA frames received", pl),
+		acksSent:    o.Counter("transport_link_acks_sent_total", "ACK frames sent", pl),
+		acksRecv:    o.Counter("transport_link_acks_received_total", "ACK frames received", pl),
+		finsSent:    o.Counter("transport_link_fins_sent_total", "FIN frames sent", pl),
+		finsRecv:    o.Counter("transport_link_fins_received_total", "FIN frames received", pl),
+		resumes:     o.Counter("transport_link_resumes_total", "successful RESUME handshakes", pl),
+		retransmits: o.Counter("transport_link_retransmits_total", "frames replayed by RESUME recovery", pl),
+		dups:        o.Counter("transport_link_duplicates_dropped_total", "inbound frames discarded by the sequence filter", pl),
+		reconnects:  o.Counter("transport_link_reconnect_attempts_total", "re-dial attempts during outages", pl),
+		sendStalls:  o.Counter("transport_link_send_stalls_total", "sends that blocked on a down link or full resend buffer", pl),
+		resendDepth: o.Gauge("transport_link_resend_depth", "unacknowledged frames held for replay", pl),
+	}
+}
+
 type savedFrame struct {
 	seq  uint64
 	wire []byte
@@ -161,6 +234,7 @@ type Link struct {
 	failErr    error
 	sendSeq    uint64 // last sequence number assigned to an outbound frame
 	recvSeq    uint64 // last in-order sequence number received
+	cumAcked   uint64 // highest recvSeq we have cumulatively acked to the peer
 	peerAcked  uint64 // highest cumulative ack received from the peer
 	unacked    []savedFrame
 	changed    chan struct{} // closed+replaced on every state/buffer change
@@ -169,15 +243,10 @@ type Link struct {
 	closedCh chan struct{} // closed once when Close/Abort begins
 	resumeCh chan resumeOffer
 
+	obs linkObs
+
 	notifyOnce sync.Once
 	closeOnce  sync.Once
-
-	framesSent, framesRecv            int64
-	bytesSent, bytesRecv              int64
-	dataSent, dataRecv                int64
-	acksSent, acksRecv                int64
-	finsSent, finsRecv                int64
-	resumes, retransmits, dupsDropped int64
 }
 
 func newToken() (uint64, error) {
@@ -327,6 +396,7 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 		readerDone: make(chan struct{}),
 		closedCh:   make(chan struct{}),
 		resumeCh:   make(chan resumeOffer, 1),
+		obs:        newLinkObs(cfg.Obs, peer),
 	}
 	for _, d := range cfg.Edges {
 		if d.Out {
@@ -396,19 +466,19 @@ func (l *Link) RemoteAddr() string { return l.raddr }
 // Stats returns a snapshot of the link's traffic counters.
 func (l *Link) Stats() LinkStats {
 	return LinkStats{
-		FramesSent:        atomic.LoadInt64(&l.framesSent),
-		FramesReceived:    atomic.LoadInt64(&l.framesRecv),
-		BytesSent:         atomic.LoadInt64(&l.bytesSent),
-		BytesReceived:     atomic.LoadInt64(&l.bytesRecv),
-		DataSent:          atomic.LoadInt64(&l.dataSent),
-		DataReceived:      atomic.LoadInt64(&l.dataRecv),
-		AcksSent:          atomic.LoadInt64(&l.acksSent),
-		AcksReceived:      atomic.LoadInt64(&l.acksRecv),
-		FinsSent:          atomic.LoadInt64(&l.finsSent),
-		FinsReceived:      atomic.LoadInt64(&l.finsRecv),
-		Resumes:           atomic.LoadInt64(&l.resumes),
-		Retransmits:       atomic.LoadInt64(&l.retransmits),
-		DuplicatesDropped: atomic.LoadInt64(&l.dupsDropped),
+		FramesSent:        l.obs.framesSent.Value(),
+		FramesReceived:    l.obs.framesRecv.Value(),
+		BytesSent:         l.obs.bytesSent.Value(),
+		BytesReceived:     l.obs.bytesRecv.Value(),
+		DataSent:          l.obs.dataSent.Value(),
+		DataReceived:      l.obs.dataRecv.Value(),
+		AcksSent:          l.obs.acksSent.Value(),
+		AcksReceived:      l.obs.acksRecv.Value(),
+		FinsSent:          l.obs.finsSent.Value(),
+		FinsReceived:      l.obs.finsRecv.Value(),
+		Resumes:           l.obs.resumes.Value(),
+		Retransmits:       l.obs.retransmits.Value(),
+		DuplicatesDropped: l.obs.dups.Value(),
 	}
 }
 
@@ -421,7 +491,11 @@ func (l *Link) SendData(edge uint16, msg []byte) error {
 	if err := l.sendSession(frameData, msg); err != nil {
 		return err
 	}
-	atomic.AddInt64(&l.dataSent, 1)
+	// Counters only on the per-frame path: the SPI layer already traces
+	// this message as an edge event, and a second instant per frame is
+	// measurable overhead for no new information. The trace ring carries
+	// link *session* events (down, reconnect, resume, replay).
+	l.obs.dataSent.Inc()
 	return nil
 }
 
@@ -434,7 +508,7 @@ func (l *Link) SendAck(edge uint16, count uint32) error {
 	if err := l.sendSession(frameAck, encodeAck(edge, count)); err != nil {
 		return err
 	}
-	atomic.AddInt64(&l.acksSent, 1)
+	l.obs.acksSent.Inc()
 	return nil
 }
 
@@ -451,7 +525,8 @@ func (l *Link) SendFin(edge uint16) error {
 	if err := l.sendSession(frameFin, encodeFin(edge)); err != nil {
 		return err
 	}
-	atomic.AddInt64(&l.finsSent, 1)
+	l.obs.finsSent.Inc()
+	l.obs.tr.Instant("link", "fin:send", l.obs.pid, int(edge))
 	return nil
 }
 
@@ -480,8 +555,16 @@ func (l *Link) sendSession(typ byte, body []byte) error {
 			return &Error{Op: "send", Addr: l.raddr, Err: err}
 		case l.state == stateDown, len(l.unacked) >= l.cfg.resendLimit():
 			ch := l.changed
+			conn, gen := l.conn, l.gen
 			l.mu.Unlock()
 			l.wmu.Unlock()
+			l.obs.sendStalls.Inc()
+			// About to sleep until the peer acks: flush our own owed
+			// cumulative ack first, or a symmetrically stalled peer
+			// would wait on us exactly as we wait on it.
+			if l.owedAcks() > 0 {
+				l.tryCumAck(conn, gen)
+			}
 			<-ch
 			continue
 		}
@@ -489,6 +572,7 @@ func (l *Link) sendSession(typ byte, body []byte) error {
 		seq := l.sendSeq
 		wire := encodeFrame(typ, seq, body)
 		l.unacked = append(l.unacked, savedFrame{seq: seq, wire: wire})
+		l.obs.resendDepth.Set(int64(len(l.unacked)))
 		conn, gen := l.conn, l.gen
 		l.mu.Unlock()
 		if l.cfg.SendTimeout > 0 {
@@ -506,10 +590,37 @@ func (l *Link) sendSession(typ byte, body []byte) error {
 			l.poisonSend(gen)
 			return werr
 		}
-		atomic.AddInt64(&l.framesSent, 1)
-		atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+		l.obs.framesSent.Inc()
+		l.obs.bytesSent.Add(int64(len(wire)))
+		// The reader's tryCumAck yields rather than wait on wmu, so a
+		// writer that held it off must flush the owed ack itself: if
+		// every session write left the reader's ack suppressed, the
+		// peer's resend buffer would fill and its senders stall with
+		// nothing left in flight to retrigger the ack.
+		if l.owedAcks() >= uint64(l.ackInterval()) {
+			l.tryCumAck(conn, gen)
+		}
 		return nil
 	}
+}
+
+// ackInterval is the cumulative-ack suppression threshold: acks cover
+// batches of a quarter of the peer's assumed resend budget, so the peer
+// trims long before its senders would stall.
+func (l *Link) ackInterval() int {
+	interval := l.cfg.resendLimit() / 4
+	if interval < 1 {
+		interval = 1
+	}
+	return interval
+}
+
+// owedAcks reports how many in-order frames we have received but not yet
+// covered with a cumulative ack.
+func (l *Link) owedAcks() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recvSeq - l.cumAcked
 }
 
 // encodeFrame builds the complete wire bytes for one frame, so the resend
@@ -565,6 +676,7 @@ func (l *Link) goDownLocked(cause error) error {
 	l.conn.Close()
 	l.gen++
 	prevDone := l.readerDone
+	l.obs.tr.Instant("session", "link-down", l.obs.pid, l.obs.sessTid, obs.A("gen", int64(l.gen)))
 	if l.cfg.Reconnect.Enabled() {
 		l.state = stateDown
 		l.broadcastLocked()

@@ -3,8 +3,9 @@ package transport
 import (
 	"encoding/binary"
 	"fmt"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // readLoop dispatches inbound frames for one connection generation. It
@@ -14,11 +15,7 @@ import (
 // final ack exchange of a graceful close can complete in both directions.
 func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 	defer close(done)
-	sinceAck := 0
-	interval := l.cfg.resendLimit() / 4
-	if interval < 1 {
-		interval = 1
-	}
+	interval := uint64(l.ackInterval())
 	for {
 		if l.cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
@@ -28,14 +25,14 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 			l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Transient: isTimeout(err), Err: err})
 			return
 		}
-		atomic.AddInt64(&l.framesRecv, 1)
-		atomic.AddInt64(&l.bytesRecv, int64(frameHeaderBytes+len(body)))
+		l.obs.framesRecv.Inc()
+		l.obs.bytesRecv.Add(int64(frameHeaderBytes + len(body)))
 		if numberedFrame(typ) {
 			l.mu.Lock()
 			if seq <= l.recvSeq {
 				// Replay overlap or a duplicated frame: already delivered.
 				l.mu.Unlock()
-				atomic.AddInt64(&l.dupsDropped, 1)
+				l.obs.dups.Inc()
 				continue
 			}
 			if seq != l.recvSeq+1 {
@@ -47,7 +44,6 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 			}
 			l.recvSeq = seq
 			l.mu.Unlock()
-			sinceAck++
 		}
 		switch typ {
 		case frameData:
@@ -62,7 +58,7 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 					Err: fmt.Errorf("data frame for undeclared inbound edge %d", id)})
 				return
 			}
-			atomic.AddInt64(&l.dataRecv, 1)
+			l.obs.dataRecv.Inc()
 			l.h.HandleData(id, body)
 		case frameAck:
 			id, n, derr := decodeAck(body)
@@ -75,7 +71,7 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 					Err: fmt.Errorf("ack frame for undeclared outbound edge %d", id)})
 				return
 			}
-			atomic.AddInt64(&l.acksRecv, 1)
+			l.obs.acksRecv.Inc()
 			l.h.HandleAck(id, n)
 		case frameFin:
 			id, derr := decodeFin(body)
@@ -90,7 +86,8 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 					Err: fmt.Errorf("fin frame for undeclared edge %d", id)})
 				return
 			}
-			atomic.AddInt64(&l.finsRecv, 1)
+			l.obs.finsRecv.Inc()
+			l.obs.tr.Instant("link", "fin:recv", l.obs.pid, int(id))
 			l.h.HandleFin(id)
 		case frameCumAck:
 			n, derr := decodeCumAck(body)
@@ -113,8 +110,8 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 				Err: fmt.Errorf("unexpected frame type %d", typ)})
 			return
 		}
-		if sinceAck >= interval && l.tryCumAck(conn, gen) {
-			sinceAck = 0
+		if l.owedAcks() >= interval {
+			l.tryCumAck(conn, gen)
 		}
 	}
 }
@@ -132,27 +129,30 @@ func (l *Link) trimUnacked(n uint64) {
 		if i > 0 {
 			l.unacked = append([]savedFrame(nil), l.unacked[i:]...)
 		}
+		l.obs.resendDepth.Set(int64(len(l.unacked)))
 		l.broadcastLocked()
 	}
 	l.mu.Unlock()
 }
 
-// tryCumAck sends a cumulative transport ack from the reader goroutine.
-// It must never block on the writer mutex: on loopback (net.Pipe) a reader
-// waiting behind a writer whose peer is symmetrically stuck would
-// deadlock, so a contended lock just defers the ack to a later frame (the
-// RESUME handshake carries recvSeq anyway).
-func (l *Link) tryCumAck(conn Conn, gen int) bool {
+// tryCumAck sends a cumulative transport ack covering every in-order
+// frame received so far. It must never block on the writer mutex: on
+// loopback (net.Pipe) a reader waiting behind a writer whose peer is
+// symmetrically stuck would deadlock. A contended lock skips the ack;
+// liveness then rests on the writer that held the lock, which rechecks
+// owedAcks after releasing it (see sendSession).
+func (l *Link) tryCumAck(conn Conn, gen int) {
 	if !l.wmu.TryLock() {
-		return false
+		return
 	}
 	l.mu.Lock()
 	if l.gen != gen || l.state != stateUp {
 		l.mu.Unlock()
 		l.wmu.Unlock()
-		return true
+		return
 	}
 	n := l.recvSeq
+	l.cumAcked = n
 	l.mu.Unlock()
 	if l.cfg.SendTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
@@ -162,11 +162,10 @@ func (l *Link) tryCumAck(conn Conn, gen int) bool {
 	l.wmu.Unlock()
 	if err != nil {
 		l.connError(gen, &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err})
-		return true
+		return
 	}
-	atomic.AddInt64(&l.framesSent, 1)
-	atomic.AddInt64(&l.bytesSent, int64(len(wire)))
-	return true
+	l.obs.framesSent.Inc()
+	l.obs.bytesSent.Add(int64(len(wire)))
 }
 
 // ackGoodbye sends the final cumulative ack telling the peer its GOODBYE
@@ -182,6 +181,7 @@ func (l *Link) ackGoodbye(conn Conn, gen int) {
 		return
 	}
 	n := l.recvSeq
+	l.cumAcked = n
 	l.mu.Unlock()
 	conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
 	wire := encodeFrame(frameCumAck, 0, encodeCumAck(n))
@@ -189,8 +189,8 @@ func (l *Link) ackGoodbye(conn Conn, gen int) {
 	conn.SetWriteDeadline(time.Time{})
 	l.wmu.Unlock()
 	if err == nil {
-		atomic.AddInt64(&l.framesSent, 1)
-		atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+		l.obs.framesSent.Inc()
+		l.obs.bytesSent.Add(int64(len(wire)))
 	}
 }
 
@@ -281,6 +281,8 @@ func (l *Link) recover(gen int, prevDone chan struct{}, cause error) {
 			if l.recoveryOver(gen) {
 				return
 			}
+			l.obs.reconnects.Inc()
+			l.obs.tr.Instant("session", "reconnect", l.obs.pid, l.obs.sessTid, obs.A("attempt", int64(attempt+1)))
 			conn, peerRecv, err := l.dialResume(deadline)
 			if err != nil {
 				lastErr = err
@@ -423,9 +425,15 @@ func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 	copy(replay, l.unacked)
 	l.conn = conn
 	l.state = stateUp
+	// The RESUME/RESUME-OK exchange carried our recvSeq, so everything
+	// received so far is already acknowledged to the peer.
+	l.cumAcked = l.recvSeq
 	done := make(chan struct{})
 	l.readerDone = done
-	atomic.AddInt64(&l.resumes, 1)
+	l.obs.resumes.Inc()
+	l.obs.resendDepth.Set(int64(len(l.unacked)))
+	l.obs.tr.Instant("session", "resume", l.obs.pid, l.obs.sessTid,
+		obs.A("gen", int64(gen)), obs.A("replay", int64(len(replay))))
 	l.broadcastLocked()
 	l.mu.Unlock()
 	conn.SetReadDeadline(time.Time{})
@@ -440,9 +448,9 @@ func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 			werr = err
 			break
 		}
-		atomic.AddInt64(&l.retransmits, 1)
-		atomic.AddInt64(&l.framesSent, 1)
-		atomic.AddInt64(&l.bytesSent, int64(len(f.wire)))
+		l.obs.retransmits.Inc()
+		l.obs.framesSent.Inc()
+		l.obs.bytesSent.Add(int64(len(f.wire)))
 	}
 	l.wmu.Unlock()
 	if werr != nil {
@@ -491,6 +499,7 @@ func (l *Link) giveUp(gen int, cause error) {
 	}
 	l.state = stateFailed
 	l.failErr = ErrLinkClosed
+	l.obs.tr.Instant("session", "link-failed", l.obs.pid, l.obs.sessTid, obs.A("gen", int64(gen)))
 	l.broadcastLocked()
 	l.mu.Unlock()
 	l.drainOffers()
@@ -606,8 +615,8 @@ func (l *Link) sendGoodbye() (uint64, bool) {
 		}
 		return seq, false
 	}
-	atomic.AddInt64(&l.framesSent, 1)
-	atomic.AddInt64(&l.bytesSent, int64(len(wire)))
+	l.obs.framesSent.Inc()
+	l.obs.bytesSent.Add(int64(len(wire)))
 	return seq, true
 }
 
