@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench fuzz-smoke chaos obs
+.PHONY: check fmt vet build test race bench bench-compare fuzz-smoke chaos obs
 
 check: fmt vet build race fuzz-smoke
 
@@ -27,6 +27,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
+# Batched-vs-unbatched link throughput comparison (ablation A8). Runs the
+# BenchmarkLinkThroughput matrix and reduces it to per-carrier speedup,
+# allocation, and ack-frame ratios with cmd/benchdiff (no benchstat
+# dependency). BENCHOUT is the committed evidence file.
+BENCHOUT ?= BENCH_4.json
+bench-compare:
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput' -benchmem -benchtime=1s . \
+		| $(GO) run ./cmd/benchdiff -o $(BENCHOUT)
+
 # Short fuzz passes over the parsers and wire decoders (the surfaces that
 # consume untrusted bytes). Each target runs for a bounded time so the
 # smoke stays CI-friendly.
@@ -34,13 +43,14 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeStatic -fuzztime=5s ./internal/spi
 	$(GO) test -run=NONE -fuzz=FuzzDecodeDynamic -fuzztime=5s ./internal/spi
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/dataflow
+	$(GO) test -run=NONE -fuzz=FuzzDecodeBatched -fuzztime=5s ./internal/transport
 
 # The seeded fault-schedule suite: chaos link tests, distributed runs with
 # drops/corruption/duplicates/severs, graceful degradation, and the
 # pipeline.sdf + LPC residual chaos harnesses. Deterministic (seeded), so
 # failures reproduce.
 chaos:
-	$(GO) test -race -run 'Chaos|Degraded|Fault' -count=1 \
+	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline' -count=1 \
 		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode
 
 # Observability suite: the obs package under the race detector, the

@@ -1,0 +1,186 @@
+// Command benchdiff turns `go test -bench` output into a comparison
+// report. It parses benchmark result lines from stdin, pairs every
+// `<name>/batched` variant with its `<name>/unbatched` sibling, computes
+// the throughput/latency/allocation ratios between them, and writes the
+// whole set as JSON. `make bench-compare` uses it to produce BENCH_4.json,
+// the committed evidence for the frame-batching ablation (A8); it has no
+// external dependencies, so it works where benchstat is not installed.
+//
+//	go test -run=NONE -bench BenchmarkLinkThroughput -benchmem . \
+//	    | go run ./cmd/benchdiff -o BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line: N iterations plus every reported
+// metric keyed by its unit (ns/op, MB/s, tokens_per_s, B/op, allocs/op,
+// and any b.ReportMetric custom unit).
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// pair is a batched/unbatched comparison for one carrier. Ratios are
+// batched-relative: Speedup > 1 means batching is faster.
+type pair struct {
+	Name            string  `json:"name"`
+	Unbatched       result  `json:"unbatched"`
+	Batched         result  `json:"batched"`
+	SpeedupTokens   float64 `json:"speedup_tokens_per_s"`
+	LatencyRatio    float64 `json:"latency_ratio_ns_op"`
+	AllocRatio      float64 `json:"alloc_ratio_allocs_op"`
+	AckFrameFactor  float64 `json:"ack_frame_reduction"`
+	WriteCoalescing float64 `json:"write_coalescing_factor"`
+}
+
+type report struct {
+	Tool     string            `json:"tool"`
+	Context  map[string]string `json:"context"`
+	Pairs    []pair            `json:"pairs"`
+	Unpaired []result          `json:"unpaired,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	flag.Parse()
+
+	results, ctx, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	rep := build(results, ctx)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(buf)
+	}
+
+	// Human-readable ratio summary on stderr either way, so the make
+	// target shows the headline numbers without opening the JSON.
+	for _, p := range rep.Pairs {
+		fmt.Fprintf(os.Stderr, "%-32s %8.0f -> %8.0f tokens/s  (%.2fx)  acks/msg %.3f -> %.3f\n",
+			p.Name,
+			p.Unbatched.Metrics["tokens_per_s"], p.Batched.Metrics["tokens_per_s"],
+			p.SpeedupTokens,
+			p.Unbatched.Metrics["ack_frames_per_msg"], p.Batched.Metrics["ack_frames_per_msg"])
+	}
+}
+
+// parse reads `go test -bench` output: context lines (goos/goarch/pkg/cpu)
+// and result lines of the form
+//
+//	BenchmarkX/sub-8   1374303   814.8 ns/op   19.64 MB/s   35 B/op   2 allocs/op
+func parse(f *os.File) ([]result, map[string]string, error) {
+	ctx := map[string]string{}
+	var results []result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+":"); ok {
+				ctx[key] = strings.TrimSpace(v)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := result{Name: trimProcs(fields[0]), Iterations: n, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		results = append(results, r)
+	}
+	return results, ctx, sc.Err()
+}
+
+// trimProcs drops the -GOMAXPROCS suffix go test appends to names.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func build(results []result, ctx map[string]string) report {
+	rep := report{Tool: "benchdiff", Context: ctx}
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	paired := map[string]bool{}
+	for _, r := range results {
+		if !strings.HasSuffix(r.Name, "/batched") {
+			continue
+		}
+		base := strings.TrimSuffix(r.Name, "/batched")
+		u, ok := byName[base+"/unbatched"]
+		if !ok {
+			continue
+		}
+		paired[r.Name], paired[u.Name] = true, true
+		rep.Pairs = append(rep.Pairs, pair{
+			Name:            strings.TrimPrefix(base, "BenchmarkLinkThroughput/"),
+			Unbatched:       u,
+			Batched:         r,
+			SpeedupTokens:   ratio(r.Metrics["tokens_per_s"], u.Metrics["tokens_per_s"]),
+			LatencyRatio:    ratio(r.Metrics["ns/op"], u.Metrics["ns/op"]),
+			AllocRatio:      ratio(r.Metrics["allocs/op"], u.Metrics["allocs/op"]),
+			AckFrameFactor:  ratio(u.Metrics["ack_frames_per_msg"], r.Metrics["ack_frames_per_msg"]),
+			WriteCoalescing: ratio(u.Metrics["writes_per_msg"], r.Metrics["writes_per_msg"]),
+		})
+	}
+	sort.Slice(rep.Pairs, func(i, j int) bool { return rep.Pairs[i].Name < rep.Pairs[j].Name })
+	for _, r := range results {
+		if !paired[r.Name] {
+			rep.Unpaired = append(rep.Unpaired, r)
+		}
+	}
+	return rep
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -69,6 +69,14 @@ func main() {
 		"on a dead peer, drain the surviving actors and report partial digests (exit status 3) instead of aborting")
 	chaosSpec := flag.String("chaos", "",
 		"fault-injection spec, e.g. seed=7,drop=0.05,severat=40;90 (see transport.ParseFaultSpec)")
+	flag.IntVar(&cfg.Batch.MaxFrames, "batch-frames", 0,
+		"coalesce up to this many frames per link write (0 = no batching, 1 = explicit off)")
+	flag.IntVar(&cfg.Batch.MaxBytes, "batch-bytes", 0,
+		"flush a link's write batch at this many buffered bytes (0 = default when batching)")
+	flag.DurationVar(&cfg.Batch.MaxDelay, "batch-delay", 0,
+		"deadline before a buffered frame is flushed alone (0 = default when batching)")
+	flag.BoolVar(&cfg.PiggybackAcks, "piggyback-acks", false,
+		"carry acknowledgements on outgoing DATA frames when the peer supports it")
 	flag.StringVar(&cfg.HTTPAddr, "http", "",
 		"serve live introspection (GET /metrics, /healthz, /trace) on this address, e.g. 127.0.0.1:9090")
 	flag.DurationVar(&cfg.StatsInterval, "stats-interval", 0,
@@ -163,6 +171,10 @@ type nodeConfig struct {
 	ConnectTimeout time.Duration
 	Reconnect      transport.ReconnectConfig
 	Degrade        bool
+	// Batch configures each link's write coalescer; PiggybackAcks lets
+	// links carry acks on outgoing DATA frames (negotiated with the peer).
+	Batch         transport.BatchConfig
+	PiggybackAcks bool
 	// HTTPAddr, when set, serves GET /metrics (Prometheus text),
 	// /healthz (JSON status), and /trace (Chrome trace_event JSON) for
 	// the duration of the run.
@@ -376,14 +388,16 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 	}
 
 	opts := spi.DistOptions{
-		Transport: tr,
-		Node:      cfg.Node,
-		Addrs:     cfg.Addrs,
-		NodeOf:    nodeOf,
-		Listener:  ln,
-		Reconnect: cfg.Reconnect,
-		Degrade:   cfg.Degrade,
-		Obs:       o,
+		Transport:     tr,
+		Node:          cfg.Node,
+		Addrs:         cfg.Addrs,
+		NodeOf:        nodeOf,
+		Listener:      ln,
+		Reconnect:     cfg.Reconnect,
+		Degrade:       cfg.Degrade,
+		Batch:         cfg.Batch,
+		PiggybackAcks: cfg.PiggybackAcks,
+		Obs:           o,
 	}
 	if cfg.ConnectTimeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.ConnectTimeout)
@@ -416,8 +430,9 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		fmt.Fprintf(w, "stats: %d messages, %d wire bytes, %d acks, %d local transfers\n",
 			st.SPI.Messages, st.SPI.WireBytes, st.SPI.Acks, st.LocalTransfers)
 		for _, e := range st.Edges {
-			fmt.Fprintf(w, "  edge %s (%s): %d messages, %d data bytes, %d acks, %d ack bytes\n",
-				e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes)
+			fmt.Fprintf(w, "  edge %s (%s): %d messages, %d data bytes, %d acks, %d ack bytes, %d piggybacked\n",
+				e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes,
+				e.Stats.AcksPiggybacked)
 		}
 	}
 	if de != nil {

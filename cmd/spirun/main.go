@@ -33,6 +33,14 @@ func main() {
 	adaptive := flag.Float64("adaptive", 0, "crack: ESS resampling threshold fraction (0 = resample every step)")
 	hw := flag.Bool("hw", false, "speech: also run the bit-true Q15 hardware model of actor D")
 	trans := flag.String("transport", "chan", "speech actor-D run: chan (in-process SPI runtime), loopback (in-memory byte transport), tcp (two nodes over localhost TCP)")
+	flag.IntVar(&netBatch.MaxFrames, "batch-frames", 0,
+		"networked runs: coalesce up to this many frames per link write (0 = no batching)")
+	flag.IntVar(&netBatch.MaxBytes, "batch-bytes", 0,
+		"networked runs: flush a link's write batch at this many buffered bytes")
+	flag.DurationVar(&netBatch.MaxDelay, "batch-delay", 0,
+		"networked runs: deadline before a buffered frame is flushed alone")
+	flag.BoolVar(&netPiggyback, "piggyback-acks", false,
+		"networked runs: carry acknowledgements on outgoing DATA frames")
 	flag.Parse()
 
 	var err error
@@ -49,6 +57,13 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// netBatch / netPiggyback hold the transport tuning flags for the
+// loopback/tcp runs (the chan transport has no wire to tune).
+var (
+	netBatch     transport.BatchConfig
+	netPiggyback bool
+)
 
 func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
 	p := lpc.DefaultParams()
@@ -187,7 +202,13 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 		wg.Add(1)
 		go func(node int) {
 			defer wg.Done()
-			opts := spi.DistOptions{Transport: tr, Node: node, Addrs: addrs}
+			opts := spi.DistOptions{
+				Transport:     tr,
+				Node:          node,
+				Addrs:         addrs,
+				Batch:         netBatch,
+				PiggybackAcks: netPiggyback,
+			}
 			if node == 0 {
 				opts.Listener = ln
 			}
@@ -234,6 +255,7 @@ func mergeEdgeTraffic(lists ...[]spi.EdgeTraffic) []spi.EdgeTraffic {
 			m.Stats.WireBytes += e.Stats.WireBytes
 			m.Stats.Acks += e.Stats.Acks
 			m.Stats.AckBytes += e.Stats.AckBytes
+			m.Stats.AcksPiggybacked += e.Stats.AcksPiggybacked
 			m.Stats.CreditWaits += e.Stats.CreditWaits
 			if e.Stats.MaxQueued > m.Stats.MaxQueued {
 				m.Stats.MaxQueued = e.Stats.MaxQueued
@@ -253,10 +275,11 @@ func printEdgeTable(edges []spi.EdgeTraffic) {
 	if len(edges) == 0 {
 		return
 	}
-	fmt.Printf("  %-10s %-8s %9s %11s %10s %10s\n", "edge", "proto", "messages", "data bytes", "acks", "ack bytes")
+	fmt.Printf("  %-10s %-8s %9s %11s %10s %10s %10s\n", "edge", "proto", "messages", "data bytes", "acks", "ack bytes", "piggyback")
 	for _, e := range edges {
-		fmt.Printf("  %-10s %-8s %9d %11d %10d %10d\n",
-			e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes)
+		fmt.Printf("  %-10s %-8s %9d %11d %10d %10d %10d\n",
+			e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes,
+			e.Stats.AcksPiggybacked)
 	}
 }
 

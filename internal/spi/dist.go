@@ -60,6 +60,15 @@ type DistOptions struct {
 	SendTimeout  time.Duration
 	IdleTimeout  time.Duration
 	CloseTimeout time.Duration
+	// Batch configures each link's write coalescer
+	// (transport.BatchConfig). The zero value disables batching: every
+	// frame is written the moment it is encoded.
+	Batch transport.BatchConfig
+	// PiggybackAcks lets each link carry acknowledgements on outgoing
+	// DATA frames when the peer negotiates the feature, collapsing the
+	// standalone ACK stream of UBS edges. Piggybacked counts appear in
+	// the per-edge statistics (EdgeStats.AcksPiggybacked).
+	PiggybackAcks bool
 	// Obs, when non-nil, instruments the run: per-edge SPI counters,
 	// per-link transport counters, kernel firing latencies, and trace
 	// events all land in the observer's registry and tracer. Nil (the
@@ -400,6 +409,15 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	}
 	stopResume()
 
+	// Fold the transport's piggybacked-ack counts into the per-edge
+	// statistics: these are acks this node's receivers issued that rode
+	// outgoing DATA frames instead of standalone ACK frames.
+	for _, l := range links {
+		for edge, n := range l.PiggybackedAcks() {
+			env.rt.addPiggybacked(EdgeID(edge), n)
+		}
+	}
+
 	stats := &ExecStats{
 		Iterations:     iterations,
 		SPI:            env.rt.TotalStats(),
@@ -463,12 +481,14 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 	}
 	me := opts.Node
 	lcfg := transport.LinkConfig{
-		Node:         me,
-		SendTimeout:  opts.SendTimeout,
-		IdleTimeout:  opts.IdleTimeout,
-		CloseTimeout: opts.CloseTimeout,
-		Reconnect:    opts.Reconnect,
-		Obs:          opts.Obs,
+		Node:          me,
+		SendTimeout:   opts.SendTimeout,
+		IdleTimeout:   opts.IdleTimeout,
+		CloseTimeout:  opts.CloseTimeout,
+		Reconnect:     opts.Reconnect,
+		Batch:         opts.Batch,
+		PiggybackAcks: opts.PiggybackAcks,
+		Obs:           opts.Obs,
 	}
 	handlerFor := func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {
 		pp := peers[peer]

@@ -24,6 +24,12 @@ import (
 // the packed payload from every input edge (keyed by edge ID; edges whose
 // initial delay covers this iteration deliver nil) and returns the packed
 // payload for every output edge. Omitted outputs send empty payloads.
+//
+// Input payloads (and the map itself) are valid only for the duration of
+// the call: the executor reuses the buffers for the next firing, so a
+// kernel that carries state across firings must copy what it keeps.
+// Returning an input slice as an output payload is allowed — the send
+// completes before the buffer is reused.
 type Kernel func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error)
 
 // ExecStats reports a functional run.
@@ -216,19 +222,28 @@ func collapseErrs(errs []error) error {
 
 // runProc is one processor's self-timed loop: fire the mapped actors in
 // schedule order, each blocking only on the data its input edges deliver.
+// Remote input payloads land in per-edge buffers reused across firings
+// (each edge has one sink, so the buffer is this loop's alone), keeping
+// the steady-state receive path allocation-free; the Kernel contract
+// covers the reuse.
 func (env *execEnv) runProc(p, iterations int) error {
 	g := env.g
+	in := map[dataflow.EdgeID][]byte{}
+	recvBuf := map[dataflow.EdgeID][]byte{}
 	for iter := 0; iter < iterations; iter++ {
 		for _, a := range env.m.Order[p] {
-			in := map[dataflow.EdgeID][]byte{}
+			clear(in)
+			remoteIn := false
 			for _, eid := range g.In(a) {
 				if r, ok := env.remotes[eid]; ok {
-					payload, err := r.rx.Receive()
+					payload, err := r.rx.ReceiveInto(recvBuf[eid])
 					if err != nil {
 						return fmt.Errorf("spi: actor %s recv %s: %w",
 							g.Actor(a).Name, g.Edge(eid).Name, err)
 					}
 					in[eid] = payload
+					recvBuf[eid] = payload
+					remoteIn = true
 					continue
 				}
 				env.localMu.Lock()
@@ -262,6 +277,12 @@ func (env *execEnv) runProc(p, iterations int) error {
 							g.Actor(a).Name, g.Edge(eid).Name, err)
 					}
 					continue
+				}
+				if remoteIn {
+					// The local queue outlives this firing, but the kernel
+					// may have passed a reused receive buffer straight
+					// through; keep a private copy.
+					payload = append([]byte(nil), payload...)
 				}
 				env.localMu.Lock()
 				env.locals[eid] = append(env.locals[eid], payload)

@@ -91,16 +91,21 @@ func (p *graphPlan) pad(eid dataflow.EdgeID, payload []byte) ([]byte, error) {
 
 // preload sends an edge's initial-delay messages (empty blocks) through
 // its sender so iteration 0 finds its tokens, mirroring the channel
-// preloading of the platform lowering.
+// preloading of the platform lowering. The burst goes out as one
+// SendBatch so a write-coalescing link ships all delay tokens in a
+// single flush.
 func (p *graphPlan) preload(tx *Sender, eid dataflow.EdgeID, cfg EdgeConfig) error {
-	for i := 0; i < p.delayIters(eid); i++ {
-		payload := []byte(nil)
-		if cfg.Mode == Static {
-			payload = make([]byte, cfg.PayloadBytes)
-		}
-		if err := tx.Send(payload); err != nil {
-			return err
+	n := p.delayIters(eid)
+	if n == 0 {
+		return nil
+	}
+	payloads := make([][]byte, n)
+	if cfg.Mode == Static {
+		// Send copies, so every delay token can share one zero block.
+		blk := make([]byte, cfg.PayloadBytes)
+		for i := range payloads {
+			payloads[i] = blk
 		}
 	}
-	return nil
+	return tx.SendBatch(payloads)
 }

@@ -98,19 +98,22 @@ func (r *Runtime) DeliverData(edge uint16, msg []byte) {
 	if !ok {
 		return
 	}
-	// Copy: the transport layer may reuse its read buffer.
-	cp := make([]byte, len(msg))
-	copy(cp, msg)
+	// Copy into a pooled buffer: the transport layer reuses its read
+	// buffer, and the receiver recycles the copy after decoding, so the
+	// steady-state delivery path allocates nothing.
+	mb := getMsg()
+	*mb = append((*mb)[:0], msg...)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
+		putMsg(mb)
 		return
 	}
-	e.queue = append(e.queue, cp)
-	if len(e.queue) > e.stats.MaxQueued {
-		e.stats.MaxQueued = len(e.queue)
+	if depth := e.pushLocked(queued{msg: *mb, buf: mb}); depth > e.stats.MaxQueued {
+		e.stats.MaxQueued = depth
 	}
 	e.cond.Broadcast()
+	e.mu.Unlock()
 }
 
 // DeliverAck credits the edge's sender with count acknowledgements from
@@ -126,6 +129,7 @@ func (r *Runtime) DeliverAck(edge uint16, count uint32) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.acked += int64(count)
+	e.ackedMsgs.Add(int64(count))
 	e.cond.Broadcast()
 }
 
@@ -152,6 +156,7 @@ func (r *Runtime) CloseEdge(id EdgeID) {
 	}
 	e.mu.Lock()
 	e.closed = true
+	e.closedBit.Store(true)
 	e.cond.Broadcast()
 	e.mu.Unlock()
 }

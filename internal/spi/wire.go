@@ -73,21 +73,24 @@ func HeaderBytes(m Mode) int {
 // length must equal the edge's fixed size (validated by the caller); the
 // encoded form is header || payload.
 func EncodeMessage(mode Mode, id EdgeID, payload []byte) []byte {
+	return AppendMessage(nil, mode, id, payload)
+}
+
+// AppendMessage frames a payload for the wire into dst (growing it as
+// needed) and returns the extended slice — the allocation-free form of
+// EncodeMessage for callers that recycle their encode buffers.
+func AppendMessage(dst []byte, mode Mode, id EdgeID, payload []byte) []byte {
 	switch mode {
 	case Static:
-		out := make([]byte, StaticHeaderBytes+len(payload))
-		binary.LittleEndian.PutUint16(out, uint16(id))
-		copy(out[StaticHeaderBytes:], payload)
-		return out
+		dst = append(dst, byte(id), byte(id>>8))
 	case Dynamic:
-		out := make([]byte, DynamicHeaderBytes+len(payload))
-		binary.LittleEndian.PutUint16(out, uint16(id))
-		binary.LittleEndian.PutUint32(out[2:], uint32(len(payload)))
-		copy(out[DynamicHeaderBytes:], payload)
-		return out
+		n := uint32(len(payload))
+		dst = append(dst, byte(id), byte(id>>8),
+			byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
 	default:
 		panic(fmt.Sprintf("spi: unknown mode %d", mode))
 	}
+	return append(dst, payload...)
 }
 
 // DecodeStatic parses an SPI_static message, returning the edge ID and

@@ -7,14 +7,14 @@ import (
 	"io"
 )
 
-// Link wire protocol, version 2. Every frame is length-delimited and
-// self-checking so the SPI message inside a DATA frame crosses the stream
-// byte-identical to its in-process encoding (spi.EncodeMessage), and so a
-// corrupted or truncated frame is detected at the receiver instead of
-// silently poisoning the dataflow:
+// Link wire protocol, versions 2 and 3. Every frame is length-delimited
+// and self-checking so the SPI message inside a DATA frame crosses the
+// stream byte-identical to its in-process encoding (spi.EncodeMessage),
+// and so a corrupted or truncated frame is detected at the receiver
+// instead of silently poisoning the dataflow:
 //
 //	frame    := u32 length | u8 type | u64 seq | u32 crc | body
-//	HELLO    := u32 magic | u8 version | u16 node | u64 token | u16 nedges | nedges * decl
+//	HELLO    := u32 magic | u8 version | u16 node | u64 token | u16 nedges | nedges * decl [| u32 features]
 //	decl     := u16 edge | u8 mode | u8 flags | u32 bytes | u8 protocol | u32 capacity
 //	DATA     := SPI-encoded message (edge ID in its first 2 bytes)
 //	ACK      := u16 edge | u32 count                (BBS credits / UBS acks)
@@ -23,6 +23,7 @@ import (
 //	RESUME   := u32 magic | u8 version | u16 node | u64 token | u64 recvSeq
 //	RESUMEOK := u64 recvSeq
 //	GOODBYE  := empty                               (graceful shutdown)
+//	DATAACK  := u8 n | n * (u16 edge | u32 count) | SPI-encoded message
 //
 // length covers type+seq+crc+body; crc is CRC-32 (IEEE) over type|seq|body.
 // seq is a per-direction monotonic sequence number carried by the session
@@ -32,6 +33,14 @@ import (
 // Control frames (HELLO, CUMACK, RESUME, RESUMEOK, GOODBYE) carry seq 0 and
 // are never replayed. All integers are little-endian, matching the SPI
 // message headers.
+//
+// Version 3 appends a u32 feature-flag field to HELLO. A version-2 hello
+// (no field) means "no optional features". DATAACK — a DATA frame with
+// piggybacked acknowledgements prefixed to the SPI message — is only
+// ever sent toward a peer that advertised featPiggyAck; a hello carrying
+// features is emitted as version 3, a featureless one as version 2, so a
+// link with no optional features negotiates a byte-identical handshake
+// with an old peer.
 const (
 	frameHello    byte = 1
 	frameData     byte = 2
@@ -41,17 +50,25 @@ const (
 	frameResume   byte = 6
 	frameResumeOK byte = 7
 	frameFin      byte = 8
+	frameDataAck  byte = 9
 
-	helloMagic   uint32 = 0x53504931 // "SPI1"
-	helloVersion byte   = 2
+	helloMagic      uint32 = 0x53504931 // "SPI1"
+	helloVersion    byte   = 3
+	helloVersionMin byte   = 2
+
+	// featPiggyAck advertises that this side understands inbound DATAACK
+	// frames (acks piggybacked on data).
+	featPiggyAck uint32 = 1 << 0
 
 	frameHeaderBytes = 17 // u32 length + u8 type + u64 seq + u32 crc
 	helloFixedBytes  = 17 // magic + version + node + token + nedges
 	declBytes        = 13
+	featureBytes     = 4
 	ackBodyBytes     = 6
 	finBodyBytes     = 2
 	cumAckBodyBytes  = 8
 	resumeBodyBytes  = 23 // magic + version + node + token + recvSeq
+	piggyEntryBytes  = 6  // u16 edge | u32 count
 
 	// DefaultMaxFrame bounds one frame; anything larger on the wire is a
 	// framing error, protecting the receiver from hostile length fields.
@@ -63,8 +80,11 @@ const (
 // GOODBYE is numbered so a graceful close cannot outrun lost data: the
 // frame only passes the receiver's sequence filter once every prior
 // session frame has arrived, and a RESUME replays it like any other.
+// DATAACK is numbered like the DATA frame it is: replaying it redelivers
+// the piggybacked acks too, which the ack counters absorb idempotently
+// because the sequence filter drops the duplicate before dispatch.
 func numberedFrame(typ byte) bool {
-	return typ == frameData || typ == frameAck || typ == frameFin || typ == frameGoodbye
+	return typ == frameData || typ == frameAck || typ == frameFin || typ == frameGoodbye || typ == frameDataAck
 }
 
 // EdgeDecl is one edge's entry in the handshake manifest. Both sides of a
@@ -91,10 +111,123 @@ type EdgeDecl struct {
 // itself, so any single corrupted byte — including in the type or sequence
 // fields — fails verification.
 func frameCRC(typ byte, seq uint64, body []byte) uint32 {
+	return frameCRC2(typ, seq, nil, body)
+}
+
+// frameCRC2 computes the frame CRC over a body split into head|tail, so
+// the DATAACK encoder can checksum the piggyback prefix and the SPI
+// message without concatenating them first.
+func frameCRC2(typ byte, seq uint64, head, tail []byte) uint32 {
 	var hdr [9]byte
 	hdr[0] = typ
 	binary.LittleEndian.PutUint64(hdr[1:], seq)
-	return crc32.Update(crc32.ChecksumIEEE(hdr[:]), crc32.IEEETable, body)
+	c := crc32.Update(crc32.ChecksumIEEE(hdr[:]), crc32.IEEETable, head)
+	return crc32.Update(c, crc32.IEEETable, tail)
+}
+
+// putFrameHeader writes the 17-byte frame header into wire, which must
+// have room for it. bodyLen is the length of the body that follows.
+func putFrameHeader(wire []byte, typ byte, seq uint64, crc uint32, bodyLen int) {
+	binary.LittleEndian.PutUint32(wire, uint32(13+bodyLen))
+	wire[4] = typ
+	binary.LittleEndian.PutUint64(wire[5:], seq)
+	binary.LittleEndian.PutUint32(wire[13:], crc)
+}
+
+// frameReader reads frames through an internal chunk buffer: one large
+// Read pulls in as many coalesced frames as the connection has ready,
+// and subsequent frames are served from memory. Against a batching peer
+// this collapses the per-frame read syscalls (and, on net.Pipe, the
+// per-read rendezvous) into roughly one per batch, and the steady-state
+// receive path performs no per-frame allocations. Each instance owns one
+// connection's read side exclusively; the returned body aliases the
+// buffer and is valid only until the next read call — every handler the
+// read loop dispatches to either consumes the bytes synchronously or
+// copies them (see Handler).
+type frameReader struct {
+	buf  []byte // unread bytes are buf[r:w]
+	r, w int
+}
+
+// frameReadChunk sizes the read buffer: large enough to swallow a full
+// default batch (BatchConfig MaxBytes 64 KiB) in one read.
+const frameReadChunk = 64 << 10
+
+// fill blocks until at least need unread bytes are buffered. It never
+// reads more than the connection has ready, so buffering adds no
+// latency to sparse traffic.
+func (fr *frameReader) fill(rd io.Reader, need int) error {
+	if fr.w-fr.r >= need {
+		return nil
+	}
+	if size := cap(fr.buf); size < need || size < frameReadChunk {
+		size = frameReadChunk
+		if need > size {
+			size = need
+		}
+		nb := make([]byte, size)
+		fr.w = copy(nb, fr.buf[fr.r:fr.w])
+		fr.buf = nb
+		fr.r = 0
+	} else if fr.r+need > size {
+		fr.w = copy(fr.buf[:size], fr.buf[fr.r:fr.w])
+		fr.r = 0
+	}
+	fr.buf = fr.buf[:cap(fr.buf)]
+	for fr.w-fr.r < need {
+		n, err := rd.Read(fr.buf[fr.w:])
+		fr.w += n
+		if fr.w-fr.r >= need {
+			return nil
+		}
+		if err != nil {
+			if err == io.EOF && fr.w > fr.r {
+				err = io.ErrUnexpectedEOF
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+func (fr *frameReader) read(r io.Reader, maxFrame int) (typ byte, seq uint64, body []byte, err error) {
+	if err := fr.fill(r, 4); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(fr.buf[fr.r:])
+	if n < 13 {
+		return 0, 0, nil, fmt.Errorf("frame of %d bytes shorter than its header", n)
+	}
+	if int(n) > maxFrame {
+		return 0, 0, nil, fmt.Errorf("frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	if err := fr.fill(r, 4+int(n)); err != nil {
+		return 0, 0, nil, err
+	}
+	f := fr.buf[fr.r+4 : fr.r+4+int(n)]
+	fr.r += 4 + int(n)
+	typ = f[0]
+	seq = binary.LittleEndian.Uint64(f[1:])
+	crc := binary.LittleEndian.Uint32(f[9:])
+	body = f[13:]
+	if got := frameCRC(typ, seq, body); got != crc {
+		return 0, 0, nil, fmt.Errorf("frame checksum mismatch: %#x on the wire, computed %#x", crc, got)
+	}
+	return typ, seq, body, nil
+}
+
+// splitDataAck splits a DATAACK body into its raw piggybacked-ack entries
+// (n consecutive piggyEntryBytes records) and the SPI message they rode
+// on. The message must be at least an SPI header (2 bytes).
+func splitDataAck(body []byte) (acks []byte, msg []byte, err error) {
+	if len(body) < 1 {
+		return nil, nil, fmt.Errorf("dataack frame with empty body")
+	}
+	n := int(body[0])
+	if len(body) < 1+n*piggyEntryBytes+2 {
+		return nil, nil, fmt.Errorf("dataack frame of %d bytes too short for %d piggybacked acks plus an SPI header", len(body), n)
+	}
+	return body[1 : 1+n*piggyEntryBytes], body[1+n*piggyEntryBytes:], nil
 }
 
 func writeFrame(w io.Writer, typ byte, seq uint64, body []byte) error {
@@ -133,10 +266,20 @@ func readFrame(r io.Reader, maxFrame int) (typ byte, seq uint64, body []byte, er
 	return typ, seq, body, nil
 }
 
-func encodeHello(node uint16, token uint64, edges []EdgeDecl) []byte {
-	body := make([]byte, helloFixedBytes+len(edges)*declBytes)
+// encodeHello builds the handshake manifest. A hello advertising no
+// features is emitted in the version-2 format (no trailing feature
+// field), byte-identical to pre-batching links, so feature-free peers of
+// either age interoperate; features force version 3.
+func encodeHello(node uint16, token uint64, edges []EdgeDecl, features uint32) []byte {
+	size := helloFixedBytes + len(edges)*declBytes
+	version := helloVersionMin
+	if features != 0 {
+		size += featureBytes
+		version = helloVersion
+	}
+	body := make([]byte, size)
 	binary.LittleEndian.PutUint32(body, helloMagic)
-	body[4] = helloVersion
+	body[4] = version
 	binary.LittleEndian.PutUint16(body[5:], node)
 	binary.LittleEndian.PutUint64(body[7:], token)
 	binary.LittleEndian.PutUint16(body[15:], uint16(len(edges)))
@@ -152,24 +295,32 @@ func encodeHello(node uint16, token uint64, edges []EdgeDecl) []byte {
 		binary.LittleEndian.PutUint32(body[off+9:], d.Capacity)
 		off += declBytes
 	}
+	if features != 0 {
+		binary.LittleEndian.PutUint32(body[off:], features)
+	}
 	return body
 }
 
-func decodeHello(body []byte) (node uint16, token uint64, edges []EdgeDecl, err error) {
+func decodeHello(body []byte) (node uint16, token uint64, edges []EdgeDecl, features uint32, err error) {
 	if len(body) < helloFixedBytes {
-		return 0, 0, nil, fmt.Errorf("hello of %d bytes shorter than fixed header", len(body))
+		return 0, 0, nil, 0, fmt.Errorf("hello of %d bytes shorter than fixed header", len(body))
 	}
 	if m := binary.LittleEndian.Uint32(body); m != helloMagic {
-		return 0, 0, nil, fmt.Errorf("bad magic %#x", m)
+		return 0, 0, nil, 0, fmt.Errorf("bad magic %#x", m)
 	}
-	if v := body[4]; v != helloVersion {
-		return 0, 0, nil, fmt.Errorf("protocol version %d, want %d", v, helloVersion)
+	v := body[4]
+	if v < helloVersionMin || v > helloVersion {
+		return 0, 0, nil, 0, fmt.Errorf("protocol version %d, want %d..%d", v, helloVersionMin, helloVersion)
 	}
 	node = binary.LittleEndian.Uint16(body[5:])
 	token = binary.LittleEndian.Uint64(body[7:])
 	n := int(binary.LittleEndian.Uint16(body[15:]))
-	if len(body) != helloFixedBytes+n*declBytes {
-		return 0, 0, nil, fmt.Errorf("hello declares %d edges but carries %d bytes", n, len(body))
+	want := helloFixedBytes + n*declBytes
+	if v >= 3 {
+		want += featureBytes
+	}
+	if len(body) != want {
+		return 0, 0, nil, 0, fmt.Errorf("hello v%d declares %d edges but carries %d bytes, want %d", v, n, len(body), want)
 	}
 	edges = make([]EdgeDecl, n)
 	off := helloFixedBytes
@@ -184,7 +335,10 @@ func decodeHello(body []byte) (node uint16, token uint64, edges []EdgeDecl, err 
 		}
 		off += declBytes
 	}
-	return node, token, edges, nil
+	if v >= 3 {
+		features = binary.LittleEndian.Uint32(body[off:])
+	}
+	return node, token, edges, features, nil
 }
 
 func encodeAck(edge uint16, count uint32) []byte {
@@ -230,7 +384,9 @@ func decodeCumAck(body []byte) (recvSeq uint64, err error) {
 func encodeResume(node uint16, token uint64, recvSeq uint64) []byte {
 	body := make([]byte, resumeBodyBytes)
 	binary.LittleEndian.PutUint32(body, helloMagic)
-	body[4] = helloVersion
+	// The session token, not the version byte, is what authenticates a
+	// RESUME; emit the minimum version so an old peer accepts it.
+	body[4] = helloVersionMin
 	binary.LittleEndian.PutUint16(body[5:], node)
 	binary.LittleEndian.PutUint64(body[7:], token)
 	binary.LittleEndian.PutUint64(body[15:], recvSeq)
@@ -244,8 +400,8 @@ func decodeResume(body []byte) (node uint16, token uint64, recvSeq uint64, err e
 	if m := binary.LittleEndian.Uint32(body); m != helloMagic {
 		return 0, 0, 0, fmt.Errorf("bad resume magic %#x", m)
 	}
-	if v := body[4]; v != helloVersion {
-		return 0, 0, 0, fmt.Errorf("resume protocol version %d, want %d", v, helloVersion)
+	if v := body[4]; v < helloVersionMin || v > helloVersion {
+		return 0, 0, 0, fmt.Errorf("resume protocol version %d, want %d..%d", v, helloVersionMin, helloVersion)
 	}
 	node = binary.LittleEndian.Uint16(body[5:])
 	token = binary.LittleEndian.Uint64(body[7:])

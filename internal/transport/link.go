@@ -15,10 +15,13 @@ import (
 )
 
 // Handler receives a Link's inbound traffic. Calls are made from the
-// link's single reader goroutine, in wire order. HandleLinkClose is called
-// exactly once — with nil after a graceful GOODBYE, with an error when the
-// connection died (and, if reconnection is enabled, every recovery attempt
-// was exhausted) or the peer violated the protocol.
+// link's single reader goroutine, in wire order. The msg slice passed to
+// HandleData aliases the reader's reusable frame buffer: it is valid
+// only for the duration of the call, and a handler that keeps the bytes
+// must copy them. HandleLinkClose is called exactly once — with nil
+// after a graceful GOODBYE, with an error when the connection died (and,
+// if reconnection is enabled, every recovery attempt was exhausted) or
+// the peer violated the protocol.
 type Handler interface {
 	HandleData(edge uint16, msg []byte)
 	HandleAck(edge uint16, count uint32)
@@ -67,6 +70,19 @@ type LinkConfig struct {
 	// until covered by the peer's cumulative ack, and senders block when
 	// the buffer is full. Default 256 frames.
 	ResendLimit int
+	// Batch configures the write coalescer: session frames accumulate in
+	// a per-link buffer and flush as one Write on a frame-count or byte
+	// threshold, a microsecond deadline, or a send stall. The zero value
+	// writes every frame immediately (pre-batching behavior).
+	Batch BatchConfig
+	// PiggybackAcks advertises and, when the peer advertises it too,
+	// enables carrying SPI acks as a prefix on outbound DATA frames
+	// instead of standalone ACK frames. Acks with no DATA to ride are
+	// flushed standalone by the coalescer deadline, so ack latency is
+	// bounded by Batch.MaxDelay (or its default). Enabling this emits a
+	// version-3 HELLO; leaving it off keeps the handshake byte-identical
+	// to version 2 and fully interoperable with old peers.
+	PiggybackAcks bool
 	// Obs, when non-nil, exports this link's traffic counters through the
 	// metrics registry (labeled by peer node) and records its session
 	// lifecycle events into the trace ring. Nil keeps the counters
@@ -114,6 +130,11 @@ type LinkStats struct {
 	// frames replayed by them, DuplicatesDropped the inbound frames
 	// discarded by the sequence filter.
 	Resumes, Retransmits, DuplicatesDropped int64
+	// AcksPiggybacked counts ack entries carried on outbound DATA frames
+	// instead of standalone ACK frames (AcksSent counts only the
+	// standalone ones); AcksPiggybackedRecv is the inbound mirror.
+	// BatchFlushes counts coalesced multi-frame writes.
+	AcksPiggybacked, AcksPiggybackedRecv, BatchFlushes int64
 }
 
 // Link connection states. A link starts up, drops to down when its
@@ -146,6 +167,9 @@ type linkObs struct {
 	resumes, retransmits   *obs.Counter
 	dups, reconnects       *obs.Counter
 	sendStalls             *obs.Counter
+	acksPiggy              *obs.Counter
+	acksPiggyRecv          *obs.Counter
+	batchFlushes           *obs.Counter
 	resendDepth            *obs.Gauge
 }
 
@@ -164,37 +188,47 @@ func newLinkObs(o *obs.Observer, peer int) linkObs {
 			finsSent: &obs.Counter{}, finsRecv: &obs.Counter{},
 			resumes: &obs.Counter{}, retransmits: &obs.Counter{},
 			dups: &obs.Counter{}, reconnects: &obs.Counter{},
-			sendStalls:  &obs.Counter{},
-			resendDepth: &obs.Gauge{},
+			sendStalls: &obs.Counter{},
+			acksPiggy:  &obs.Counter{}, acksPiggyRecv: &obs.Counter{},
+			batchFlushes: &obs.Counter{},
+			resendDepth:  &obs.Gauge{},
 		}
 	}
 	pl := obs.L("peer", strconv.Itoa(peer))
 	return linkObs{
-		tr:          o.Tracer(),
-		pid:         o.Pid(),
-		sessTid:     sessionRowBase + peer,
-		framesSent:  o.Counter("transport_link_frames_sent_total", "frames written to the peer", pl),
-		framesRecv:  o.Counter("transport_link_frames_received_total", "frames read from the peer", pl),
-		bytesSent:   o.Counter("transport_link_bytes_sent_total", "wire bytes written (headers included)", pl),
-		bytesRecv:   o.Counter("transport_link_bytes_received_total", "wire bytes read (headers included)", pl),
-		dataSent:    o.Counter("transport_link_data_sent_total", "DATA frames sent", pl),
-		dataRecv:    o.Counter("transport_link_data_received_total", "DATA frames received", pl),
-		acksSent:    o.Counter("transport_link_acks_sent_total", "ACK frames sent", pl),
-		acksRecv:    o.Counter("transport_link_acks_received_total", "ACK frames received", pl),
-		finsSent:    o.Counter("transport_link_fins_sent_total", "FIN frames sent", pl),
-		finsRecv:    o.Counter("transport_link_fins_received_total", "FIN frames received", pl),
-		resumes:     o.Counter("transport_link_resumes_total", "successful RESUME handshakes", pl),
-		retransmits: o.Counter("transport_link_retransmits_total", "frames replayed by RESUME recovery", pl),
-		dups:        o.Counter("transport_link_duplicates_dropped_total", "inbound frames discarded by the sequence filter", pl),
-		reconnects:  o.Counter("transport_link_reconnect_attempts_total", "re-dial attempts during outages", pl),
-		sendStalls:  o.Counter("transport_link_send_stalls_total", "sends that blocked on a down link or full resend buffer", pl),
-		resendDepth: o.Gauge("transport_link_resend_depth", "unacknowledged frames held for replay", pl),
+		tr:            o.Tracer(),
+		pid:           o.Pid(),
+		sessTid:       sessionRowBase + peer,
+		framesSent:    o.Counter("transport_link_frames_sent_total", "frames written to the peer", pl),
+		framesRecv:    o.Counter("transport_link_frames_received_total", "frames read from the peer", pl),
+		bytesSent:     o.Counter("transport_link_bytes_sent_total", "wire bytes written (headers included)", pl),
+		bytesRecv:     o.Counter("transport_link_bytes_received_total", "wire bytes read (headers included)", pl),
+		dataSent:      o.Counter("transport_link_data_sent_total", "DATA frames sent", pl),
+		dataRecv:      o.Counter("transport_link_data_received_total", "DATA frames received", pl),
+		acksSent:      o.Counter("transport_link_acks_sent_total", "ACK frames sent", pl),
+		acksRecv:      o.Counter("transport_link_acks_received_total", "ACK frames received", pl),
+		finsSent:      o.Counter("transport_link_fins_sent_total", "FIN frames sent", pl),
+		finsRecv:      o.Counter("transport_link_fins_received_total", "FIN frames received", pl),
+		resumes:       o.Counter("transport_link_resumes_total", "successful RESUME handshakes", pl),
+		retransmits:   o.Counter("transport_link_retransmits_total", "frames replayed by RESUME recovery", pl),
+		dups:          o.Counter("transport_link_duplicates_dropped_total", "inbound frames discarded by the sequence filter", pl),
+		reconnects:    o.Counter("transport_link_reconnect_attempts_total", "re-dial attempts during outages", pl),
+		sendStalls:    o.Counter("transport_link_send_stalls_total", "sends that blocked on a down link or full resend buffer", pl),
+		acksPiggy:     o.Counter("transport_link_acks_piggybacked_total", "ack entries carried on outbound DATA frames", pl),
+		acksPiggyRecv: o.Counter("transport_link_acks_piggybacked_received_total", "ack entries received on inbound DATA frames", pl),
+		batchFlushes:  o.Counter("transport_link_batch_flushes_total", "coalesced multi-frame writes", pl),
+		resendDepth:   o.Gauge("transport_link_resend_depth", "unacknowledged frames held for replay", pl),
 	}
 }
 
+// savedFrame is one resend-buffer entry: the complete encoded wire bytes
+// plus the pool box they came from. wire aliases *buf; trimUnacked
+// returns buf to the wire pool once the peer's cumulative ack covers
+// seq (unless a RESUME replay is concurrently reading it).
 type savedFrame struct {
 	seq  uint64
 	wire []byte
+	buf  *[]byte
 }
 
 type resumeOffer struct {
@@ -222,23 +256,36 @@ type Link struct {
 	out    map[uint16]EdgeDecl // edges the local side sends data on
 	in     map[uint16]EdgeDecl // edges the local side receives data on
 
+	batchOn bool // write coalescing configured
+	piggyOn bool // ack piggybacking negotiated with the peer
+
 	wmu sync.Mutex // serializes connection writes and RESUME replay
 
-	mu         sync.Mutex
-	conn       Conn
-	state      int
-	gen        int // bumped each time the connection goes down
-	closing    bool
-	graceful   bool // local Close has begun; close notifications report nil
-	peerClosed bool // peer sent GOODBYE
-	failErr    error
-	sendSeq    uint64 // last sequence number assigned to an outbound frame
-	recvSeq    uint64 // last in-order sequence number received
-	cumAcked   uint64 // highest recvSeq we have cumulatively acked to the peer
-	peerAcked  uint64 // highest cumulative ack received from the peer
-	unacked    []savedFrame
-	changed    chan struct{} // closed+replaced on every state/buffer change
-	readerDone chan struct{} // current generation's reader exit
+	// Coalescer and piggyback state, guarded by wmu: every producer of
+	// wire bytes already holds the writer mutex, so the batch adds no
+	// locks to the hot path.
+	batch        coalescer
+	pendingAcks  map[uint16]uint32 // acks awaiting a DATA frame to ride
+	pendingOrder []uint16          // FIFO of edges with pending acks
+	piggyBuf     []byte            // reusable piggyback-prefix scratch
+	piggySent    map[uint16]int64  // per-edge piggybacked-ack totals
+
+	mu           sync.Mutex
+	conn         Conn
+	state        int
+	gen          int // bumped each time the connection goes down
+	closing      bool
+	graceful     bool // local Close has begun; close notifications report nil
+	peerClosed   bool // peer sent GOODBYE
+	failErr      error
+	sendSeq      uint64 // last sequence number assigned to an outbound frame
+	recvSeq      uint64 // last in-order sequence number received
+	cumAcked     uint64 // highest recvSeq we have cumulatively acked to the peer
+	peerAcked    uint64 // highest cumulative ack received from the peer
+	unacked      []savedFrame
+	replayActive bool          // a RESUME replay is reading unacked wire bytes
+	changed      chan struct{} // closed+replaced on every state/buffer change
+	readerDone   chan struct{} // current generation's reader exit
 
 	closedCh chan struct{} // closed once when Close/Abort begins
 	resumeCh chan resumeOffer
@@ -269,11 +316,11 @@ func NewLink(conn Conn, cfg LinkConfig, h Handler) (*Link, error) {
 	}
 	deadline := time.Now().Add(cfg.handshakeTimeout())
 	conn.SetWriteDeadline(deadline)
-	if err := writeFrame(conn, frameHello, 0, encodeHello(uint16(cfg.Node), token, cfg.Edges)); err != nil {
+	if err := writeFrame(conn, frameHello, 0, encodeHello(uint16(cfg.Node), token, cfg.Edges, cfg.features())); err != nil {
 		conn.Close()
 		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
-	peer, peerToken, peerEdges, err := readHello(conn, deadline, cfg.maxFrame())
+	peer, peerToken, peerEdges, peerFeatures, err := readHello(conn, deadline, cfg.maxFrame())
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -287,7 +334,17 @@ func NewLink(conn Conn, cfg LinkConfig, h Handler) (*Link, error) {
 		conn.Close()
 		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
-	return startLink(conn, cfg, h, int(peer), token, true), nil
+	return startLink(conn, cfg, h, int(peer), token, true, peerFeatures), nil
+}
+
+// features are the optional-capability bits this endpoint advertises in
+// its HELLO.
+func (c *LinkConfig) features() uint32 {
+	var f uint32
+	if c.PiggybackAcks {
+		f |= featPiggyAck
+	}
+	return f
 }
 
 // AcceptLink runs the listener side of the handshake: read the dialer's
@@ -332,7 +389,7 @@ func AcceptConn(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Ha
 		}
 		return nil, nil
 	case frameHello:
-		peer, token, peerEdges, err := decodeHello(body)
+		peer, token, peerEdges, peerFeatures, err := decodeHello(body)
 		if err != nil {
 			conn.Close()
 			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
@@ -348,11 +405,11 @@ func AcceptConn(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Ha
 			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 		}
 		conn.SetWriteDeadline(deadline)
-		if err := writeFrame(conn, frameHello, 0, encodeHello(uint16(cfg.Node), token, cfg.Edges)); err != nil {
+		if err := writeFrame(conn, frameHello, 0, encodeHello(uint16(cfg.Node), token, cfg.Edges, cfg.features())); err != nil {
 			conn.Close()
 			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 		}
-		return startLink(conn, cfg, h, int(peer), token, false), nil
+		return startLink(conn, cfg, h, int(peer), token, false, peerFeatures), nil
 	default:
 		conn.Close()
 		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
@@ -360,27 +417,28 @@ func AcceptConn(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Ha
 	}
 }
 
-func readHello(conn Conn, deadline time.Time, maxFrame int) (uint16, uint64, []EdgeDecl, error) {
+func readHello(conn Conn, deadline time.Time, maxFrame int) (uint16, uint64, []EdgeDecl, uint32, error) {
 	conn.SetReadDeadline(deadline)
 	typ, _, body, err := readFrame(conn, maxFrame)
 	if err != nil {
-		return 0, 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Transient: isTimeout(err), Err: err}
+		return 0, 0, nil, 0, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Transient: isTimeout(err), Err: err}
 	}
 	if typ != frameHello {
-		return 0, 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
+		return 0, 0, nil, 0, &Error{Op: "handshake", Addr: conn.RemoteAddr(),
 			Err: fmt.Errorf("first frame has type %d, want hello", typ)}
 	}
-	peer, token, edges, err := decodeHello(body)
+	peer, token, edges, features, err := decodeHello(body)
 	if err != nil {
-		return 0, 0, nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		return 0, 0, nil, 0, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
-	return peer, token, edges, nil
+	return peer, token, edges, features, nil
 }
 
-func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dialer bool) *Link {
+func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dialer bool, peerFeatures uint32) *Link {
 	conn.SetReadDeadline(time.Time{})
 	conn.SetWriteDeadline(time.Time{})
 	cfg.Reconnect = cfg.Reconnect.withDefaults()
+	cfg.Batch = cfg.Batch.withDefaults()
 	l := &Link{
 		cfg:        cfg,
 		h:          h,
@@ -398,6 +456,10 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 		resumeCh:   make(chan resumeOffer, 1),
 		obs:        newLinkObs(cfg.Obs, peer),
 	}
+	l.batchOn = cfg.Batch.Enabled()
+	// Piggybacking is mutual: this side must have it configured and the
+	// peer must have advertised decoding support in its HELLO.
+	l.piggyOn = cfg.PiggybackAcks && peerFeatures&featPiggyAck != 0
 	for _, d := range cfg.Edges {
 		if d.Out {
 			l.out[d.ID] = d
@@ -466,29 +528,34 @@ func (l *Link) RemoteAddr() string { return l.raddr }
 // Stats returns a snapshot of the link's traffic counters.
 func (l *Link) Stats() LinkStats {
 	return LinkStats{
-		FramesSent:        l.obs.framesSent.Value(),
-		FramesReceived:    l.obs.framesRecv.Value(),
-		BytesSent:         l.obs.bytesSent.Value(),
-		BytesReceived:     l.obs.bytesRecv.Value(),
-		DataSent:          l.obs.dataSent.Value(),
-		DataReceived:      l.obs.dataRecv.Value(),
-		AcksSent:          l.obs.acksSent.Value(),
-		AcksReceived:      l.obs.acksRecv.Value(),
-		FinsSent:          l.obs.finsSent.Value(),
-		FinsReceived:      l.obs.finsRecv.Value(),
-		Resumes:           l.obs.resumes.Value(),
-		Retransmits:       l.obs.retransmits.Value(),
-		DuplicatesDropped: l.obs.dups.Value(),
+		FramesSent:          l.obs.framesSent.Value(),
+		FramesReceived:      l.obs.framesRecv.Value(),
+		BytesSent:           l.obs.bytesSent.Value(),
+		BytesReceived:       l.obs.bytesRecv.Value(),
+		DataSent:            l.obs.dataSent.Value(),
+		DataReceived:        l.obs.dataRecv.Value(),
+		AcksSent:            l.obs.acksSent.Value(),
+		AcksReceived:        l.obs.acksRecv.Value(),
+		FinsSent:            l.obs.finsSent.Value(),
+		FinsReceived:        l.obs.finsRecv.Value(),
+		Resumes:             l.obs.resumes.Value(),
+		Retransmits:         l.obs.retransmits.Value(),
+		DuplicatesDropped:   l.obs.dups.Value(),
+		AcksPiggybacked:     l.obs.acksPiggy.Value(),
+		AcksPiggybackedRecv: l.obs.acksPiggyRecv.Value(),
+		BatchFlushes:        l.obs.batchFlushes.Value(),
 	}
 }
 
-// SendData transmits one SPI-encoded message on an outbound edge.
+// SendData transmits one SPI-encoded message on an outbound edge. When
+// ack piggybacking is negotiated and acks are queued, the frame goes out
+// as DATAACK carrying them as a prefix.
 func (l *Link) SendData(edge uint16, msg []byte) error {
 	if _, ok := l.out[edge]; !ok {
 		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not outbound on this link", edge)}
 	}
-	if err := l.sendSession(frameData, msg); err != nil {
+	if err := l.sendSessionFrame(frameData, msg, true); err != nil {
 		return err
 	}
 	// Counters only on the per-frame path: the SPI layer already traces
@@ -499,11 +566,41 @@ func (l *Link) SendData(edge uint16, msg []byte) error {
 	return nil
 }
 
-// SendAck transmits a BBS credit / UBS acknowledgement for an inbound edge.
+// SendAck transmits a BBS credit / UBS acknowledgement for an inbound
+// edge. With piggybacking negotiated the ack is queued instead: the next
+// outbound DATA frame carries it, or the coalescer deadline flushes it
+// standalone — either way delivery stays reliable, because both carriers
+// are sequence-numbered session frames held for replay.
 func (l *Link) SendAck(edge uint16, count uint32) error {
 	if _, ok := l.in[edge]; !ok {
 		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not inbound on this link", edge)}
+	}
+	if l.piggyOn {
+		l.wmu.Lock()
+		l.mu.Lock()
+		switch {
+		case l.closing || l.state == stateClosed:
+			l.mu.Unlock()
+			l.wmu.Unlock()
+			return &Error{Op: "send", Addr: l.raddr, Err: ErrLinkClosed}
+		case l.state == stateFailed:
+			err := l.failErr
+			l.mu.Unlock()
+			l.wmu.Unlock()
+			if err == nil {
+				err = ErrLinkClosed
+			}
+			return &Error{Op: "send", Addr: l.raddr, Err: err}
+		}
+		l.mu.Unlock()
+		l.queueAckLocked(edge, count)
+		l.wmu.Unlock()
+		// Holding wmu may have suppressed the reader's cumulative ack;
+		// in a one-way stream this queue write is the only wire activity
+		// on the ack side, so nothing else would retry it.
+		l.recheckCumAck()
+		return nil
 	}
 	if err := l.sendSession(frameAck, encodeAck(edge, count)); err != nil {
 		return err
@@ -515,6 +612,9 @@ func (l *Link) SendAck(edge uint16, count uint32) error {
 // SendFin marks one edge finished: the peer stops expecting DATA (outbound
 // edge) or ACK credits (inbound edge) on it. Degrading nodes send FINs on
 // every edge touching a dead peer's actors so the survivors unblock.
+// Queued acks are materialized first — the peer must not observe a FIN
+// ordered ahead of acks for messages it delivered before the FIN — and
+// the batch is flushed after, because degradation latency matters.
 func (l *Link) SendFin(edge uint16) error {
 	_, outOK := l.out[edge]
 	_, inOK := l.in[edge]
@@ -522,12 +622,42 @@ func (l *Link) SendFin(edge uint16) error {
 		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not declared on this link", edge)}
 	}
+	l.flushNow()
 	if err := l.sendSession(frameFin, encodeFin(edge)); err != nil {
 		return err
 	}
+	l.flushNow()
 	l.obs.finsSent.Inc()
 	l.obs.tr.Instant("link", "fin:send", l.obs.pid, int(edge))
 	return nil
+}
+
+// flushNow synchronously materializes queued acks and flushes the write
+// batch. Callers use it where latency or ordering matters more than
+// coalescing: FIN, GOODBYE, and test synchronization points.
+func (l *Link) flushNow() {
+	l.wmu.Lock()
+	l.mu.Lock()
+	conn, gen := l.conn, l.gen
+	ok := l.state == stateUp && !l.closing
+	l.mu.Unlock()
+	var err error
+	if ok {
+		err = l.flushPendingAcksLocked(conn, gen)
+		if err == nil {
+			err = l.flushBatchLocked(conn, gen)
+		}
+	}
+	l.wmu.Unlock()
+	if err != nil {
+		werr := &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err}
+		if l.cfg.Reconnect.Enabled() {
+			l.connError(gen, werr)
+		} else {
+			l.poisonSend(gen)
+		}
+	}
+	l.recheckCumAck()
 }
 
 // sendSession assigns the next sequence number to one session frame,
@@ -537,6 +667,16 @@ func (l *Link) SendFin(edge uint16) error {
 // an error: the frame is already buffered and the RESUME replay delivers
 // it.
 func (l *Link) sendSession(typ byte, body []byte) error {
+	return l.sendSessionFrame(typ, body, false)
+}
+
+// sendSessionFrame is sendSession with an opt-in piggyback slot: when
+// piggy is set (DATA frames only), any queued acks are claimed at the
+// moment the sequence number is assigned and prepended as a DATAACK
+// prefix. The claim happens inside the lock, after the stall loop, so an
+// ack never rides a frame that then sits blocked behind a full resend
+// buffer — a stalled sender leaves queued acks for the deadline flusher.
+func (l *Link) sendSessionFrame(typ byte, body []byte, piggy bool) error {
 	for {
 		l.wmu.Lock()
 		l.mu.Lock()
@@ -556,29 +696,48 @@ func (l *Link) sendSession(typ byte, body []byte) error {
 		case l.state == stateDown, len(l.unacked) >= l.cfg.resendLimit():
 			ch := l.changed
 			conn, gen := l.conn, l.gen
+			up := l.state == stateUp
 			l.mu.Unlock()
+			// About to sleep until the peer acks: flush the write batch
+			// first — the peer can only ack frames it has seen, and the
+			// frames that would free our resend buffer may be sitting in
+			// the coalescer.
+			var ferr error
+			if up {
+				ferr = l.flushBatchLocked(conn, gen)
+			}
 			l.wmu.Unlock()
+			if ferr != nil {
+				werr := &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(ferr), Err: ferr}
+				if !l.cfg.Reconnect.Enabled() {
+					l.poisonSend(gen)
+					return werr
+				}
+				l.connError(gen, werr)
+				continue
+			}
 			l.obs.sendStalls.Inc()
-			// About to sleep until the peer acks: flush our own owed
-			// cumulative ack first, or a symmetrically stalled peer
-			// would wait on us exactly as we wait on it.
+			// And flush our own owed cumulative ack, or a symmetrically
+			// stalled peer would wait on us exactly as we wait on it.
 			if l.owedAcks() > 0 {
 				l.tryCumAck(conn, gen)
 			}
 			<-ch
 			continue
 		}
+		var head []byte
+		if piggy && l.piggyOn && len(l.pendingOrder) > 0 {
+			head = l.takePendingAcksLocked()
+			typ = frameDataAck
+		}
 		l.sendSeq++
 		seq := l.sendSeq
-		wire := encodeFrame(typ, seq, body)
-		l.unacked = append(l.unacked, savedFrame{seq: seq, wire: wire})
+		f := buildFrame(typ, seq, head, body)
+		l.unacked = append(l.unacked, f)
 		l.obs.resendDepth.Set(int64(len(l.unacked)))
 		conn, gen := l.conn, l.gen
 		l.mu.Unlock()
-		if l.cfg.SendTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
-		}
-		_, err := conn.Write(wire)
+		err := l.writeWire(conn, gen, f.wire)
 		l.wmu.Unlock()
 		if err != nil {
 			werr := &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err}
@@ -590,16 +749,12 @@ func (l *Link) sendSession(typ byte, body []byte) error {
 			l.poisonSend(gen)
 			return werr
 		}
-		l.obs.framesSent.Inc()
-		l.obs.bytesSent.Add(int64(len(wire)))
 		// The reader's tryCumAck yields rather than wait on wmu, so a
 		// writer that held it off must flush the owed ack itself: if
 		// every session write left the reader's ack suppressed, the
 		// peer's resend buffer would fill and its senders stall with
 		// nothing left in flight to retrigger the ack.
-		if l.owedAcks() >= uint64(l.ackInterval()) {
-			l.tryCumAck(conn, gen)
-		}
+		l.recheckCumAck()
 		return nil
 	}
 }

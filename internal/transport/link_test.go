@@ -308,11 +308,11 @@ func TestSendTimeoutPoisonsLink(t *testing.T) {
 		if err != nil {
 			return
 		}
-		_, token, _, err := decodeHello(body)
+		_, token, _, _, err := decodeHello(body)
 		if err != nil {
 			return
 		}
-		if err := writeFrame(c, frameHello, 0, encodeHello(1, token, testManifest(false))); err != nil {
+		if err := writeFrame(c, frameHello, 0, encodeHello(1, token, testManifest(false), 0)); err != nil {
 			return
 		}
 		peerReady <- c

@@ -16,11 +16,16 @@ import (
 func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 	defer close(done)
 	interval := uint64(l.ackInterval())
+	// One reusable frame buffer per connection generation: the body
+	// handed to each case aliases it and is consumed (or copied by the
+	// handler) before the next read, so the steady-state receive path
+	// allocates nothing.
+	var fr frameReader
 	for {
 		if l.cfg.IdleTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(l.cfg.IdleTimeout))
 		}
-		typ, seq, body, err := readFrame(conn, l.cfg.maxFrame())
+		typ, seq, body, err := fr.read(conn, l.cfg.maxFrame())
 		if err != nil {
 			l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Transient: isTimeout(err), Err: err})
 			return
@@ -60,6 +65,41 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 			}
 			l.obs.dataRecv.Inc()
 			l.h.HandleData(id, body)
+		case frameDataAck:
+			acksRaw, msg, derr := splitDataAck(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			id := binary.LittleEndian.Uint16(msg)
+			if _, ok := l.in[id]; !ok {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("data frame for undeclared inbound edge %d", id)})
+				return
+			}
+			bad := uint16(0)
+			okAcks := true
+			for off := 0; off < len(acksRaw); off += piggyEntryBytes {
+				e := binary.LittleEndian.Uint16(acksRaw[off:])
+				if _, ok := l.out[e]; !ok {
+					bad, okAcks = e, false
+					break
+				}
+			}
+			if !okAcks {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("piggybacked ack for undeclared outbound edge %d", bad)})
+				return
+			}
+			l.obs.dataRecv.Inc()
+			l.obs.acksPiggyRecv.Add(int64(len(acksRaw) / piggyEntryBytes))
+			// Acks first: they free the peer-facing credit/ack state the
+			// data's consumer may immediately depend on.
+			for off := 0; off < len(acksRaw); off += piggyEntryBytes {
+				l.h.HandleAck(binary.LittleEndian.Uint16(acksRaw[off:]),
+					binary.LittleEndian.Uint32(acksRaw[off+2:]))
+			}
+			l.h.HandleData(id, msg)
 		case frameAck:
 			id, n, derr := decodeAck(body)
 			if derr != nil {
@@ -117,9 +157,19 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 }
 
 // trimUnacked drops resend-buffer frames covered by the peer's cumulative
-// ack n and wakes senders blocked on buffer room.
+// ack n and wakes senders blocked on buffer room. Trimmed frames return
+// their wire buffers to the pool — unless a RESUME replay is concurrently
+// walking a snapshot of the buffer, in which case the references are
+// dropped and the garbage collector takes the slow path (replays are
+// rare; recycling mid-replay would hand the pool bytes still being
+// written to the connection). Acks past our own sendSeq would let a
+// protocol-violating peer recycle frames still being appended, so they
+// are capped.
 func (l *Link) trimUnacked(n uint64) {
 	l.mu.Lock()
+	if n > l.sendSeq {
+		n = l.sendSeq
+	}
 	if n > l.peerAcked {
 		l.peerAcked = n
 		i := 0
@@ -127,7 +177,17 @@ func (l *Link) trimUnacked(n uint64) {
 			i++
 		}
 		if i > 0 {
-			l.unacked = append([]savedFrame(nil), l.unacked[i:]...)
+			for j := 0; j < i; j++ {
+				if !l.replayActive {
+					putWire(l.unacked[j].buf)
+				}
+				l.unacked[j] = savedFrame{}
+			}
+			rest := copy(l.unacked, l.unacked[i:])
+			for j := rest; j < len(l.unacked); j++ {
+				l.unacked[j] = savedFrame{}
+			}
+			l.unacked = l.unacked[:rest]
 		}
 		l.obs.resendDepth.Set(int64(len(l.unacked)))
 		l.broadcastLocked()
@@ -138,34 +198,55 @@ func (l *Link) trimUnacked(n uint64) {
 // tryCumAck sends a cumulative transport ack covering every in-order
 // frame received so far. It must never block on the writer mutex: on
 // loopback (net.Pipe) a reader waiting behind a writer whose peer is
-// symmetrically stuck would deadlock. A contended lock skips the ack;
-// liveness then rests on the writer that held the lock, which rechecks
-// owedAcks after releasing it (see sendSession).
-func (l *Link) tryCumAck(conn Conn, gen int) {
+// symmetrically stuck would deadlock. A contended lock skips the ack and
+// returns false; liveness then rests on the writer that held the lock,
+// which must call recheckCumAck after releasing it.
+func (l *Link) tryCumAck(conn Conn, gen int) bool {
 	if !l.wmu.TryLock() {
-		return
+		return false
 	}
 	l.mu.Lock()
 	if l.gen != gen || l.state != stateUp {
 		l.mu.Unlock()
 		l.wmu.Unlock()
-		return
+		return true
 	}
 	n := l.recvSeq
 	l.cumAcked = n
 	l.mu.Unlock()
-	if l.cfg.SendTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(l.cfg.SendTimeout))
-	}
-	wire := encodeFrame(frameCumAck, 0, encodeCumAck(n))
-	_, err := conn.Write(wire)
+	var body [cumAckBodyBytes]byte
+	binary.LittleEndian.PutUint64(body[:], n)
+	f := buildFrame(frameCumAck, 0, nil, body[:])
+	// Through the coalescer like any frame: a batched CUMACK is flushed
+	// by the next threshold or the deadline timer, which bounds how long
+	// the peer's resend buffer stays un-trimmed.
+	err := l.writeWire(conn, gen, f.wire)
+	putWire(f.buf)
 	l.wmu.Unlock()
 	if err != nil {
 		l.connError(gen, &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err})
-		return
 	}
-	l.obs.framesSent.Inc()
-	l.obs.bytesSent.Add(int64(len(wire)))
+	return true
+}
+
+// recheckCumAck is the other half of tryCumAck's liveness contract:
+// every path that takes wmu may have suppressed the reader's cumulative
+// ack exactly once, at the moment the reader went idle — after which no
+// inbound frame will retry it. So each such path calls this after
+// releasing the lock. The loop covers a recvSeq that advanced while our
+// own ack write held wmu; it terminates because a successful tryCumAck
+// zeroes the owed count and a contended one hands the obligation to the
+// current lock holder.
+func (l *Link) recheckCumAck() {
+	for l.owedAcks() >= uint64(l.ackInterval()) {
+		l.mu.Lock()
+		conn, gen := l.conn, l.gen
+		ok := l.state == stateUp && !l.closing
+		l.mu.Unlock()
+		if !ok || !l.tryCumAck(conn, gen) {
+			return
+		}
+	}
 }
 
 // ackGoodbye sends the final cumulative ack telling the peer its GOODBYE
@@ -183,12 +264,15 @@ func (l *Link) ackGoodbye(conn Conn, gen int) {
 	n := l.recvSeq
 	l.cumAcked = n
 	l.mu.Unlock()
+	// Flush batched frames first so the stream stays FIFO, then write
+	// the final ack directly — the peer's drain is waiting on it.
+	flushErr := l.flushBatchLocked(conn, gen)
 	conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
 	wire := encodeFrame(frameCumAck, 0, encodeCumAck(n))
 	_, err := conn.Write(wire)
 	conn.SetWriteDeadline(time.Time{})
 	l.wmu.Unlock()
-	if err == nil {
+	if err == nil && flushErr == nil {
 		l.obs.framesSent.Inc()
 		l.obs.bytesSent.Add(int64(len(wire)))
 	}
@@ -404,6 +488,10 @@ func (l *Link) acceptOffer(off resumeOffer, gen int, deadline time.Time) (done b
 // stay blocked on wmu until the replay lands, preserving frame order.
 func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 	l.wmu.Lock()
+	// Whatever the coalescer buffered for the dead connection is stale:
+	// every session frame in it lives in the resend buffer, and the
+	// replay below is the authoritative delivery path.
+	l.batch.drop()
 	l.mu.Lock()
 	if l.closing || l.gen != gen || l.state != stateDown {
 		l.mu.Unlock()
@@ -423,6 +511,10 @@ func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 	}
 	replay := make([]savedFrame, len(l.unacked))
 	copy(replay, l.unacked)
+	// The replay walks this snapshot outside mu while the new reader may
+	// already be trimming: replayActive keeps trimmed buffers out of the
+	// wire pool until the replay is done with them.
+	l.replayActive = len(replay) > 0
 	l.conn = conn
 	l.state = stateUp
 	// The RESUME/RESUME-OK exchange carried our recvSeq, so everything
@@ -451,6 +543,19 @@ func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 		l.obs.retransmits.Inc()
 		l.obs.framesSent.Inc()
 		l.obs.bytesSent.Add(int64(len(f.wire)))
+	}
+	if len(replay) > 0 {
+		l.mu.Lock()
+		l.replayActive = false
+		l.mu.Unlock()
+	}
+	// Acks queued during the outage have no session frame yet; flush
+	// them now rather than waiting for the next DATA or deadline tick.
+	if werr == nil {
+		werr = l.flushPendingAcksLocked(conn, gen)
+		if werr == nil {
+			werr = l.flushBatchLocked(conn, gen)
+		}
 	}
 	l.wmu.Unlock()
 	if werr != nil {
@@ -589,20 +694,43 @@ func (l *Link) sendGoodbye() (uint64, bool) {
 		l.wmu.Unlock()
 		return 0, false
 	}
-	l.sendSeq++
-	seq := l.sendSeq
-	wire := encodeFrame(frameGoodbye, seq, nil)
-	l.unacked = append(l.unacked, savedFrame{seq: seq, wire: wire})
 	down := l.state == stateDown
 	conn, gen := l.conn, l.gen
+	l.mu.Unlock()
+	if !down {
+		// Materialize queued acks first: the GOODBYE must be the last
+		// session frame the peer sequences. A write error here also
+		// breaks the goodbye write below, which owns the error handling.
+		if l.cfg.SendTimeout <= 0 {
+			conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
+		}
+		l.flushPendingAcksLocked(conn, gen)
+	}
+	l.mu.Lock()
+	if l.closing || l.state == stateClosed || l.state == stateFailed {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		return 0, false
+	}
+	down = l.state == stateDown
+	conn, gen = l.conn, l.gen
+	l.sendSeq++
+	seq := l.sendSeq
+	f := buildFrame(frameGoodbye, seq, nil, nil)
+	l.unacked = append(l.unacked, f)
 	l.mu.Unlock()
 	if down {
 		// Buffered only: the pending recovery's replay delivers it.
 		l.wmu.Unlock()
 		return seq, l.cfg.Reconnect.Enabled()
 	}
-	conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
-	_, err := conn.Write(wire)
+	if l.cfg.SendTimeout <= 0 {
+		conn.SetWriteDeadline(time.Now().Add(l.cfg.closeTimeout()))
+	}
+	err := l.writeWire(conn, gen, f.wire)
+	if err == nil {
+		err = l.flushBatchLocked(conn, gen)
+	}
 	conn.SetWriteDeadline(time.Time{})
 	l.wmu.Unlock()
 	if err != nil {
@@ -615,8 +743,6 @@ func (l *Link) sendGoodbye() (uint64, bool) {
 		}
 		return seq, false
 	}
-	l.obs.framesSent.Inc()
-	l.obs.bytesSent.Add(int64(len(wire)))
 	return seq, true
 }
 

@@ -187,7 +187,7 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestHelloRoundTrip(t *testing.T) {
 	edges := testManifest(true)
-	node, token, got, err := decodeHello(encodeHello(42, 0xfeedface, edges))
+	node, token, got, _, err := decodeHello(encodeHello(42, 0xfeedface, edges, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,15 +200,15 @@ func TestHelloRoundTrip(t *testing.T) {
 		}
 	}
 	// Truncated and corrupted hellos fail cleanly.
-	raw := encodeHello(1, 7, edges)
+	raw := encodeHello(1, 7, edges, 0)
 	for cut := 0; cut < len(raw); cut++ {
-		if _, _, _, err := decodeHello(raw[:cut]); err == nil {
+		if _, _, _, _, err := decodeHello(raw[:cut]); err == nil {
 			t.Fatalf("hello truncated to %d bytes should fail", cut)
 		}
 	}
 	bad := append([]byte(nil), raw...)
 	bad[0] ^= 0xff
-	if _, _, _, err := decodeHello(bad); err == nil {
+	if _, _, _, _, err := decodeHello(bad); err == nil {
 		t.Fatal("corrupted magic should fail")
 	}
 }
