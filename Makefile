@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-compare fuzz-smoke chaos obs
+.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs
 
-check: fmt vet build race fuzz-smoke
+check: fmt vet build race bench-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -27,13 +27,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
-# Batched-vs-unbatched link throughput comparison (ablation A8). Runs the
-# BenchmarkLinkThroughput matrix and reduces it to per-carrier speedup,
+# Quick compile-and-run pass over the throughput benchmarks: 10 iterations
+# each, no timing value, just proof the hot paths still execute. Wired into
+# `make check` so a broken benchmark fails CI, not the next perf run.
+bench-smoke:
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute' -benchtime=10x .
+
+# Tiered link-throughput comparison: batched vs unbatched (frame
+# coalescing, ablation A8) and blocked vs batched (vectorized slab
+# packing, ablation A9). Runs the BenchmarkLinkThroughput matrix plus the
+# blocked-execution benchmark and reduces them to per-carrier speedup,
 # allocation, and ack-frame ratios with cmd/benchdiff (no benchstat
 # dependency). BENCHOUT is the committed evidence file.
-BENCHOUT ?= BENCH_4.json
+BENCHOUT ?= BENCH_5.json
 bench-compare:
-	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput' -benchmem -benchtime=1s . \
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchdiff -o $(BENCHOUT)
 
 # Short fuzz passes over the parsers and wire decoders (the surfaces that

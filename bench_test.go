@@ -762,11 +762,14 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 // ReceiveInto; tokens_per_s is the headline metric and allocs/op (run
 // with -benchmem) shows the pooled send/receive path staying
 // allocation-free. Each networked carrier runs unbatched (one write per
-// frame) and batched (frame coalescing + ack piggybacking); the chan
-// carrier is the in-process upper bound.
+// frame), batched (frame coalescing + ack piggybacking), and blocked
+// (vectorized execution: 16 tokens packed into one slab message on top of
+// the batched tuning, so headers, credits, and acks are paid once per
+// block); the chan carrier is the in-process upper bound.
 func BenchmarkLinkThroughput(b *testing.B) {
 	const edgeID = 1
 	const size = 16
+	const blockTokens = 16
 
 	drain := func(rx *spi.Receiver, n int, done chan<- struct{}) {
 		defer close(done)
@@ -808,19 +811,70 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		rt.CloseAll()
 	})
 
-	network := func(b *testing.B, tr transport.Transport, addr string, batched bool) {
-		rtA, rtB := spi.NewRuntime(), spi.NewRuntime()
-		tx, _, err := rtA.Init(spi.EdgeConfig{ID: edgeID, Mode: spi.Dynamic, MaxBytes: size, Protocol: spi.UBS})
+	// streamBlocked packs blockTokens tokens into one slab per message —
+	// the wire pattern of vectorized (-block) execution — and reports
+	// throughput in tokens, not slabs.
+	streamBlocked := func(b *testing.B, tx *spi.Sender, rx *spi.Receiver) {
+		payload := make([]byte, size)
+		tokens := make([][]byte, blockTokens)
+		for i := range tokens {
+			tokens[i] = payload
+		}
+		slab, err := spi.PackSlab(nil, tokens, size, true)
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, rx, err := rtB.Init(spi.EdgeConfig{ID: edgeID, Mode: spi.Dynamic, MaxBytes: size, Protocol: spi.UBS})
+		blocks := (b.N + blockTokens - 1) / blockTokens
+		done := make(chan struct{})
+		b.SetBytes(size)
+		b.ReportAllocs()
+		b.ResetTimer()
+		go func() {
+			defer close(done)
+			buf := make([]byte, 0, len(slab))
+			views := make([][]byte, blockTokens)
+			for i := 0; i < blocks; i++ {
+				p, err := rx.ReceiveInto(buf)
+				if err != nil {
+					return
+				}
+				if _, err := spi.UnpackSlab(p, blockTokens, size, true, views[:0]); err != nil {
+					b.Error(err)
+					return
+				}
+				buf = p[:0]
+			}
+		}()
+		for i := 0; i < blocks; i++ {
+			if err := tx.Send(slab); err != nil {
+				b.Fatal(err)
+			}
+		}
+		<-done
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)/s, "tokens_per_s")
+		}
+	}
+
+	network := func(b *testing.B, tr transport.Transport, addr string, mode string) {
+		batched := mode != "unbatched"
+		maxBytes := size
+		if mode == "blocked" {
+			maxBytes = spi.SlabBound(size, true, blockTokens)
+		}
+		rtA, rtB := spi.NewRuntime(), spi.NewRuntime()
+		tx, _, err := rtA.Init(spi.EdgeConfig{ID: edgeID, Mode: spi.Dynamic, MaxBytes: maxBytes, Protocol: spi.UBS})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, rx, err := rtB.Init(spi.EdgeConfig{ID: edgeID, Mode: spi.Dynamic, MaxBytes: maxBytes, Protocol: spi.UBS})
 		if err != nil {
 			b.Fatal(err)
 		}
 		decls := func(out bool) []transport.EdgeDecl {
 			return []transport.EdgeDecl{
-				{ID: edgeID, Mode: uint8(spi.Dynamic), Out: out, Bytes: size, Protocol: uint8(spi.UBS)},
+				{ID: edgeID, Mode: uint8(spi.Dynamic), Out: out, Bytes: uint32(maxBytes), Protocol: uint8(spi.UBS)},
 			}
 		}
 		tune := func(cfg *transport.LinkConfig) {
@@ -828,6 +882,7 @@ func BenchmarkLinkThroughput(b *testing.B) {
 				cfg.Batch = transport.BatchConfig{MaxFrames: 32, MaxBytes: 64 << 10, MaxDelay: 100 * time.Microsecond}
 				cfg.PiggybackAcks = true
 			}
+			cfg.Blocked = mode == "blocked"
 		}
 		ln, err := tr.Listen(addr)
 		if err != nil {
@@ -873,7 +928,11 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		if err := rtB.BindRemoteReceiver(edgeID, linkB); err != nil {
 			b.Fatal(err)
 		}
-		stream(b, tx, rx)
+		if mode == "blocked" {
+			streamBlocked(b, tx, rx)
+		} else {
+			stream(b, tx, rx)
+		}
 		// Ablation A8 evidence: the receiver acknowledges every UBS
 		// message, so its standalone-ACK-frame count against the sender's
 		// wire-write count shows what coalescing and piggybacking remove.
@@ -895,17 +954,55 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		rtB.CloseAll()
 	}
 
-	for _, batched := range []bool{false, true} {
-		name := "unbatched"
-		if batched {
-			name = "batched"
-		}
-		batched := batched
-		b.Run("loopback/"+name, func(b *testing.B) {
-			network(b, transport.NewLoopback(), "throughput-bench", batched)
+	for _, mode := range []string{"unbatched", "batched", "blocked"} {
+		mode := mode
+		b.Run("loopback/"+mode, func(b *testing.B) {
+			network(b, transport.NewLoopback(), "throughput-bench", mode)
 		})
-		b.Run("tcp/"+name, func(b *testing.B) {
-			network(b, &transport.TCP{}, "127.0.0.1:0", batched)
+		b.Run("tcp/"+mode, func(b *testing.B) {
+			network(b, &transport.TCP{}, "127.0.0.1:0", mode)
+		})
+	}
+}
+
+// BenchmarkVectorizedExecute measures end-to-end blocked execution on the
+// in-process runtime: a two-processor producer/consumer chain of 16-byte
+// tokens run through ExecuteBlocked at several blocking factors. block=1
+// is the scalar baseline; larger blocks amortize per-message queue
+// rounds, credits, and acks across the slab (experiment A9).
+func BenchmarkVectorizedExecute(b *testing.B) {
+	const size = 16
+	for _, block := range []int{1, 4, 16} {
+		block := block
+		b.Run(fmt.Sprintf("block=%d", block), func(b *testing.B) {
+			g := dataflow.New("vecbench")
+			src := g.AddActor("src", 1)
+			snk := g.AddActor("snk", 1)
+			g.AddEdge("e", src, snk, 1, 1, dataflow.EdgeSpec{TokenBytes: size})
+			m := &sched.Mapping{
+				NumProcs: 2,
+				Proc:     []sched.Processor{0, 1},
+				Order:    [][]dataflow.ActorID{{src}, {snk}},
+			}
+			payload := make([]byte, size)
+			kernels := map[dataflow.ActorID]spi.Kernel{
+				src: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+					return map[dataflow.EdgeID][]byte{0: payload}, nil
+				},
+				snk: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+					return nil, nil
+				},
+			}
+			b.SetBytes(size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := spi.ExecuteBlocked(g, m, kernels, b.N, spi.VecOptions{Block: block}); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "tokens_per_s")
+			}
 		})
 	}
 }

@@ -1,13 +1,21 @@
 // Command benchdiff turns `go test -bench` output into a comparison
-// report. It parses benchmark result lines from stdin, pairs every
-// `<name>/batched` variant with its `<name>/unbatched` sibling, computes
-// the throughput/latency/allocation ratios between them, and writes the
-// whole set as JSON. `make bench-compare` uses it to produce BENCH_4.json,
-// the committed evidence for the frame-batching ablation (A8); it has no
-// external dependencies, so it works where benchstat is not installed.
+// report. It parses benchmark result lines from stdin, pairs each
+// optimization tier with the tier below it — `<name>/batched` against
+// `<name>/unbatched` (frame coalescing, ablation A8) and
+// `<name>/blocked` against `<name>/batched` (vectorized slab packing,
+// ablation A9) — computes the throughput/latency/allocation ratios, and
+// writes the whole set as JSON. `make bench-compare` uses it to produce
+// the committed evidence file; it has no external dependencies, so it
+// works where benchstat is not installed.
+//
+// The tool is strict: a variant whose counterpart is missing, or a pair
+// whose headline metrics (tokens_per_s, ns/op) are absent or zero, is an
+// error naming the offending pair, and the process exits non-zero without
+// writing JSON. Every ratio in the output is finite — no NaN or Inf ever
+// reaches the report.
 //
 //	go test -run=NONE -bench BenchmarkLinkThroughput -benchmem . \
-//	    | go run ./cmd/benchdiff -o BENCH_4.json
+//	    | go run ./cmd/benchdiff -o BENCH_5.json
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -30,12 +39,13 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// pair is a batched/unbatched comparison for one carrier. Ratios are
-// batched-relative: Speedup > 1 means batching is faster.
+// pair compares one carrier at two optimization tiers. Ratios are
+// improved-relative: Speedup > 1 means the higher tier is faster.
 type pair struct {
 	Name            string  `json:"name"`
-	Unbatched       result  `json:"unbatched"`
-	Batched         result  `json:"batched"`
+	Comparison      string  `json:"comparison"`
+	Base            result  `json:"base"`
+	Improved        result  `json:"improved"`
 	SpeedupTokens   float64 `json:"speedup_tokens_per_s"`
 	LatencyRatio    float64 `json:"latency_ratio_ns_op"`
 	AllocRatio      float64 `json:"alloc_ratio_allocs_op"`
@@ -48,6 +58,15 @@ type report struct {
 	Context  map[string]string `json:"context"`
 	Pairs    []pair            `json:"pairs"`
 	Unpaired []result          `json:"unpaired,omitempty"`
+}
+
+// comparisons defines the tier ladder: each entry pairs <prefix>/improved
+// against <prefix>/base.
+var comparisons = []struct {
+	label, base, improved string
+}{
+	{"batched_vs_unbatched", "unbatched", "batched"},
+	{"blocked_vs_batched", "batched", "blocked"},
 }
 
 func main() {
@@ -63,7 +82,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark result lines on stdin")
 		os.Exit(1)
 	}
-	rep := build(results, ctx)
+	rep, errs := build(results, ctx)
+	if len(errs) > 0 {
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		}
+		os.Exit(1)
+	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -83,11 +108,11 @@ func main() {
 	// Human-readable ratio summary on stderr either way, so the make
 	// target shows the headline numbers without opening the JSON.
 	for _, p := range rep.Pairs {
-		fmt.Fprintf(os.Stderr, "%-32s %8.0f -> %8.0f tokens/s  (%.2fx)  acks/msg %.3f -> %.3f\n",
-			p.Name,
-			p.Unbatched.Metrics["tokens_per_s"], p.Batched.Metrics["tokens_per_s"],
+		fmt.Fprintf(os.Stderr, "%-24s %-22s %8.0f -> %8.0f tokens/s  (%.2fx)  acks/msg %.3f -> %.3f\n",
+			p.Name, p.Comparison,
+			p.Base.Metrics["tokens_per_s"], p.Improved.Metrics["tokens_per_s"],
 			p.SpeedupTokens,
-			p.Unbatched.Metrics["ack_frames_per_msg"], p.Batched.Metrics["ack_frames_per_msg"])
+			p.Base.Metrics["ack_frames_per_msg"], p.Improved.Metrics["ack_frames_per_msg"])
 	}
 }
 
@@ -141,43 +166,102 @@ func trimProcs(name string) string {
 	return name
 }
 
-func build(results []result, ctx map[string]string) report {
+// build assembles the report and returns every pairing or metric problem
+// as an error; any error means the report must not be written.
+func build(results []result, ctx map[string]string) (report, []error) {
 	rep := report{Tool: "benchdiff", Context: ctx}
 	byName := map[string]result{}
 	for _, r := range results {
 		byName[r.Name] = r
 	}
+	var errs []error
 	paired := map[string]bool{}
-	for _, r := range results {
-		if !strings.HasSuffix(r.Name, "/batched") {
-			continue
+	for _, c := range comparisons {
+		// Every prefix that shows either side of this comparison must show
+		// both: a half-run (one tier's benchmark missing or filtered out)
+		// is an error, not a silent skip.
+		prefixes := map[string]bool{}
+		for _, r := range results {
+			for _, suffix := range []string{"/" + c.base, "/" + c.improved} {
+				if p, ok := strings.CutSuffix(r.Name, suffix); ok {
+					prefixes[p] = true
+				}
+			}
 		}
-		base := strings.TrimSuffix(r.Name, "/batched")
-		u, ok := byName[base+"/unbatched"]
-		if !ok {
-			continue
+		names := make([]string, 0, len(prefixes))
+		for p := range prefixes {
+			names = append(names, p)
 		}
-		paired[r.Name], paired[u.Name] = true, true
-		rep.Pairs = append(rep.Pairs, pair{
-			Name:            strings.TrimPrefix(base, "BenchmarkLinkThroughput/"),
-			Unbatched:       u,
-			Batched:         r,
-			SpeedupTokens:   ratio(r.Metrics["tokens_per_s"], u.Metrics["tokens_per_s"]),
-			LatencyRatio:    ratio(r.Metrics["ns/op"], u.Metrics["ns/op"]),
-			AllocRatio:      ratio(r.Metrics["allocs/op"], u.Metrics["allocs/op"]),
-			AckFrameFactor:  ratio(u.Metrics["ack_frames_per_msg"], r.Metrics["ack_frames_per_msg"]),
-			WriteCoalescing: ratio(u.Metrics["writes_per_msg"], r.Metrics["writes_per_msg"]),
-		})
+		sort.Strings(names)
+		for _, prefix := range names {
+			baseName := prefix + "/" + c.base
+			impName := prefix + "/" + c.improved
+			base, haveBase := byName[baseName]
+			improved, haveImp := byName[impName]
+			if !haveBase || !haveImp {
+				have, missing := baseName, impName
+				if !haveBase {
+					have, missing = impName, baseName
+				}
+				errs = append(errs, fmt.Errorf("pair %s (%s): %s present but %s missing",
+					prefix, c.label, have, missing))
+				continue
+			}
+			ok := true
+			for _, side := range []result{base, improved} {
+				for _, unit := range []string{"tokens_per_s", "ns/op"} {
+					if v := side.Metrics[unit]; v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						errs = append(errs, fmt.Errorf("pair %s (%s): metric %s missing or zero in %s",
+							prefix, c.label, unit, side.Name))
+						ok = false
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			paired[baseName], paired[impName] = true, true
+			p := pair{
+				Name:            strings.TrimPrefix(prefix, "BenchmarkLinkThroughput/"),
+				Comparison:      c.label,
+				Base:            base,
+				Improved:        improved,
+				SpeedupTokens:   ratio(improved.Metrics["tokens_per_s"], base.Metrics["tokens_per_s"]),
+				LatencyRatio:    ratio(improved.Metrics["ns/op"], base.Metrics["ns/op"]),
+				AllocRatio:      ratio(improved.Metrics["allocs/op"], base.Metrics["allocs/op"]),
+				AckFrameFactor:  ratio(base.Metrics["ack_frames_per_msg"], improved.Metrics["ack_frames_per_msg"]),
+				WriteCoalescing: ratio(base.Metrics["writes_per_msg"], improved.Metrics["writes_per_msg"]),
+			}
+			for _, v := range []float64{p.SpeedupTokens, p.LatencyRatio, p.AllocRatio, p.AckFrameFactor, p.WriteCoalescing} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					errs = append(errs, fmt.Errorf("pair %s (%s): non-finite ratio", prefix, c.label))
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rep.Pairs = append(rep.Pairs, p)
+			}
+		}
 	}
-	sort.Slice(rep.Pairs, func(i, j int) bool { return rep.Pairs[i].Name < rep.Pairs[j].Name })
+	sort.Slice(rep.Pairs, func(i, j int) bool {
+		if rep.Pairs[i].Name != rep.Pairs[j].Name {
+			return rep.Pairs[i].Name < rep.Pairs[j].Name
+		}
+		return rep.Pairs[i].Comparison < rep.Pairs[j].Comparison
+	})
 	for _, r := range results {
 		if !paired[r.Name] {
 			rep.Unpaired = append(rep.Unpaired, r)
 		}
 	}
-	return rep
+	return rep, errs
 }
 
+// ratio never returns NaN or Inf: a zero denominator (e.g. the improved
+// tier eliminated the metric entirely, as piggybacking does to
+// standalone ack frames) reports 0, and the headline metrics are
+// validated non-zero before any ratio is taken.
 func ratio(a, b float64) float64 {
 	if b == 0 {
 		return 0

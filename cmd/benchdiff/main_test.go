@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func res(name string, metrics map[string]float64) result {
+	return result{Name: name, Iterations: 100, Metrics: metrics}
+}
+
+func full(tokens float64) map[string]float64 {
+	return map[string]float64{
+		"tokens_per_s":       tokens,
+		"ns/op":              1e9 / tokens,
+		"allocs/op":          2,
+		"ack_frames_per_msg": 1,
+		"writes_per_msg":     1,
+	}
+}
+
+func TestBuildPairsAllTiers(t *testing.T) {
+	results := []result{
+		res("BenchmarkLinkThroughput/loopback/unbatched", full(1000)),
+		res("BenchmarkLinkThroughput/loopback/batched", full(3000)),
+		res("BenchmarkLinkThroughput/loopback/blocked", full(9000)),
+		res("BenchmarkLinkThroughput/chan", full(50000)), // no tiers: unpaired, not an error
+	}
+	rep, errs := build(results, nil)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(rep.Pairs) != 2 {
+		t.Fatalf("got %d pairs, want batched_vs_unbatched and blocked_vs_batched", len(rep.Pairs))
+	}
+	for _, p := range rep.Pairs {
+		if p.SpeedupTokens != 3 {
+			t.Errorf("pair %s/%s speedup = %v, want 3", p.Name, p.Comparison, p.SpeedupTokens)
+		}
+	}
+	if len(rep.Unpaired) != 1 || rep.Unpaired[0].Name != "BenchmarkLinkThroughput/chan" {
+		t.Errorf("unpaired = %+v", rep.Unpaired)
+	}
+}
+
+func TestBuildMissingSideIsNamedError(t *testing.T) {
+	results := []result{
+		res("BenchmarkLinkThroughput/tcp/batched", full(3000)),
+		// tcp/unbatched and tcp/blocked both missing.
+	}
+	_, errs := build(results, nil)
+	if len(errs) != 2 {
+		t.Fatalf("got %d errors, want 2 (one per broken comparison): %v", len(errs), errs)
+	}
+	joined := ""
+	for _, err := range errs {
+		joined += err.Error() + "\n"
+	}
+	for _, want := range []string{"tcp/unbatched missing", "tcp/blocked missing", "BenchmarkLinkThroughput/tcp"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("errors %q do not name %q", joined, want)
+		}
+	}
+}
+
+func TestBuildZeroHeadlineMetricIsError(t *testing.T) {
+	zero := full(1000)
+	zero["tokens_per_s"] = 0
+	results := []result{
+		res("BenchmarkLinkThroughput/loopback/unbatched", zero),
+		res("BenchmarkLinkThroughput/loopback/batched", full(3000)),
+		res("BenchmarkLinkThroughput/loopback/blocked", full(9000)),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) == 0 {
+		t.Fatal("zero tokens_per_s should be an error")
+	}
+	if !strings.Contains(errs[0].Error(), "tokens_per_s") || !strings.Contains(errs[0].Error(), "loopback/unbatched") {
+		t.Errorf("error %v does not name the metric and result", errs[0])
+	}
+	// The broken pair must not appear; the intact blocked pair still does.
+	for _, p := range rep.Pairs {
+		if p.Comparison == "batched_vs_unbatched" {
+			t.Errorf("broken pair still built: %+v", p)
+		}
+	}
+}
+
+// TestReportJSONIsFinite marshals a report built from awkward-but-valid
+// inputs (the improved tier zeroed its ack frames, so the naive division
+// would be Inf) and checks no NaN/Inf survives into the JSON.
+func TestReportJSONIsFinite(t *testing.T) {
+	improved := full(9000)
+	improved["ack_frames_per_msg"] = 0
+	improved["writes_per_msg"] = 0
+	results := []result{
+		res("BenchmarkLinkThroughput/loopback/unbatched", full(1000)),
+		res("BenchmarkLinkThroughput/loopback/batched", improved),
+		res("BenchmarkLinkThroughput/loopback/blocked", improved),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report does not marshal (non-finite values?): %v", err)
+	}
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(string(buf), bad) {
+			t.Errorf("JSON contains %s: %s", bad, buf)
+		}
+	}
+	for _, p := range rep.Pairs {
+		for _, v := range []float64{p.SpeedupTokens, p.LatencyRatio, p.AllocRatio, p.AckFrameFactor, p.WriteCoalescing} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("pair %s/%s carries a non-finite ratio", p.Name, p.Comparison)
+			}
+		}
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	if got := trimProcs("BenchmarkX/sub-8"); got != "BenchmarkX/sub" {
+		t.Errorf("trimProcs = %q", got)
+	}
+	if got := trimProcs("BenchmarkX/sub"); got != "BenchmarkX/sub" {
+		t.Errorf("trimProcs = %q", got)
+	}
+}

@@ -77,6 +77,8 @@ func main() {
 		"deadline before a buffered frame is flushed alone (0 = default when batching)")
 	flag.BoolVar(&cfg.PiggybackAcks, "piggyback-acks", false,
 		"carry acknowledgements on outgoing DATA frames when the peer supports it")
+	flag.IntVar(&cfg.Block, "block", 0,
+		"vectorization blocking factor B: fire B iterations per block and pack B tokens per message on block-aligned edges; all nodes must agree (0 = off, bit-identical digests either way)")
 	flag.StringVar(&cfg.HTTPAddr, "http", "",
 		"serve live introspection (GET /metrics, /healthz, /trace) on this address, e.g. 127.0.0.1:9090")
 	flag.DurationVar(&cfg.StatsInterval, "stats-interval", 0,
@@ -175,6 +177,9 @@ type nodeConfig struct {
 	// links carry acks on outgoing DATA frames (negotiated with the peer).
 	Batch         transport.BatchConfig
 	PiggybackAcks bool
+	// Block is the vectorization blocking factor B (0 or 1 = scalar); all
+	// nodes must use the same value, enforced by the HELLO handshake.
+	Block int
 	// HTTPAddr, when set, serves GET /metrics (Prometheus text),
 	// /healthz (JSON status), and /trace (Chrome trace_event JSON) for
 	// the duration of the run.
@@ -397,6 +402,7 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		Degrade:       cfg.Degrade,
 		Batch:         cfg.Batch,
 		PiggybackAcks: cfg.PiggybackAcks,
+		Block:         cfg.Block,
 		Obs:           o,
 	}
 	if cfg.ConnectTimeout > 0 {

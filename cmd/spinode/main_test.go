@@ -165,7 +165,7 @@ func loadPipelineSDF(t *testing.T) *dataflow.Graph {
 // returns both nodes' outputs and errors. A watchdog bounds the run so a
 // failed recovery cannot hang the suite.
 func runTwoNodes(t *testing.T, newGraph func(t *testing.T) *dataflow.Graph, tr transport.Transport,
-	iters int, rc transport.ReconnectConfig, degrade bool) ([2]*bytes.Buffer, [2]error) {
+	iters int, rc transport.ReconnectConfig, degrade bool, block int) ([2]*bytes.Buffer, [2]error) {
 	t.Helper()
 	ln, err := tr.Listen("chaos-node0")
 	if err != nil {
@@ -189,6 +189,7 @@ func runTwoNodes(t *testing.T, newGraph func(t *testing.T) *dataflow.Graph, tr t
 				Seed:       7,
 				Reconnect:  rc,
 				Degrade:    degrade,
+				Block:      block,
 			}
 			var lnArg transport.Listener
 			if node == 0 {
@@ -242,7 +243,7 @@ func TestPipelineChaosRecovers(t *testing.T) {
 				t.Fatal(err)
 			}
 			ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
-			outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false)
+			outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 0)
 			for node, err := range errs {
 				if err != nil {
 					t.Fatalf("node %d: %v (faults: %+v)\n%s", node, err, ft.Stats(), outs[node].String())
@@ -257,6 +258,80 @@ func TestPipelineChaosRecovers(t *testing.T) {
 	}
 }
 
+// TestPipelineBlockedMatchesSingle: running the shipped pipeline.sdf with
+// -block must leave the sink digest bit-identical to the scalar
+// single-node run. The graph mixes both edge classes: sm's one-iteration
+// delay never aligns with a block above 1 (token-granular), ms packs
+// slabs.
+func TestPipelineBlockedMatchesSingle(t *testing.T) {
+	const iters = 40
+	single := nodeConfig{
+		Graph:      loadPipelineSDF(t),
+		Assign:     []int{0, 1, 1},
+		NodeOf:     []int{0, 0},
+		Addrs:      []string{"only"},
+		Iterations: iters,
+		Seed:       7,
+	}
+	var ref bytes.Buffer
+	if err := runNode(single, transport.NewLoopback(), nil, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := digestLines(ref.String())
+	if len(want) != 1 {
+		t.Fatalf("single-node run printed %d digest lines:\n%s", len(want), ref.String())
+	}
+	for _, block := range []int{2, 4, 7} { // 7 leaves a partial final block of 5
+		outs, errs := runTwoNodes(t, loadPipelineSDF, transport.NewLoopback(), iters,
+			transport.ReconnectConfig{}, false, block)
+		for node, err := range errs {
+			if err != nil {
+				t.Fatalf("block %d node %d: %v\n%s", block, node, err, outs[node].String())
+			}
+		}
+		got := append(digestLines(outs[0].String()), digestLines(outs[1].String())...)
+		if len(got) != 1 || got[0] != want[0] {
+			t.Errorf("block %d digests diverged:\nwant %v\ngot  %v", block, want, got)
+		}
+	}
+}
+
+// TestPipelineBlockedChaosRecovers severs the link mid-run while blocked:
+// slab replay across the resumption must keep the digest bit-identical.
+func TestPipelineBlockedChaosRecovers(t *testing.T) {
+	const iters = 40
+	single := nodeConfig{
+		Graph:      loadPipelineSDF(t),
+		Assign:     []int{0, 1, 1},
+		NodeOf:     []int{0, 0},
+		Addrs:      []string{"only"},
+		Iterations: iters,
+		Seed:       7,
+	}
+	var ref bytes.Buffer
+	if err := runNode(single, transport.NewLoopback(), nil, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := digestLines(ref.String())
+	rc := transport.ReconnectConfig{Attempts: 50, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Deadline: 20 * time.Second}
+	fc, err := transport.ParseFaultSpec("seed=31,severat=7;19,skip=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
+	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 4)
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v (faults: %+v)\n%s", node, err, ft.Stats(), outs[node].String())
+		}
+	}
+	got := append(digestLines(outs[0].String()), digestLines(outs[1].String())...)
+	if len(got) != 1 || got[0] != want[0] {
+		t.Errorf("blocked chaos digests diverged:\nwant %v\ngot  %v (faults: %+v)", want, got, ft.Stats())
+	}
+}
+
 // TestPipelineDegradedExit severs the inter-node link permanently: with
 // -degrade semantics both nodes must finish, print partial digests plus a
 // per-peer failure summary, and return a DegradedError (exit status 3).
@@ -268,7 +343,7 @@ func TestPipelineDegradedExit(t *testing.T) {
 	ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
 	rc := transport.ReconnectConfig{Attempts: 4, BaseDelay: time.Millisecond,
 		MaxDelay: 2 * time.Millisecond, Deadline: 500 * time.Millisecond}
-	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true)
+	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true, 0)
 	for node, err := range errs {
 		var de *spi.DegradedError
 		if !errors.As(err, &de) {

@@ -41,6 +41,8 @@ func main() {
 		"networked runs: deadline before a buffered frame is flushed alone")
 	flag.BoolVar(&netPiggyback, "piggyback-acks", false,
 		"networked runs: carry acknowledgements on outgoing DATA frames")
+	flag.IntVar(&netBlock, "block", 0,
+		"networked runs: vectorization blocking factor B — fire B iterations per block and pack B tokens per message on block-aligned edges (0 = off, bit-identical outputs either way)")
 	flag.Parse()
 
 	var err error
@@ -63,6 +65,7 @@ func main() {
 var (
 	netBatch     transport.BatchConfig
 	netPiggyback bool
+	netBlock     int
 )
 
 func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
@@ -208,6 +211,7 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 				Addrs:         addrs,
 				Batch:         netBatch,
 				PiggybackAcks: netPiggyback,
+				Block:         netBlock,
 			}
 			if node == 0 {
 				opts.Listener = ln

@@ -57,55 +57,116 @@ func TestDistributedResidualChaosRecovers(t *testing.T) {
 	for _, sc := range schedules {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			ft := transport.NewFaultTransport(transport.NewLoopback(), sc.cfg)
-			ln, err := ft.Listen("lpc-chaos0")
-			if err != nil {
-				t.Fatal(err)
-			}
-			addrs := []string{ln.Addr(), "unused"}
-			var (
-				results [2][]float64
-				errs    [2]error
-				wg      sync.WaitGroup
-			)
-			for node := 0; node < 2; node++ {
-				wg.Add(1)
-				go func(node int) {
-					defer wg.Done()
-					opts := spi.DistOptions{
-						Transport: ft,
-						Node:      node,
-						Addrs:     addrs,
-						Reconnect: rc,
-						Retry:     transport.RetryConfig{Attempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
-					}
-					if node == 0 {
-						opts.Listener = ln
-					}
-					results[node], _, errs[node] = DistributedResidual(model, frame, nPE, iters, opts)
-				}(node)
-			}
-			done := make(chan struct{})
-			go func() { wg.Wait(); close(done) }()
-			select {
-			case <-done:
-			case <-time.After(60 * time.Second):
-				t.Fatal("LPC chaos run wedged (recovery failed to terminate)")
-			}
-			for node, err := range errs {
-				if err != nil {
-					t.Fatalf("node %d: %v (faults: %+v)", node, err, ft.Stats())
-				}
-			}
-			got := results[0]
-			if len(got) != N {
-				t.Fatalf("recovered run assembled %d samples, want %d (faults: %+v)", len(got), N, ft.Stats())
-			}
-			for i := range ref {
-				if got[i] != ref[i] {
-					t.Fatalf("sample %d: recovered %v, fault-free %v (faults: %+v)", i, got[i], ref[i], ft.Stats())
-				}
-			}
+			runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, 0, N)
 		})
+	}
+}
+
+// TestDistributedResidualChaosBlocked repeats the chaos determinism check
+// with vectorized execution: blocks of 2 and of 3 (the latter leaving a
+// partial final block at 4 iterations), with link severs timed to land in
+// the middle of a block's slab traffic. Resumption must replay the packed
+// slabs and still assemble a bit-identical residual.
+func TestDistributedResidualChaosBlocked(t *testing.T) {
+	const N, nPE, iters = 256, 3, 4
+	frame := signal.Speech(N, 77)
+	model, err := dsp.LPCAnalyze(frame, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultDeploy(N, nPE)
+	p.SampleBytes = 8
+	sys, err := ErrorGenSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	kernels, err := residualKernels(sys.Graph, p, model, frame, func(a []float64) { ref = a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spi.Execute(sys.Graph, sys.Mapping, kernels, iters); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := transport.ReconnectConfig{Attempts: 50, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Deadline: 20 * time.Second}
+	schedules := []struct {
+		name  string
+		block int
+		cfg   transport.FaultConfig
+	}{
+		// Blocked runs move far fewer frames, so a late drop could leave no
+		// follow-on traffic to expose the sequence gap; concentrate the
+		// drops early instead and let the rest of the run reveal them.
+		{"drops-b2", 2, transport.FaultConfig{Seed: 311, Drop: 0.5, SkipFrames: 4, MaxFaults: 3}},
+		{"sever-mid-block-b2", 2, transport.FaultConfig{Seed: 312, SeverAt: []int{5, 11}, SkipFrames: 4}},
+		{"sever-partial-final-b3", 3, transport.FaultConfig{Seed: 313, SeverAt: []int{7}, SkipFrames: 4}},
+		{"mixed-b2", 2, transport.FaultConfig{Seed: 314, Drop: 0.02, Corrupt: 0.02, Duplicate: 0.03,
+			Delay: 0.05, DelayFor: time.Millisecond, SkipFrames: 4, MaxFaults: 30}},
+	}
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, sc.block, N)
+		})
+	}
+}
+
+// runChaosSchedule executes the two-node residual system over a
+// fault-injected loopback with the given blocking factor (0 = scalar) and
+// compares node 0's assembled residual against the fault-free reference.
+func runChaosSchedule(t *testing.T, model *dsp.LPCModel, frame []float64, ref []float64,
+	cfg transport.FaultConfig, rc transport.ReconnectConfig, nPE, iters, block, n int) {
+	t.Helper()
+	ft := transport.NewFaultTransport(transport.NewLoopback(), cfg)
+	ln, err := ft.Listen("lpc-chaos0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr(), "unused"}
+	var (
+		results [2][]float64
+		errs    [2]error
+		wg      sync.WaitGroup
+	)
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			opts := spi.DistOptions{
+				Transport: ft,
+				Node:      node,
+				Addrs:     addrs,
+				Reconnect: rc,
+				Retry:     transport.RetryConfig{Attempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+				Block:     block,
+			}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			results[node], _, errs[node] = DistributedResidual(model, frame, nPE, iters, opts)
+		}(node)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("LPC chaos run wedged (recovery failed to terminate)")
+	}
+	for node, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v (faults: %+v)", node, err, ft.Stats())
+		}
+	}
+	got := results[0]
+	if len(got) != n {
+		t.Fatalf("recovered run assembled %d samples, want %d (faults: %+v)", len(got), n, ft.Stats())
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("sample %d: recovered %v, fault-free %v (faults: %+v)", i, got[i], ref[i], ft.Stats())
+		}
 	}
 }

@@ -184,6 +184,74 @@ func TestSASProperty(t *testing.T) {
 	}
 }
 
+// Property: on random consistent graphs (chains plus extra forward and
+// delayed feedback edges), the firing counts read back out of the SAS's
+// looped Notation — each leaf's count times its enclosing loop counts —
+// equal the repetitions vector exactly, and blocking the schedule
+// multiplies every actor's firings by the blocking factor.
+func TestSASNotationFiringsMatchRepetitions(t *testing.T) {
+	spec := dataflow.DefaultRandomSpec()
+	checked := 0
+	for seed := uint64(0); seed < 60; seed++ {
+		g, err := dataflow.Random(spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, err := g.RepetitionsVector()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sas, err := SingleAppearanceSchedule(g)
+		if err != nil {
+			// APGAN clusters without delay analysis, so a feedback edge can
+			// legitimately defeat it; feedback-free graphs must never fail.
+			if spec.FeedbackEdges == 0 {
+				t.Fatalf("seed %d: no SAS for an acyclic random graph: %v", seed, err)
+			}
+			continue
+		}
+		checked++
+		firings := notationFirings(t, sas.Notation(g))
+		blocked := notationFirings(t, BlockedSAS(sas, 3).Notation(g))
+		for a, want := range q {
+			name := g.Actor(dataflow.ActorID(a)).Name
+			if firings[name] != want {
+				t.Errorf("seed %d: %s fires %d times in %q, want q = %d",
+					seed, name, firings[name], sas.Notation(g), want)
+			}
+			if blocked[name] != 3*want {
+				t.Errorf("seed %d: blocked %s fires %d times, want 3*q = %d",
+					seed, name, blocked[name], 3*want)
+			}
+		}
+	}
+	if checked < 3 {
+		t.Fatalf("only %d of 60 random graphs produced a SAS; the property barely ran", checked)
+	}
+
+	// Feedback-free sweep: here every graph must have a SAS.
+	spec.FeedbackEdges = 0
+	for seed := uint64(100); seed < 130; seed++ {
+		g, err := dataflow.Random(spec, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		q, _ := g.RepetitionsVector()
+		sas, err := SingleAppearanceSchedule(g)
+		if err != nil {
+			t.Fatalf("seed %d: no SAS for an acyclic random graph: %v", seed, err)
+		}
+		firings := notationFirings(t, sas.Notation(g))
+		for a, want := range q {
+			name := g.Actor(dataflow.ActorID(a)).Name
+			if firings[name] != want {
+				t.Errorf("seed %d: %s fires %d times in %q, want q = %d",
+					seed, name, firings[name], sas.Notation(g), want)
+			}
+		}
+	}
+}
+
 func TestLoopNodeNotationCounts(t *testing.T) {
 	g := dataflow.New("n")
 	a := g.AddActor("X", 1)

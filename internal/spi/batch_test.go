@@ -75,6 +75,31 @@ func TestReceiveBatchMax(t *testing.T) {
 	}
 }
 
+// TestReceiveBatchNegativeMax pins the documented max <= 0 contract: a
+// negative max behaves exactly like zero — unbounded, draining the whole
+// queue — rather than returning nothing or panicking.
+func TestReceiveBatchNegativeMax(t *testing.T) {
+	rt := NewRuntime()
+	tx, rx, _ := rt.Init(EdgeConfig{ID: 1, Mode: Static, PayloadBytes: 1, Protocol: UBS})
+	for i := 0; i < 5; i++ {
+		if err := tx.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := rx.ReceiveBatch(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ReceiveBatch(-1) returned %d messages, want the whole queue (5)", len(got))
+	}
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("message %d carries %d (order broken)", i, p[0])
+		}
+	}
+}
+
 // TestSendBatchBBSDrains sends a burst larger than the BBS capacity: the
 // batch must block per message on credit and complete once a consumer
 // drains, preserving order.

@@ -48,6 +48,14 @@ type System struct {
 	ExtraSync []SyncMessage
 	// SyncMessageBytes is the payload of one sync message (default 2).
 	SyncMessageBytes int
+	// Block is the vectorization blocking factor B: one simulated
+	// iteration models B graph iterations fired back to back, with
+	// block-aligned interprocessor edges moving one packed B-token slab
+	// (one header, one credit/ack) per sim iteration and misaligned
+	// edges moving B individual messages. Callers sweep speedup-vs-B by
+	// running iters/B sim iterations and dividing the per-iteration time
+	// by B. 0 or 1 models scalar execution exactly.
+	Block int
 }
 
 // SyncMessage is a pure synchronization message between two PEs, sent at a
@@ -111,16 +119,38 @@ func Build(sys *System) (*Deployment, error) {
 	if syncBytes == 0 {
 		syncBytes = 2
 	}
+	blk := sys.Block
+	if blk < 1 {
+		blk = 1
+	}
+	if blk > 1 {
+		if err := g.CheckBlock(blk); err != nil {
+			return nil, err
+		}
+	}
 
 	dep := &Deployment{Sim: sim}
 	// Channel per interprocessor edge.
 	chanOf := make(map[dataflow.EdgeID]platform.ChannelID)
 	planOf := make(map[dataflow.EdgeID]*EdgePlan)
+	// blockOf is the per-edge message granularity in iterations: blk on
+	// block-aligned edges (one slab per sim iteration), 1 on the rest
+	// (blk individual messages per sim iteration).
+	blockOf := make(map[dataflow.EdgeID]int)
 	for _, eid := range m.InterprocessorEdges(g) {
 		e := g.Edge(eid)
 		info := conv.Info(eid)
+		delayIters := 0
+		if tokensPerMsg := int(g.IterationTokens(q, eid)); tokensPerMsg > 0 {
+			delayIters = e.Delay / tokensPerMsg
+		}
+		bf := 1
+		if blk > 1 && delayIters%blk == 0 {
+			bf = blk
+		}
+		blockOf[eid] = bf
 		mode := Static
-		if info.Dynamic {
+		if info.Dynamic || bf > 1 {
 			mode = Dynamic
 		}
 		b := bounds[eid]
@@ -130,8 +160,9 @@ func Build(sys *System) (*Deployment, error) {
 			proto = UBS
 		} else {
 			// Capacity in messages: the byte bound divided by the packed
-			// token size, at least one message.
-			capMsgs = int(b.IPC / b.BMax)
+			// token size, at least one message. A blocked edge counts in
+			// slabs of bf packed tokens, scaling the eq. 2 bound by B.
+			capMsgs = int(b.IPC/b.BMax) / bf
 			if capMsgs < 1 {
 				capMsgs = 1
 			}
@@ -143,11 +174,9 @@ func Build(sys *System) (*Deployment, error) {
 			HeaderBytes: HeaderBytes(mode),
 			Capacity:    capMsgs,
 		}
-		// Preload counts whole packed messages: delay tokens per message
-		// batch moved each iteration.
-		if tokensPerMsg := int(g.IterationTokens(q, eid)); tokensPerMsg > 0 {
-			spec.Preload = e.Delay / tokensPerMsg
-		}
+		// Preload counts whole packed messages (slabs when blocked):
+		// delay tokens per message batch moved each iteration.
+		spec.Preload = delayIters / bf
 		if spec.Capacity > 0 && spec.Preload > spec.Capacity {
 			spec.Capacity = spec.Preload
 		}
@@ -180,7 +209,10 @@ func Build(sys *System) (*Deployment, error) {
 		syncSendOf[sm.FromPE] = append(syncSendOf[sm.FromPE], ch)
 	}
 
-	// Per-PE programs.
+	// Per-PE programs. One sim iteration models blk graph iterations: an
+	// actor's blk compute blocks fuse into one Compute op, block-aligned
+	// edges move one slab, misaligned edges repeat their per-iteration
+	// message blk times.
 	for p := 0; p < m.NumProcs; p++ {
 		var prog platform.Program
 		for _, a := range m.Order[p] {
@@ -190,17 +222,29 @@ func Build(sys *System) (*Deployment, error) {
 				if !ok {
 					continue
 				}
-				prog = append(prog, platform.Recv(ch))
+				for i := blk / blockOf[eid]; i > 0; i-- {
+					prog = append(prog, platform.Recv(ch))
+				}
 			}
-			// Compute the block.
+			// Compute the block (all blk iterations of it).
 			if fn, ok := sys.ComputeFn[a]; ok {
+				if blk > 1 {
+					base := fn
+					fn = func(iter int) int64 {
+						var total int64
+						for j := 0; j < blk; j++ {
+							total += base(iter*blk + j)
+						}
+						return total
+					}
+				}
 				prog = append(prog, platform.ComputeFn(fn))
 			} else {
 				cost := g.Actor(a).ExecCycles
 				if cost <= 0 {
 					cost = 1
 				}
-				prog = append(prog, platform.Compute(q[a]*cost))
+				prog = append(prog, platform.Compute(int64(blk)*q[a]*cost))
 			}
 			// Send every interprocessor output.
 			for _, eid := range g.Out(a) {
@@ -208,12 +252,41 @@ func Build(sys *System) (*Deployment, error) {
 				if !ok {
 					continue
 				}
+				info := conv.Info(eid)
+				bf := blockOf[eid]
 				if fn, ok := sys.PayloadFn[eid]; ok {
-					prog = append(prog, platform.SendFn(ch, fn))
+					if bf > 1 {
+						// One slab carries the block's packed payloads plus
+						// the per-token size table of the slab layout.
+						base := fn
+						prog = append(prog, platform.SendFn(ch, func(iter int) int {
+							total := slabCountBytes + bf*slabSizeBytes
+							for j := 0; j < bf; j++ {
+								total += base(iter*bf + j)
+							}
+							return total
+						}))
+					} else if blk > 1 {
+						base := fn
+						for j := 0; j < blk; j++ {
+							j := j
+							prog = append(prog, platform.SendFn(ch, func(iter int) int {
+								return base(iter*blk + j)
+							}))
+						}
+					} else {
+						prog = append(prog, platform.SendFn(ch, fn))
+					}
+				} else if bf > 1 {
+					// Worst-case slab: the block's packed payloads at b_max
+					// each, plus the size table on originally-dynamic edges.
+					prog = append(prog, platform.Send(ch, SlabBound(int(info.BMax), info.Dynamic, bf)))
 				} else {
-					info := conv.Info(eid)
-					// Worst-case packed payload per message.
-					prog = append(prog, platform.Send(ch, int(info.BMax)))
+					// Worst-case packed payload per message, blk of them
+					// when the edge is misaligned with the block.
+					for i := 0; i < blk; i++ {
+						prog = append(prog, platform.Send(ch, int(info.BMax)))
+					}
 				}
 			}
 		}

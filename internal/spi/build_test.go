@@ -190,6 +190,83 @@ func TestBuildComputeFnOverride(t *testing.T) {
 	}
 }
 
+func TestBuildBlockedEdgePacksSlabs(t *testing.T) {
+	// Block 4 on a delay-free edge: the simulator must model one packed
+	// slab per sim iteration instead of four scalar messages, with the
+	// header paid once per block.
+	g, m := mappedPair(t, 4, 4, dataflow.EdgeSpec{TokenBytes: 2})
+	scalar, err := Build(&System{Graph: g, Mapping: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocked, err := Build(&System{Graph: g, Mapping: m, Block: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 graph iterations either way: 20 scalar sim iterations vs 5
+	// blocked ones.
+	ss, err := scalar.Sim.Run(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, err := blocked.Sim.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Messages[platform.DataMsg] != 20 || bs.Messages[platform.DataMsg] != 5 {
+		t.Errorf("messages scalar/blocked = %d/%d, want 20/5",
+			ss.Messages[platform.DataMsg], bs.Messages[platform.DataMsg])
+	}
+	// Same 8-byte payload per graph iteration; the blocked run pays one
+	// dynamic header per slab instead of one static header per message.
+	if ss.Bytes[platform.DataMsg] != 20*(8+StaticHeaderBytes) {
+		t.Errorf("scalar bytes = %d", ss.Bytes[platform.DataMsg])
+	}
+	want := int64(5 * (SlabBound(8, false, 4) + DynamicHeaderBytes))
+	if bs.Bytes[platform.DataMsg] != want {
+		t.Errorf("blocked bytes = %d, want %d", bs.Bytes[platform.DataMsg], want)
+	}
+	if hdr := blocked.Sim.Channel(blocked.Plans[0].Channel).HeaderBytes; hdr != DynamicHeaderBytes {
+		t.Errorf("blocked header = %d, want %d (slabs use SPI_dynamic framing)", hdr, DynamicHeaderBytes)
+	}
+}
+
+func TestBuildBlockedMisalignedEdgeStaysScalar(t *testing.T) {
+	// One iteration of delay does not divide block 2, so the edge keeps
+	// token granularity: two individual messages per sim iteration.
+	g, m := mappedPair(t, 1, 1, dataflow.EdgeSpec{TokenBytes: 4, Delay: 1})
+	dep, err := Build(&System{Graph: g, Mapping: m, Block: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := dep.Sim.Run(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Messages[platform.DataMsg] != 10 {
+		t.Errorf("messages = %d, want 10 (2 per sim iteration, no slab)", st.Messages[platform.DataMsg])
+	}
+	if dep.Plans[0].Mode != Static {
+		t.Errorf("mode = %v, want Static (misaligned edge keeps scalar framing)", dep.Plans[0].Mode)
+	}
+}
+
+func TestBuildRejectsInfeasibleBlock(t *testing.T) {
+	// A tight cycle with one iteration of delay admits no block above 1;
+	// Build must surface CheckBlock's diagnosis instead of deadlocking
+	// the simulation.
+	g, m := mappedPair(t, 1, 1, dataflow.EdgeSpec{TokenBytes: 2})
+	aID, _ := g.ActorByName("A")
+	bID, _ := g.ActorByName("B")
+	g.AddEdge("ba", bID, aID, 1, 1, dataflow.EdgeSpec{Delay: 1, TokenBytes: 1})
+	if _, err := Build(&System{Graph: g, Mapping: m, Block: 2}); err == nil {
+		t.Error("block 2 on a 1-iteration-delay cycle should fail feasibility")
+	}
+	if _, err := Build(&System{Graph: g, Mapping: m, Block: 1}); err != nil {
+		t.Errorf("scalar build of the same system should pass: %v", err)
+	}
+}
+
 func TestBuildRejectsBadMapping(t *testing.T) {
 	g, _ := mappedPair(t, 1, 1, dataflow.EdgeSpec{})
 	bad := &sched.Mapping{NumProcs: 1, Proc: []sched.Processor{0}, Order: [][]dataflow.ActorID{{0}}}

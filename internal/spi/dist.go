@@ -69,6 +69,17 @@ type DistOptions struct {
 	// standalone ACK stream of UBS edges. Piggybacked counts appear in
 	// the per-edge statistics (EdgeStats.AcksPiggybacked).
 	PiggybackAcks bool
+	// Block is the vectorization blocking factor B: every node fires B
+	// consecutive iterations per super-iteration and block-aligned
+	// cross-node edges carry one packed B-token DATA frame per block.
+	// All nodes must use the same value — the HELLO capability bits and
+	// the edge manifest reject mismatched peers. 0 or 1 is scalar
+	// execution, bit-identical to today's wire format.
+	Block int
+	// VectorKernels optionally maps locally-hosted actors to native
+	// block-firing kernels (see VectorKernel); others are lifted from
+	// their scalar Kernel. Ignored when Block <= 1.
+	VectorKernels map[dataflow.ActorID]VectorKernel
 	// Obs, when non-nil, instruments the run: per-edge SPI counters,
 	// per-link transport counters, kernel firing latencies, and trace
 	// events all land in the observer's registry and tracer. Nil (the
@@ -279,18 +290,23 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	}
 	for _, p := range myProcs {
 		for _, a := range m.Order[p] {
-			if kernels[a] == nil {
+			if kernels[a] == nil && (opts.Block <= 1 || opts.VectorKernels[a] == nil) {
 				return nil, fmt.Errorf("spi: actor %s (node %d) has no kernel", g.Actor(a).Name, me)
 			}
 		}
 	}
 
-	plan, err := newGraphPlan(g)
+	plan, err := newGraphPlan(g, opts.Block)
 	if err != nil {
 		return nil, err
 	}
+	if plan.block > 1 {
+		if err := checkBlockedMapping(g, m, plan.q, plan.block); err != nil {
+			return nil, err
+		}
+	}
 	env := &execEnv{
-		g: g, m: m, kernels: kernels, plan: plan,
+		g: g, m: m, kernels: kernels, vkernels: opts.VectorKernels, plan: plan,
 		rt:       NewRuntime(),
 		remotes:  map[dataflow.EdgeID]remotePair{},
 		locals:   map[dataflow.EdgeID][][]byte{},
@@ -488,6 +504,7 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 		Reconnect:     opts.Reconnect,
 		Batch:         opts.Batch,
 		PiggybackAcks: opts.PiggybackAcks,
+		Blocked:       opts.Block > 1,
 		Obs:           opts.Obs,
 	}
 	handlerFor := func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {

@@ -3,6 +3,7 @@ package spi
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/dataflow"
@@ -62,8 +63,12 @@ type execEnv struct {
 	g       *dataflow.Graph
 	m       *sched.Mapping
 	kernels map[dataflow.ActorID]Kernel
-	plan    *graphPlan
-	rt      *Runtime
+	// vkernels holds native block-firing kernels for blocked runs
+	// (plan.block > 1); actors not present fall back to their scalar
+	// kernel, lifted one firing at a time.
+	vkernels map[dataflow.ActorID]VectorKernel
+	plan     *graphPlan
+	rt       *Runtime
 
 	remotes map[dataflow.EdgeID]remotePair
 	locals  map[dataflow.EdgeID][][]byte
@@ -158,7 +163,11 @@ func (env *execEnv) run(procs []int, iterations int) []error {
 					}
 				}
 			}()
-			errs[i] = env.runProc(p, iterations)
+			if env.plan.block > 1 {
+				errs[i] = env.runProcBlocked(p, iterations)
+			} else {
+				errs[i] = env.runProc(p, iterations)
+			}
 		}(i, p)
 	}
 	wg.Wait()
@@ -295,11 +304,286 @@ func (env *execEnv) runProc(p, iterations int) error {
 	return nil
 }
 
+// runProcBlocked is runProc's vectorized counterpart: fire each actor n
+// times back to back (n = the blocking factor B, or the remainder on the
+// final partial block), moving whole blocks of tokens at once. Block-aligned
+// remote edges deliver and emit one packed slab per block; misaligned remote
+// edges stay token-granular (n receives / n sends per block); local queues
+// always stay token-granular but are popped and pushed n at a time. Blocked
+// and scalar runs of the same graph are bit-identical: the kernels see the
+// same iteration numbers and the same input bytes in the same order.
+func (env *execEnv) runProcBlocked(p, iterations int) error {
+	g := env.g
+	B := env.plan.block
+	in := map[dataflow.EdgeID][][]byte{}
+	scalarIn := map[dataflow.EdgeID][]byte{}
+	recvSlab := map[dataflow.EdgeID][]byte{}  // slab receive buffers, reused per block
+	recvTok := map[dataflow.EdgeID][][]byte{} // per-token receive buffers, misaligned remote edges
+	views := map[dataflow.EdgeID][][]byte{}   // slab token views, reused per block
+	sendSlab := map[dataflow.EdgeID][]byte{}  // outgoing slab builders, reused per block
+	for base := 0; base < iterations; base += B {
+		n := iterations - base
+		if n > B {
+			n = B
+		}
+		for _, a := range env.m.Order[p] {
+			clear(in)
+			for _, eid := range g.In(a) {
+				r, ok := env.remotes[eid]
+				if !ok {
+					env.localMu.Lock()
+					queue := env.locals[eid]
+					if len(queue) < n {
+						env.localMu.Unlock()
+						return fmt.Errorf("spi: actor %s local underflow on %s: block of %d needs %d tokens, have %d (delay too small for the block)",
+							g.Actor(a).Name, g.Edge(eid).Name, n, n, len(queue))
+					}
+					in[eid] = queue[:n:n]
+					env.locals[eid] = queue[n:]
+					env.localTransfers += int64(n)
+					env.localMu.Unlock()
+					continue
+				}
+				if env.plan.edgeBlock(eid) > 1 {
+					slab, err := r.rx.ReceiveInto(recvSlab[eid])
+					if err != nil {
+						return fmt.Errorf("spi: actor %s recv %s: %w",
+							g.Actor(a).Name, g.Edge(eid).Name, err)
+					}
+					recvSlab[eid] = slab
+					info := env.plan.conv.Info(eid)
+					v, err := UnpackSlab(slab, n, int(info.BMax), info.Dynamic, views[eid])
+					if err != nil {
+						return fmt.Errorf("spi: actor %s edge %s: %w",
+							g.Actor(a).Name, g.Edge(eid).Name, err)
+					}
+					views[eid] = v
+					in[eid] = v[:n]
+					continue
+				}
+				bufs := recvTok[eid]
+				for len(bufs) < n {
+					bufs = append(bufs, nil)
+				}
+				for j := 0; j < n; j++ {
+					payload, err := r.rx.ReceiveInto(bufs[j])
+					if err != nil {
+						return fmt.Errorf("spi: actor %s recv %s: %w",
+							g.Actor(a).Name, g.Edge(eid).Name, err)
+					}
+					bufs[j] = payload
+				}
+				recvTok[eid] = bufs
+				in[eid] = bufs[:n]
+			}
+			ao := env.actorObs[a]
+			start := ao.tr.Now()
+			var err error
+			if vk := env.vkernels[a]; vk != nil {
+				err = env.fireVector(a, base, n, in, sendSlab)
+			} else {
+				err = env.fireLifted(a, base, n, in, scalarIn, sendSlab)
+			}
+			if err != nil {
+				return err
+			}
+			ao.tr.Span("kernel", ao.name, ao.pid, ao.tid, start, obs.A("iter", int64(base)))
+			ao.latency.Observe(float64(ao.tr.Now() - start))
+			ao.firings.Add(int64(n))
+			*env.fired[a] += int64(n)
+		}
+	}
+	return nil
+}
+
+// fireLifted fires an actor's scalar kernel once per iteration of the
+// block, consuming each firing's outputs before the next: blocked edges
+// pack (copy) the payload into the outgoing slab, misaligned remote edges
+// send immediately, and local pushes always copy — the scalar buffer-reuse
+// contract lets the kernel recycle its output buffers between firings, so
+// nothing it returned may be held by reference across firings.
+func (env *execEnv) fireLifted(a dataflow.ActorID, base, n int, in map[dataflow.EdgeID][][]byte, scalarIn map[dataflow.EdgeID][]byte, sendSlab map[dataflow.EdgeID][]byte) error {
+	g := env.g
+	for _, eid := range g.Out(a) {
+		if _, ok := env.remotes[eid]; ok && env.plan.edgeBlock(eid) > 1 {
+			sendSlab[eid] = beginSlab(sendSlab[eid], n, env.plan.conv.Info(eid).Dynamic)
+		}
+	}
+	for j := 0; j < n; j++ {
+		clear(scalarIn)
+		for eid, toks := range in {
+			scalarIn[eid] = toks[j]
+		}
+		out, err := env.kernels[a](base+j, scalarIn)
+		if err != nil {
+			return fmt.Errorf("spi: actor %s iteration %d: %w", g.Actor(a).Name, base+j, err)
+		}
+		for _, eid := range g.Out(a) {
+			if err := env.emitToken(a, eid, j, out[eid], sendSlab); err != nil {
+				return err
+			}
+		}
+	}
+	return env.flushSlabs(a, sendSlab)
+}
+
+// fireVector fires an actor's VectorKernel once for the whole block and
+// distributes the returned per-edge token lists: blocked edges pack one
+// slab, misaligned remote edges ship their n messages as one SendBatch,
+// local queues take private copies.
+func (env *execEnv) fireVector(a dataflow.ActorID, base, n int, in map[dataflow.EdgeID][][]byte, sendSlab map[dataflow.EdgeID][]byte) error {
+	g := env.g
+	out, err := env.vkernels[a](base, n, in)
+	if err != nil {
+		return fmt.Errorf("spi: actor %s iterations %d..%d: %w", g.Actor(a).Name, base, base+n-1, err)
+	}
+	for _, eid := range g.Out(a) {
+		toks := out[eid] // nil means n empty payloads
+		if toks != nil && len(toks) != n {
+			return fmt.Errorf("spi: actor %s vector kernel returned %d payloads on edge %s, block needs %d",
+				g.Actor(a).Name, len(toks), g.Edge(eid).Name, n)
+		}
+		if _, ok := env.remotes[eid]; ok && env.plan.edgeBlock(eid) > 1 {
+			sendSlab[eid] = beginSlab(sendSlab[eid], n, env.plan.conv.Info(eid).Dynamic)
+		}
+		for j := 0; j < n; j++ {
+			var tok []byte
+			if toks != nil {
+				tok = toks[j]
+			}
+			if err := env.emitToken(a, eid, j, tok, sendSlab); err != nil {
+				return err
+			}
+		}
+	}
+	return env.flushSlabs(a, sendSlab)
+}
+
+// emitToken routes one firing's output payload on one edge during a blocked
+// run: into the slab builder (blocked remote edge), straight to the sender
+// (misaligned remote edge), or copied onto the local queue. Local pushes
+// always copy in blocked mode — the producer fires its whole block before
+// any consumer runs, so payloads must outlive the kernel's buffer reuse.
+func (env *execEnv) emitToken(a dataflow.ActorID, eid dataflow.EdgeID, j int, payload []byte, sendSlab map[dataflow.EdgeID][]byte) error {
+	g := env.g
+	if r, ok := env.remotes[eid]; ok {
+		if env.plan.edgeBlock(eid) > 1 {
+			info := env.plan.conv.Info(eid)
+			slab, err := appendSlabToken(sendSlab[eid], j, payload, int(info.BMax), info.Dynamic)
+			if err != nil {
+				return fmt.Errorf("spi: actor %s edge %s: %w", g.Actor(a).Name, g.Edge(eid).Name, err)
+			}
+			sendSlab[eid] = slab
+			return nil
+		}
+		padded, err := env.plan.pad(eid, payload)
+		if err != nil {
+			return err
+		}
+		if err := r.tx.Send(padded); err != nil {
+			return fmt.Errorf("spi: actor %s send %s: %w", g.Actor(a).Name, g.Edge(eid).Name, err)
+		}
+		return nil
+	}
+	padded, err := env.plan.pad(eid, payload)
+	if err != nil {
+		return err
+	}
+	padded = append([]byte(nil), padded...)
+	env.localMu.Lock()
+	env.locals[eid] = append(env.locals[eid], padded)
+	env.localMu.Unlock()
+	return nil
+}
+
+// flushSlabs sends the slab built for every blocked out-edge of the actor.
+func (env *execEnv) flushSlabs(a dataflow.ActorID, sendSlab map[dataflow.EdgeID][]byte) error {
+	g := env.g
+	for _, eid := range g.Out(a) {
+		r, ok := env.remotes[eid]
+		if !ok || env.plan.edgeBlock(eid) <= 1 {
+			continue
+		}
+		if err := r.tx.Send(sendSlab[eid]); err != nil {
+			return fmt.Errorf("spi: actor %s send %s: %w", g.Actor(a).Name, g.Edge(eid).Name, err)
+		}
+	}
+	return nil
+}
+
+// checkBlockedMapping verifies that blocked execution of this mapping
+// cannot deadlock: within one block an actor consumes all n inputs before
+// any output becomes visible, and a processor fires its actors' blocks in
+// schedule order, so the graph of same-block dependencies — non-decoupling
+// dataflow edges (dataflow.BlockDecouples) plus each processor's sequential
+// order chain — must be acyclic. This subsumes g.CheckBlock for mapped
+// execution: sequentialization can create cycles the dataflow graph alone
+// does not have.
+func checkBlockedMapping(g *dataflow.Graph, m *sched.Mapping, q dataflow.Repetitions, block int) error {
+	n := g.NumActors()
+	indeg := make([]int, n)
+	succ := make([][]dataflow.ActorID, n)
+	add := func(u, v dataflow.ActorID) {
+		succ[u] = append(succ[u], v)
+		indeg[v]++
+	}
+	for _, eid := range g.Edges() {
+		if g.BlockDecouples(q, eid, block) {
+			continue
+		}
+		e := g.Edge(eid)
+		add(e.Src, e.Snk)
+	}
+	for p := 0; p < m.NumProcs; p++ {
+		order := m.Order[p]
+		for i := 1; i < len(order); i++ {
+			add(order[i-1], order[i])
+		}
+	}
+	queue := make([]dataflow.ActorID, 0, n)
+	for a := 0; a < n; a++ {
+		if indeg[a] == 0 {
+			queue = append(queue, dataflow.ActorID(a))
+		}
+	}
+	done := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		done++
+		for _, w := range succ[v] {
+			if indeg[w]--; indeg[w] == 0 {
+				queue = append(queue, w)
+			}
+		}
+	}
+	if done == n {
+		return nil
+	}
+	var stuck []string
+	for a := 0; a < n; a++ {
+		if indeg[a] > 0 {
+			stuck = append(stuck, g.Actor(dataflow.ActorID(a)).Name)
+		}
+	}
+	return fmt.Errorf("spi: block %d deadlocks on this mapping: dependency cycle through {%s} (dataflow edges plus processor schedule order) lacks a delay covering a whole block",
+		block, strings.Join(stuck, ", "))
+}
+
 // Execute runs the mapped graph for the given iteration count. Every actor
 // must have a kernel. Edge payloads are bounded by the VTS analysis: a
 // kernel returning more than b_max bytes on an edge is an error, exactly as
 // the hardware library would reject it.
 func Execute(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]Kernel, iterations int) (*ExecStats, error) {
+	return ExecuteBlocked(g, m, kernels, iterations, VecOptions{})
+}
+
+// ExecuteBlocked runs the mapped graph like Execute but vectorized by
+// vec.Block: B consecutive iterations fire per super-iteration and every
+// block-aligned interprocessor edge moves its B tokens as one packed slab,
+// paying headers, credits, and acks once per block. Outputs are
+// bit-identical to the scalar run. vec.Block <= 1 is Execute exactly.
+func ExecuteBlocked(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]Kernel, iterations int, vec VecOptions) (*ExecStats, error) {
 	if err := m.Validate(g); err != nil {
 		return nil, err
 	}
@@ -307,17 +591,22 @@ func Execute(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.ActorID]K
 		return nil, fmt.Errorf("spi: iterations = %d", iterations)
 	}
 	for _, a := range g.Actors() {
-		if kernels[a] == nil {
+		if kernels[a] == nil && (vec.Block <= 1 || vec.Kernels[a] == nil) {
 			return nil, fmt.Errorf("spi: actor %s has no kernel", g.Actor(a).Name)
 		}
 	}
-	plan, err := newGraphPlan(g)
+	plan, err := newGraphPlan(g, vec.Block)
 	if err != nil {
 		return nil, err
 	}
+	if plan.block > 1 {
+		if err := checkBlockedMapping(g, m, plan.q, plan.block); err != nil {
+			return nil, err
+		}
+	}
 
 	env := &execEnv{
-		g: g, m: m, kernels: kernels, plan: plan,
+		g: g, m: m, kernels: kernels, vkernels: vec.Kernels, plan: plan,
 		rt:      NewRuntime(),
 		remotes: map[dataflow.EdgeID]remotePair{},
 		locals:  map[dataflow.EdgeID][][]byte{},

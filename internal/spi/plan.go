@@ -16,9 +16,13 @@ type graphPlan struct {
 	conv   *vts.Result
 	bounds []vts.Bounds
 	q      dataflow.Repetitions
+	// block is the vectorization blocking factor B (1 = scalar). Edges
+	// whose delay is a whole multiple of B iterations carry B-token slabs;
+	// the rest stay token-granular (edgeBlock).
+	block int
 }
 
-func newGraphPlan(g *dataflow.Graph) (*graphPlan, error) {
+func newGraphPlan(g *dataflow.Graph, block int) (*graphPlan, error) {
 	conv, err := vts.Convert(g)
 	if err != nil {
 		return nil, err
@@ -31,7 +35,15 @@ func newGraphPlan(g *dataflow.Graph) (*graphPlan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &graphPlan{g: g, conv: conv, bounds: bounds, q: q}, nil
+	if block < 1 {
+		block = 1
+	}
+	if block > 1 {
+		if err := g.CheckBlock(block); err != nil {
+			return nil, err
+		}
+	}
+	return &graphPlan{g: g, conv: conv, bounds: bounds, q: q, block: block}, nil
 }
 
 // delayIters converts an edge's initial-token delay into whole graph
@@ -44,11 +56,26 @@ func (p *graphPlan) delayIters(eid dataflow.EdgeID) int {
 	return 0
 }
 
+// edgeBlock is the number of iterations packed per message on this edge: the
+// plan's blocking factor when the edge's delay aligns with it (a whole
+// multiple of B iterations, including zero), else 1. A misaligned delay
+// makes the consumer's block straddle two producer blocks, so such edges
+// stay token-granular.
+func (p *graphPlan) edgeBlock(eid dataflow.EdgeID) int {
+	if p.block <= 1 || p.delayIters(eid)%p.block != 0 {
+		return 1
+	}
+	return p.block
+}
+
 // edgeConfig selects the SPI component (static/dynamic framing) and the
 // buffer protocol (BBS when the VTS analysis proves a bound, else UBS) for
 // one interprocessor edge — identical for in-process and networked edges,
 // so a distributed run and its single-process reference use the same
-// protocols on the same edges.
+// protocols on the same edges. A blocked edge (edgeBlock > 1) carries
+// B-token slabs in SPI_dynamic framing — the final block of a run may be
+// partial — with capacity, preload, and the BBS credit pool accounted in
+// slabs, scaling the eq. 2 memory bound by B.
 func (p *graphPlan) edgeConfig(eid dataflow.EdgeID) EdgeConfig {
 	info := p.conv.Info(eid)
 	cfg := EdgeConfig{ID: EdgeID(eid), Name: p.g.Edge(eid).Name, Mode: Static, PayloadBytes: int(info.BMax)}
@@ -56,14 +83,19 @@ func (p *graphPlan) edgeConfig(eid dataflow.EdgeID) EdgeConfig {
 		cfg.Mode = Dynamic
 		cfg.MaxBytes = int(info.BMax)
 	}
+	bf := p.edgeBlock(eid)
+	if bf > 1 {
+		cfg.Mode = Dynamic
+		cfg.MaxBytes = SlabBound(int(info.BMax), info.Dynamic, bf)
+	}
 	b := p.bounds[eid]
 	if b.Bounded {
 		cfg.Protocol = BBS
-		capMsgs := int(b.IPC / b.BMax)
+		capMsgs := int(b.IPC/b.BMax) / bf
 		if capMsgs < 1 {
 			capMsgs = 1
 		}
-		if d := p.delayIters(eid); capMsgs < d+1 {
+		if d := p.delayIters(eid) / bf; capMsgs < d+1 {
 			capMsgs = d + 1
 		}
 		cfg.Capacity = capMsgs
@@ -93,14 +125,27 @@ func (p *graphPlan) pad(eid dataflow.EdgeID, payload []byte) ([]byte, error) {
 // its sender so iteration 0 finds its tokens, mirroring the channel
 // preloading of the platform lowering. The burst goes out as one
 // SendBatch so a write-coalescing link ships all delay tokens in a
-// single flush.
+// single flush. On a blocked edge the delay goes out as delay/B full
+// slabs of B empty tokens — the slab-level image of the scalar preload.
 func (p *graphPlan) preload(tx *Sender, eid dataflow.EdgeID, cfg EdgeConfig) error {
-	n := p.delayIters(eid)
+	bf := p.edgeBlock(eid)
+	n := p.delayIters(eid) / bf
 	if n == 0 {
 		return nil
 	}
 	payloads := make([][]byte, n)
-	if cfg.Mode == Static {
+	if bf > 1 {
+		info := p.conv.Info(eid)
+		empty := make([][]byte, bf)
+		slab, err := PackSlab(nil, empty, int(info.BMax), info.Dynamic)
+		if err != nil {
+			return err
+		}
+		// Send copies, so every delay slab can share one buffer.
+		for i := range payloads {
+			payloads[i] = slab
+		}
+	} else if cfg.Mode == Static {
 		// Send copies, so every delay token can share one zero block.
 		blk := make([]byte, cfg.PayloadBytes)
 		for i := range payloads {

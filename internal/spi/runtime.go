@@ -682,10 +682,12 @@ func (rc *Receiver) ReceiveInto(buf []byte) ([]byte, error) {
 }
 
 // ReceiveBatch waits for at least one message, then drains up to max
-// queued messages (no limit when max <= 0) in one lock round, returning
-// their payloads in order as caller-owned copies. On a remote edge the
-// consumed messages are acknowledged with a single merged count, so one
-// ACK frame — or one piggyback entry — credits the whole burst.
+// queued messages in one lock round, returning their payloads in order as
+// caller-owned copies. Any max <= 0 — zero or negative alike — means "no
+// limit": the whole queue drains, never fewer than one message. On a
+// remote edge the consumed messages are acknowledged with a single merged
+// count, so one ACK frame — or one piggyback entry — credits the whole
+// burst.
 func (rc *Receiver) ReceiveBatch(max int) ([][]byte, error) {
 	e := rc.e
 	e.mu.Lock()

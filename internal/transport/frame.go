@@ -59,6 +59,12 @@ const (
 	// featPiggyAck advertises that this side understands inbound DATAACK
 	// frames (acks piggybacked on data).
 	featPiggyAck uint32 = 1 << 0
+	// featBlocked declares that this side's DATA frames carry packed
+	// multi-token slabs on block-aligned edges (vectorized execution).
+	// This bit is a requirement, not an option: the handshake rejects a
+	// peer whose bit disagrees, since the two payload layouts cannot
+	// interoperate.
+	featBlocked uint32 = 1 << 1
 
 	frameHeaderBytes = 17 // u32 length + u8 type + u64 seq + u32 crc
 	helloFixedBytes  = 17 // magic + version + node + token + nedges

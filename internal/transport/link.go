@@ -83,6 +83,16 @@ type LinkConfig struct {
 	// version-3 HELLO; leaving it off keeps the handshake byte-identical
 	// to version 2 and fully interoperable with old peers.
 	PiggybackAcks bool
+	// Blocked declares that this link's DATA frames carry packed
+	// multi-token slabs on block-aligned edges (vectorized execution).
+	// Unlike PiggybackAcks this is a requirement, not a mutual option:
+	// slab framing changes the payload layout, so the handshake fails
+	// unless both sides run the same mode. Leaving it off keeps the
+	// HELLO byte-identical to a feature-free version-2 handshake. The
+	// edge manifest's Bytes/Capacity fields additionally pin the
+	// blocking factor itself — peers blocked differently disagree on
+	// slab bounds and are rejected by verifyManifest.
+	Blocked bool
 	// Obs, when non-nil, exports this link's traffic counters through the
 	// metrics registry (labeled by peer node) and records its session
 	// lifecycle events into the trace ring. Nil keeps the counters
@@ -334,6 +344,10 @@ func NewLink(conn Conn, cfg LinkConfig, h Handler) (*Link, error) {
 		conn.Close()
 		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 	}
+	if err := verifyBlocked(&cfg, peerFeatures); err != nil {
+		conn.Close()
+		return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+	}
 	return startLink(conn, cfg, h, int(peer), token, true, peerFeatures), nil
 }
 
@@ -344,7 +358,26 @@ func (c *LinkConfig) features() uint32 {
 	if c.PiggybackAcks {
 		f |= featPiggyAck
 	}
+	if c.Blocked {
+		f |= featBlocked
+	}
 	return f
+}
+
+// verifyBlocked enforces that vectorized (blocked) framing is symmetric:
+// a blocked link cannot interoperate with a scalar peer, in either
+// direction, because the DATA payload layout differs. Old peers never set
+// featBlocked, so they are cleanly rejected with a configuration hint
+// instead of corrupting tokens.
+func verifyBlocked(cfg *LinkConfig, peerFeatures uint32) error {
+	peerBlocked := peerFeatures&featBlocked != 0
+	if cfg.Blocked == peerBlocked {
+		return nil
+	}
+	if cfg.Blocked {
+		return fmt.Errorf("this side runs blocked (vectorized) edges but the peer does not; run both sides with the same -block")
+	}
+	return fmt.Errorf("peer runs blocked (vectorized) edges but this side does not; run both sides with the same -block")
 }
 
 // AcceptLink runs the listener side of the handshake: read the dialer's
@@ -401,6 +434,10 @@ func AcceptConn(conn Conn, cfg LinkConfig, lookup func(peer int) ([]EdgeDecl, Ha
 		}
 		cfg.Edges = edges
 		if err := verifyManifest(cfg.Edges, peerEdges); err != nil {
+			conn.Close()
+			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
+		}
+		if err := verifyBlocked(&cfg, peerFeatures); err != nil {
 			conn.Close()
 			return nil, &Error{Op: "handshake", Addr: conn.RemoteAddr(), Err: err}
 		}
