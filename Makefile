@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs
+.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs load
 
-check: fmt vet build race bench-smoke fuzz-smoke
+check: fmt vet build race bench-smoke fuzz-smoke load
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -52,6 +52,18 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeDynamic -fuzztime=5s ./internal/spi
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/dataflow
 	$(GO) test -run=NONE -fuzz=FuzzDecodeBatched -fuzztime=5s ./internal/transport
+	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=5s ./internal/transport
+
+# Multi-tenant load smoke: 100 sessions multiplexed over one shared link
+# against the in-process session server, on both byte carriers (loopback
+# and localhost TCP), with per-session digest verification. spiload exits
+# non-zero on any digest mismatch or if zero sessions were admitted, so a
+# regression in the session layer fails CI here. Bounded (-duration) to
+# stay CI-friendly; sessions that started before the deadline still run
+# to completion.
+load:
+	$(GO) run ./cmd/spiload -inproc -sessions 100 -concurrency 16 -iters 10 -tenants 4 -duration 60s
+	$(GO) run ./cmd/spiload -inproc-tcp -sessions 100 -concurrency 16 -iters 10 -tenants 4 -duration 60s
 
 # The seeded fault-schedule suite: chaos link tests, distributed runs with
 # drops/corruption/duplicates/severs, graceful degradation, and the

@@ -3,19 +3,25 @@
 // optimization tier with the tier below it — `<name>/batched` against
 // `<name>/unbatched` (frame coalescing, ablation A8) and
 // `<name>/blocked` against `<name>/batched` (vectorized slab packing,
-// ablation A9) — computes the throughput/latency/allocation ratios, and
-// writes the whole set as JSON. `make bench-compare` uses it to produce
-// the committed evidence file; it has no external dependencies, so it
-// works where benchstat is not installed.
+// ablation A9), and `<name>/sessions` against `<name>/single`
+// (multi-tenant session multiplexing, from cmd/spiload's -bench mode) —
+// computes the throughput/latency/allocation ratios, and writes the
+// whole set as JSON. `make bench-compare` uses it to produce the
+// committed evidence file; it has no external dependencies, so it works
+// where benchstat is not installed.
 //
 // The tool is strict: a variant whose counterpart is missing, or a pair
 // whose headline metrics (tokens_per_s, ns/op) are absent or zero, is an
 // error naming the offending pair, and the process exits non-zero without
-// writing JSON. Every ratio in the output is finite — no NaN or Inf ever
+// writing JSON. A sessions-tier result additionally must report a nonzero
+// admitted_sessions count — a load run that admitted nothing measured
+// nothing. Every ratio in the output is finite — no NaN or Inf ever
 // reaches the report.
 //
 //	go test -run=NONE -bench BenchmarkLinkThroughput -benchmem . \
 //	    | go run ./cmd/benchdiff -o BENCH_5.json
+//	go run ./cmd/spiload -inproc -bench -sessions 100 \
+//	    | go run ./cmd/benchdiff -o BENCH_6.json
 package main
 
 import (
@@ -67,6 +73,7 @@ var comparisons = []struct {
 }{
 	{"batched_vs_unbatched", "unbatched", "batched"},
 	{"blocked_vs_batched", "batched", "blocked"},
+	{"sessions_vs_single", "single", "sessions"},
 }
 
 func main() {
@@ -213,6 +220,17 @@ func build(results []result, ctx map[string]string) (report, []error) {
 					if v := side.Metrics[unit]; v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 						errs = append(errs, fmt.Errorf("pair %s (%s): metric %s missing or zero in %s",
 							prefix, c.label, unit, side.Name))
+						ok = false
+					}
+				}
+				// A load run that admitted nothing measured nothing: a
+				// sessions-tier result must prove sessions actually ran, or
+				// the report would launder a misconfigured target into a
+				// plausible-looking comparison.
+				if c.label == "sessions_vs_single" {
+					if v, have := side.Metrics["admitted_sessions"]; !have || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						errs = append(errs, fmt.Errorf("pair %s (%s): zero sessions admitted in %s",
+							prefix, c.label, side.Name))
 						ok = false
 					}
 				}

@@ -122,6 +122,66 @@ func TestReportJSONIsFinite(t *testing.T) {
 	}
 }
 
+func sessionsMetrics(tokens, admitted float64) map[string]float64 {
+	return map[string]float64{
+		"tokens_per_s":      tokens,
+		"ns/op":             1e9 / tokens,
+		"admitted_sessions": admitted,
+		"p50_us":            500,
+		"p99_us":            2000,
+	}
+}
+
+// TestBuildSessionsTier pairs the spiload single baseline against the
+// multi-session load phase.
+func TestBuildSessionsTier(t *testing.T) {
+	results := []result{
+		res("BenchmarkSpiload/single", sessionsMetrics(1000, 25)),
+		res("BenchmarkSpiload/sessions", sessionsMetrics(4000, 100)),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(rep.Pairs) != 1 || rep.Pairs[0].Comparison != "sessions_vs_single" {
+		t.Fatalf("pairs = %+v", rep.Pairs)
+	}
+	if rep.Pairs[0].SpeedupTokens != 4 {
+		t.Errorf("speedup = %v, want 4", rep.Pairs[0].SpeedupTokens)
+	}
+}
+
+// TestBuildZeroAdmittedIsError: a load run that admitted no sessions
+// must fail the report loudly, naming the pair.
+func TestBuildZeroAdmittedIsError(t *testing.T) {
+	dead := sessionsMetrics(4000, 0)
+	results := []result{
+		res("BenchmarkSpiload/single", sessionsMetrics(1000, 25)),
+		res("BenchmarkSpiload/sessions", dead),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) == 0 {
+		t.Fatal("zero admitted_sessions should be an error")
+	}
+	if !strings.Contains(errs[0].Error(), "zero sessions admitted") ||
+		!strings.Contains(errs[0].Error(), "BenchmarkSpiload/sessions") {
+		t.Errorf("error %v does not name the dead load run", errs[0])
+	}
+	if len(rep.Pairs) != 0 {
+		t.Errorf("broken sessions pair still built: %+v", rep.Pairs)
+	}
+	// The metric must be present on both sides, not just nonzero.
+	missing := sessionsMetrics(4000, 1)
+	delete(missing, "admitted_sessions")
+	_, errs = build([]result{
+		res("BenchmarkSpiload/single", missing),
+		res("BenchmarkSpiload/sessions", sessionsMetrics(4000, 100)),
+	}, nil)
+	if len(errs) == 0 {
+		t.Fatal("missing admitted_sessions should be an error")
+	}
+}
+
 func TestTrimProcs(t *testing.T) {
 	if got := trimProcs("BenchmarkX/sub-8"); got != "BenchmarkX/sub" {
 		t.Errorf("trimProcs = %q", got)

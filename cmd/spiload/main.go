@@ -1,0 +1,518 @@
+// Command spiload is a load generator for spinode -serve: it opens many
+// concurrent graph sessions against a session server over one shared
+// link, drives each session's client partition to completion, and
+// reports admission outcomes and session latency percentiles.
+//
+// Closed-loop mode (-concurrency W) keeps W sessions in flight until
+// -sessions have run; open-loop mode (-rate R) starts R sessions per
+// second regardless of completions. Every session verifies its sink
+// digest against a locally computed reference, so a load run is also a
+// correctness run.
+//
+// Self-contained smoke (in-process server, loopback or localhost TCP):
+//
+//	spiload -inproc -sessions 100 -concurrency 16 -iters 10
+//	spiload -inproc-tcp -sessions 100 -concurrency 16 -iters 10
+//
+// Against a live server:
+//
+//	spinode -serve -graph g.sdf -assign 0,1,1 -nodeof 0,1 \
+//	        -addrs 127.0.0.1:7101,unused -node 0 -max-sessions 64 -tenant-quota 16
+//	spiload -graph g.sdf -assign 0,1,1 -nodeof 0,1 -node 1 \
+//	        -connect 127.0.0.1:7101 -sessions 200 -tenants 4
+//
+// With -bench the run emits `go test -bench`-style result lines — a
+// serial single-session baseline plus the multi-session load phase — so
+// `spiload -bench | benchdiff` produces the sessions_vs_single tier.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/demo"
+	"repro/internal/session"
+	"repro/internal/spi"
+	"repro/internal/transport"
+)
+
+// builtinGraph is the default workload when no -graph is given: the same
+// three-stage pipeline shape the repo's examples use, with the source on
+// the server (node 0) and the sink on the client so spiload can verify
+// digests locally. Assign 0,1,1 with nodeof 0,1.
+const builtinGraph = `graph loadgen
+actor src 100
+actor mid 150
+actor sink 50
+edge sm src mid 4 4 bytes=2 delay=4
+edge ms mid sink 4 4 bytes=2 dynamic
+`
+
+type loadConfig struct {
+	Graph       *dataflow.Graph
+	Assign      []int
+	NodeOf      []int
+	Node        int
+	Connect     string
+	Sessions    int
+	Concurrency int
+	Rate        float64
+	Duration    time.Duration
+	Iters       int
+	Tenants     int
+	Seed        uint64
+	Reconnect   transport.ReconnectConfig
+	OpenTimeout time.Duration
+}
+
+// loadReport aggregates one load phase.
+type loadReport struct {
+	Started    int
+	Admitted   int
+	Rejected   int
+	Completed  int
+	Failed     int
+	Shed       int
+	Mismatched int
+	Tokens     int64
+	Elapsed    time.Duration
+	Latencies  []time.Duration // admitted sessions only, open -> close
+}
+
+func (r *loadReport) percentile(p float64) time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(math.Ceil(p/100*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	return s[min(i, len(s)-1)]
+}
+
+func (r *loadReport) meanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.Latencies {
+		sum += l
+	}
+	return sum / time.Duration(len(r.Latencies))
+}
+
+// referenceDigests runs the whole graph locally once and returns the
+// expected digest per sink hosted on the client node — the bit-exactness
+// oracle every session is checked against.
+func referenceDigests(cfg loadConfig) (map[string]uint64, error) {
+	g := cfg.Graph
+	m, err := demo.Mapping(g, cfg.Assign)
+	if err != nil {
+		return nil, err
+	}
+	var mu sync.Mutex
+	digests := demo.Sinks(g)
+	ks, err := demo.Kernels(g, cfg.Seed, digests, &mu)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := spi.Execute(g, m, ks, cfg.Iters); err != nil {
+		return nil, err
+	}
+	want := map[string]uint64{}
+	for _, a := range g.Actors() {
+		if len(g.Out(a)) != 0 || int(m.Proc[a]) >= len(cfg.NodeOf) || cfg.NodeOf[m.Proc[a]] != cfg.Node {
+			continue
+		}
+		name := g.Actor(a).Name
+		want[name] = *digests[name]
+	}
+	return want, nil
+}
+
+// runOne drives a single session end to end and folds the outcome into
+// rep under mu. Returns false only for rejected opens (so callers can
+// track back-pressure if they care).
+func runOne(cfg loadConfig, client *session.Client, tenant string, want map[string]uint64,
+	rep *loadReport, mu *sync.Mutex) {
+	g := cfg.Graph
+	m, err := demo.Mapping(g, cfg.Assign)
+	if err != nil {
+		mu.Lock()
+		rep.Failed++
+		mu.Unlock()
+		return
+	}
+	var kmu sync.Mutex
+	digests := demo.Sinks(g)
+	ks, err := demo.Kernels(g, cfg.Seed, digests, &kmu)
+	if err != nil {
+		mu.Lock()
+		rep.Failed++
+		mu.Unlock()
+		return
+	}
+
+	t0 := time.Now()
+	s, err := client.Open(tenant)
+	if err != nil {
+		mu.Lock()
+		var oe *session.OpenError
+		if errors.As(err, &oe) {
+			rep.Rejected++
+		} else {
+			rep.Failed++
+		}
+		mu.Unlock()
+		return
+	}
+	stats, execErr := spi.ExecuteDistributed(g, m, ks, cfg.Iters, spi.DistOptions{
+		Node:   cfg.Node,
+		Addrs:  make([]string, len(addrsLen(cfg))),
+		NodeOf: cfg.NodeOf,
+		Links:  s,
+	})
+	status, cerr := s.AwaitClose(cfg.OpenTimeout)
+	client.Done(s)
+	lat := time.Since(t0)
+
+	mu.Lock()
+	defer mu.Unlock()
+	rep.Admitted++
+	rep.Latencies = append(rep.Latencies, lat)
+	switch {
+	case status == session.CloseShed:
+		rep.Shed++
+	case execErr != nil || cerr != nil || status != session.CloseDone:
+		rep.Failed++
+	default:
+		rep.Completed++
+		if stats != nil {
+			// Messages counts sends; on inbound edges the consumption shows
+			// up as Acks instead. max() counts each edge's traffic once
+			// whichever direction this node sits on.
+			for _, e := range stats.Edges {
+				n := e.Stats.Messages
+				if e.Stats.Acks > n {
+					n = e.Stats.Acks
+				}
+				rep.Tokens += n
+			}
+		}
+		for name, wantD := range want {
+			if *digests[name] != wantD {
+				rep.Mismatched++
+				break
+			}
+		}
+	}
+}
+
+// addrsLen sizes the placeholder address list: provider links never dial,
+// but ExecuteDistributed validates the slot count.
+func addrsLen(cfg loadConfig) []string {
+	n := 0
+	for _, node := range cfg.NodeOf {
+		if node+1 > n {
+			n = node + 1
+		}
+	}
+	return make([]string, n)
+}
+
+// runLoad connects one session-capable link to the server and runs the
+// configured load phase over it.
+func runLoad(cfg loadConfig, tr transport.Transport, w io.Writer) (*loadReport, error) {
+	g := cfg.Graph
+	m, err := demo.Mapping(g, cfg.Assign)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NodeOf == nil {
+		cfg.NodeOf = make([]int, m.NumProcs)
+		for p := range cfg.NodeOf {
+			cfg.NodeOf[p] = p
+		}
+	}
+	decls, err := spi.PeerDecls(g, m, cfg.NodeOf, cfg.Node, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(decls) != 1 {
+		return nil, fmt.Errorf("client node %d must share edges with exactly one server node, has %d peers", cfg.Node, len(decls))
+	}
+	var serverNode int
+	for peer := range decls {
+		serverNode = peer
+	}
+	want, err := referenceDigests(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	conn, err := transport.DialRetry(context.Background(), tr, cfg.Connect,
+		transport.RetryConfig{Attempts: 100, BaseDelay: 5 * time.Millisecond})
+	if err != nil {
+		return nil, fmt.Errorf("could not reach server at %s: %w", cfg.Connect, err)
+	}
+	mux := session.NewMux(nil)
+	lcfg := transport.LinkConfig{
+		Node: cfg.Node, Edges: decls[serverNode], Sessions: true,
+		Reconnect: cfg.Reconnect,
+	}
+	if cfg.Reconnect.Attempts > 0 {
+		lcfg.Redial = func() (transport.Conn, error) { return tr.Dial(cfg.Connect) }
+	}
+	link, err := transport.NewLink(conn, lcfg, mux)
+	if err != nil {
+		return nil, err
+	}
+	defer link.Abort()
+	mux.Bind(link)
+	if !link.SessionsNegotiated() {
+		fmt.Fprintf(w, "spiload: peer has no session support; running implicit single sessions\n")
+	}
+	client := session.NewClient(mux, cfg.OpenTimeout)
+
+	rep := &loadReport{}
+	var mu sync.Mutex
+	var started atomic.Int64
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = time.Now().Add(cfg.Duration)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+	tenantOf := func(i int64) string { return "tenant-" + strconv.Itoa(int(i)%cfg.Tenants) }
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	if cfg.Rate > 0 {
+		// Open loop: start sessions on a fixed cadence, completions be
+		// damned — the admission controller is the relief valve.
+		interval := time.Duration(float64(time.Second) / cfg.Rate)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for !expired() {
+			i := started.Add(1) - 1
+			if int(i) >= cfg.Sessions {
+				started.Add(-1)
+				break
+			}
+			wg.Add(1)
+			go func(i int64) {
+				defer wg.Done()
+				runOne(cfg, client, tenantOf(i), want, rep, &mu)
+			}(i)
+			<-tick.C
+		}
+	} else {
+		workers := cfg.Concurrency
+		if workers < 1 {
+			workers = 1
+		}
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := started.Add(1) - 1
+					if int(i) >= cfg.Sessions || expired() {
+						started.Add(-1)
+						return
+					}
+					runOne(cfg, client, tenantOf(i), want, rep, &mu)
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	rep.Elapsed = time.Since(t0)
+	rep.Started = int(started.Load())
+	return rep, nil
+}
+
+// summarize prints the human-readable report and returns an error for
+// outcomes that must fail the run: digest mismatches, or a load phase
+// that admitted nothing (a misconfigured target otherwise looks green).
+func summarize(w io.Writer, label string, rep *loadReport) error {
+	tps := float64(0)
+	if rep.Elapsed > 0 {
+		tps = float64(rep.Tokens) / rep.Elapsed.Seconds()
+	}
+	fmt.Fprintf(w, "%s: %d sessions in %v: %d admitted (%d completed, %d failed, %d shed), %d rejected\n",
+		label, rep.Started, rep.Elapsed.Round(time.Millisecond),
+		rep.Admitted, rep.Completed, rep.Failed, rep.Shed, rep.Rejected)
+	fmt.Fprintf(w, "%s: latency p50 %v p95 %v p99 %v, %.0f tokens/s\n",
+		label, rep.percentile(50).Round(time.Microsecond),
+		rep.percentile(95).Round(time.Microsecond),
+		rep.percentile(99).Round(time.Microsecond), tps)
+	if rep.Mismatched > 0 {
+		return fmt.Errorf("%s: %d sessions produced digests differing from the single-run reference", label, rep.Mismatched)
+	}
+	if rep.Admitted == 0 {
+		return fmt.Errorf("%s: zero sessions admitted (%d rejected, %d failed)", label, rep.Rejected, rep.Failed)
+	}
+	return nil
+}
+
+// benchLine renders one phase in `go test -bench` result format so
+// benchdiff can pair the single baseline against the sessions phase.
+func benchLine(name string, rep *loadReport) string {
+	tps := float64(0)
+	if rep.Elapsed > 0 {
+		tps = float64(rep.Tokens) / rep.Elapsed.Seconds()
+	}
+	return fmt.Sprintf("BenchmarkSpiload/%s \t%d\t%d ns/op\t%.0f tokens_per_s\t%d admitted_sessions\t%d p50_us\t%d p99_us",
+		name, rep.Started, rep.meanLatency().Nanoseconds(), tps, rep.Admitted,
+		rep.percentile(50).Microseconds(), rep.percentile(99).Microseconds())
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func main() {
+	var cfg loadConfig
+	graphPath := flag.String("graph", "", "dataflow graph file (default: built-in 3-actor pipeline)")
+	assign := flag.String("assign", "", "processor per actor (default 0,1,1 with the built-in graph)")
+	nodeof := flag.String("nodeof", "", "node per processor (default identity)")
+	flag.IntVar(&cfg.Node, "node", 1, "this client's node index")
+	flag.StringVar(&cfg.Connect, "connect", "", "session server address (required unless -inproc)")
+	flag.IntVar(&cfg.Sessions, "sessions", 100, "total sessions to run")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "closed-loop worker count (ignored when -rate > 0)")
+	flag.Float64Var(&cfg.Rate, "rate", 0, "open-loop session starts per second (0 = closed loop)")
+	flag.DurationVar(&cfg.Duration, "duration", 0, "stop starting new sessions after this long (0 = run all -sessions)")
+	flag.IntVar(&cfg.Iters, "iters", 10, "graph iterations per session")
+	flag.IntVar(&cfg.Tenants, "tenants", 1, "tenant names to round-robin sessions across")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "kernel seed; must match the server's -seed for digest verification")
+	flag.DurationVar(&cfg.OpenTimeout, "open-timeout", 30*time.Second, "per-session open/close wait bound")
+	reconnect := flag.Int("reconnect", 0, "reconnect attempts after a link drop (0 = fail fast)")
+	reconnectDeadline := flag.Duration("reconnect-deadline", 15*time.Second, "total budget for resuming a dropped link")
+	chaosSpec := flag.String("chaos", "", "client-side fault-injection spec (see transport.ParseFaultSpec)")
+	bench := flag.Bool("bench", false, "emit go-bench result lines: a serial single baseline plus the load phase")
+	inproc := flag.Bool("inproc", false, "start an in-process session server over loopback (self-contained)")
+	inprocTCP := flag.Bool("inproc-tcp", false, "like -inproc but served over localhost TCP")
+	maxSessions := flag.Int("max-sessions", 0, "with -inproc: server session cap")
+	tenantQuota := flag.Int("tenant-quota", 0, "with -inproc: server per-tenant cap")
+	flag.Parse()
+
+	if cfg.Tenants < 1 {
+		cfg.Tenants = 1
+	}
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiload:", err)
+			os.Exit(1)
+		}
+		cfg.Graph, err = dataflow.Parse(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiload:", err)
+			os.Exit(1)
+		}
+		if cfg.Assign, err = parseInts(*assign); err != nil {
+			fmt.Fprintln(os.Stderr, "spiload: -assign:", err)
+			os.Exit(2)
+		}
+	} else {
+		g, err := dataflow.Parse(strings.NewReader(builtinGraph))
+		if err != nil {
+			panic(err)
+		}
+		cfg.Graph, cfg.Assign = g, []int{0, 1, 1}
+		if cfg.NodeOf == nil {
+			cfg.NodeOf = []int{0, 1}
+		}
+	}
+	if *nodeof != "" {
+		var err error
+		if cfg.NodeOf, err = parseInts(*nodeof); err != nil {
+			fmt.Fprintln(os.Stderr, "spiload: -nodeof:", err)
+			os.Exit(2)
+		}
+	}
+	if *reconnect > 0 {
+		cfg.Reconnect = transport.ReconnectConfig{Attempts: *reconnect, Deadline: *reconnectDeadline}
+	}
+
+	var tr transport.Transport = &transport.TCP{}
+	if *inproc || *inprocTCP {
+		listenAddr := "127.0.0.1:0"
+		if !*inprocTCP {
+			tr = transport.NewLoopback()
+			listenAddr = "spiload-inproc"
+		}
+		stopInproc, addr, err := startInproc(cfg, tr, listenAddr, *maxSessions, *tenantQuota, os.Stderr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiload: -inproc:", err)
+			os.Exit(1)
+		}
+		defer stopInproc()
+		cfg.Connect = addr
+	} else if cfg.Connect == "" {
+		fmt.Fprintln(os.Stderr, "spiload: -connect is required (or use -inproc)")
+		os.Exit(2)
+	}
+	if *chaosSpec != "" {
+		fc, err := transport.ParseFaultSpec(*chaosSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiload: -chaos:", err)
+			os.Exit(2)
+		}
+		tr = transport.NewFaultTransport(tr, fc)
+	}
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spiload:", err)
+			os.Exit(1)
+		}
+	}
+	if *bench {
+		single := cfg
+		single.Concurrency = 1
+		single.Rate = 0
+		if single.Sessions > 25 {
+			single.Sessions = 25
+		}
+		srep, err := runLoad(single, tr, os.Stderr)
+		fail(err)
+		fail(summarize(os.Stderr, "single", srep))
+		rep, err := runLoad(cfg, tr, os.Stderr)
+		fail(err)
+		fail(summarize(os.Stderr, "sessions", rep))
+		fmt.Println(benchLine("single", srep))
+		fmt.Println(benchLine("sessions", rep))
+		return
+	}
+	rep, err := runLoad(cfg, tr, os.Stdout)
+	fail(err)
+	fail(summarize(os.Stdout, "load", rep))
+}

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/transport"
+)
+
+func builtinConfig(t *testing.T) loadConfig {
+	t.Helper()
+	g, err := dataflow.Parse(strings.NewReader(builtinGraph))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loadConfig{
+		Graph:       g,
+		Assign:      []int{0, 1, 1},
+		NodeOf:      []int{0, 1},
+		Node:        1,
+		Sessions:    20,
+		Concurrency: 4,
+		Iters:       8,
+		Tenants:     2,
+		Seed:        7,
+		OpenTimeout: 20 * time.Second,
+	}
+}
+
+// TestLoadInproc is the spiload end-to-end: a closed-loop run against
+// the in-process server must admit and complete every session with
+// digests matching the local reference.
+func TestLoadInproc(t *testing.T) {
+	cfg := builtinConfig(t)
+	tr := transport.NewLoopback()
+	var out bytes.Buffer
+	stop, addr, err := startInproc(cfg, tr, "spiload-test", 0, 0, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cfg.Connect = addr
+
+	rep, err := runLoad(cfg, tr, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if rep.Started != cfg.Sessions || rep.Admitted != cfg.Sessions || rep.Completed != cfg.Sessions {
+		t.Fatalf("report %+v, want %d sessions all completed", rep, cfg.Sessions)
+	}
+	if rep.Mismatched != 0 {
+		t.Fatalf("%d digest mismatches", rep.Mismatched)
+	}
+	if rep.Tokens == 0 {
+		t.Fatal("no tokens counted")
+	}
+	if err := summarize(&out, "load", rep); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadAdmissionRejections: a tenant quota of 1 with concurrent
+// workers on one tenant forces rejections that the report must count,
+// while every admitted session still completes bit-identically.
+func TestLoadAdmissionRejections(t *testing.T) {
+	cfg := builtinConfig(t)
+	cfg.Tenants = 1
+	cfg.Concurrency = 6
+	tr := transport.NewLoopback()
+	var out bytes.Buffer
+	stop, addr, err := startInproc(cfg, tr, "spiload-test", 0, 1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cfg.Connect = addr
+
+	rep, err := runLoad(cfg, tr, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted+rep.Rejected != cfg.Sessions {
+		t.Fatalf("admitted %d + rejected %d != %d started", rep.Admitted, rep.Rejected, cfg.Sessions)
+	}
+	if rep.Admitted == 0 || rep.Rejected == 0 {
+		t.Fatalf("want both admissions and rejections under quota 1 with 6 workers, got %+v", rep)
+	}
+	if rep.Completed != rep.Admitted || rep.Mismatched != 0 {
+		t.Fatalf("admitted sessions must complete clean: %+v", rep)
+	}
+}
+
+// TestBenchLineFormat: the emitted line must parse the way benchdiff
+// parses `go test -bench` output — name, N, then metric/unit pairs.
+func TestBenchLineFormat(t *testing.T) {
+	rep := &loadReport{
+		Started: 30, Admitted: 28, Completed: 28,
+		Tokens: 4200, Elapsed: 2 * time.Second,
+		Latencies: []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond},
+	}
+	line := benchLine("sessions", rep)
+	if !strings.HasPrefix(line, "BenchmarkSpiload/sessions") {
+		t.Fatalf("bad prefix: %q", line)
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		t.Fatalf("field count %d must be even and >= 4: %q", len(fields), line)
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		t.Fatalf("iterations field %q: %v", fields[1], err)
+	}
+	units := map[string]bool{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		if _, err := strconv.ParseFloat(fields[i], 64); err != nil {
+			t.Fatalf("metric value %q: %v", fields[i], err)
+		}
+		units[fields[i+1]] = true
+	}
+	for _, want := range []string{"ns/op", "tokens_per_s", "admitted_sessions", "p50_us", "p99_us"} {
+		if !units[want] {
+			t.Errorf("line missing unit %s: %q", want, line)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	rep := &loadReport{}
+	for i := 1; i <= 100; i++ {
+		rep.Latencies = append(rep.Latencies, time.Duration(i)*time.Millisecond)
+	}
+	if got := rep.percentile(50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := rep.percentile(99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	empty := &loadReport{}
+	if empty.percentile(99) != 0 || empty.meanLatency() != 0 {
+		t.Error("empty report percentiles should be zero")
+	}
+}

@@ -27,11 +27,11 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -40,11 +40,11 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/demo"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/spi"
 	"repro/internal/transport"
-	"repro/internal/vts"
 )
 
 // Exit statuses: 1 generic failure, 2 flag misuse, 3 degraded run (a peer
@@ -83,6 +83,16 @@ func main() {
 		"serve live introspection (GET /metrics, /healthz, /trace) on this address, e.g. 127.0.0.1:9090")
 	flag.DurationVar(&cfg.StatsInterval, "stats-interval", 0,
 		"print a periodic traffic summary line at this interval (0 = off)")
+	serve := flag.Bool("serve", false,
+		"multi-tenant session server: accept client links and run one session-scoped execution per admitted OPEN (see internal/session)")
+	maxSessions := flag.Int("max-sessions", 0,
+		"with -serve: cap on concurrently live sessions across all tenants (0 = unbounded)")
+	tenantQuota := flag.Int("tenant-quota", 0,
+		"with -serve: cap on concurrently live sessions per tenant (0 = unbounded)")
+	tenantBytes := flag.Int64("tenant-bytes", 0,
+		"with -serve: queued-byte budget per tenant before its oldest session is degraded (0 = unbounded)")
+	tenantWeights := flag.String("tenant-weights", "",
+		"with -serve: weighted shares of -max-sessions, e.g. alice=3,bob=1")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -130,6 +140,33 @@ func main() {
 			os.Exit(2)
 		}
 		tr = transport.NewFaultTransport(tr, fc)
+	}
+
+	if *serve {
+		weights, werr := parseWeights(*tenantWeights)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "spinode: -tenant-weights:", werr)
+			os.Exit(2)
+		}
+		scfg := serveConfig{
+			nodeConfig:    cfg,
+			MaxSessions:   *maxSessions,
+			TenantQuota:   *tenantQuota,
+			TenantBytes:   *tenantBytes,
+			TenantWeights: weights,
+		}
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			close(stop)
+		}()
+		if err := runServe(scfg, tr, nil, os.Stdout, stop); err != nil {
+			fmt.Fprintln(os.Stderr, "spinode:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := runNode(cfg, tr, nil, os.Stdout); err != nil {
@@ -196,93 +233,13 @@ type nodeConfig struct {
 // buildMapping turns the actor-to-processor assignment into a
 // sched.Mapping, ordering each processor's actors by graph order.
 func buildMapping(g *dataflow.Graph, assign []int) (*sched.Mapping, error) {
-	actors := g.Actors()
-	if len(assign) != len(actors) {
-		return nil, fmt.Errorf("assignment has %d entries, graph has %d actors", len(assign), len(actors))
-	}
-	numProcs := 0
-	for _, p := range assign {
-		if p < 0 {
-			return nil, fmt.Errorf("negative processor index %d", p)
-		}
-		if p+1 > numProcs {
-			numProcs = p + 1
-		}
-	}
-	m := &sched.Mapping{
-		NumProcs: numProcs,
-		Proc:     make([]sched.Processor, len(actors)),
-		Order:    make([][]dataflow.ActorID, numProcs),
-	}
-	for i, a := range actors {
-		p := assign[i]
-		m.Proc[a] = sched.Processor(p)
-		m.Order[p] = append(m.Order[p], a)
-	}
-	for p := 0; p < numProcs; p++ {
-		if len(m.Order[p]) == 0 {
-			return nil, fmt.Errorf("processor %d has no actors", p)
-		}
-	}
-	return m, nil
+	return demo.Mapping(g, assign)
 }
 
-// demoKernels builds deterministic kernels for an arbitrary graph: each
-// actor's output on every edge is a pseudo-random (seeded, reproducible)
-// byte string derived from the actor, iteration, and its inputs; actors
-// without outputs fold their inputs into a digest. Because every byte is a
-// pure function of the graph and seed, any partition of the graph produces
-// the same digests.
+// demoKernels delegates to the shared demo package: deterministic
+// kernels whose sink digests are invariant under any partition.
 func demoKernels(g *dataflow.Graph, seed uint64, digests map[string]*uint64, mu *sync.Mutex) (map[dataflow.ActorID]spi.Kernel, error) {
-	conv, err := vts.Convert(g)
-	if err != nil {
-		return nil, err
-	}
-	kernels := map[dataflow.ActorID]spi.Kernel{}
-	for _, a := range g.Actors() {
-		a := a
-		name := g.Actor(a).Name
-		outs := g.Out(a)
-		kernels[a] = func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
-			h := fnv.New64a()
-			fmt.Fprintf(h, "%s|%s|%d|%d", g.Name(), name, iter, seed)
-			// Fold inputs in a deterministic edge order.
-			ins := g.In(a)
-			sorted := append([]dataflow.EdgeID(nil), ins...)
-			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-			for _, eid := range sorted {
-				fmt.Fprintf(h, "|%s:", g.Edge(eid).Name)
-				h.Write(in[eid])
-			}
-			state := h.Sum64()
-			if len(outs) == 0 {
-				mu.Lock()
-				*digests[name] ^= state * uint64(iter*2654435761+1)
-				mu.Unlock()
-				return nil, nil
-			}
-			out := map[dataflow.EdgeID][]byte{}
-			for _, eid := range outs {
-				info := conv.Info(eid)
-				n := int(info.BMax)
-				if info.Dynamic && n > 1 {
-					n = 1 + int(state%uint64(n))
-				}
-				buf := make([]byte, n)
-				s := state ^ uint64(eid)
-				for i := range buf {
-					// xorshift64 fill: cheap, reproducible.
-					s ^= s << 13
-					s ^= s >> 7
-					s ^= s << 17
-					buf[i] = byte(s)
-				}
-				out[eid] = buf
-			}
-			return out, nil
-		}
-	}
-	return kernels, nil
+	return demo.Kernels(g, seed, digests, mu)
 }
 
 // runNode executes one node of the distributed run and reports the sink

@@ -43,12 +43,14 @@ func main() {
 		"networked runs: carry acknowledgements on outgoing DATA frames")
 	flag.IntVar(&netBlock, "block", 0,
 		"networked runs: vectorization blocking factor B — fire B iterations per block and pack B tokens per message on block-aligned edges (0 = off, bit-identical outputs either way)")
+	sessions := flag.Int("sessions", 0,
+		"networked speech runs: run this many concurrent actor-D sessions multiplexed over one shared link; per-edge stats aggregate across sessions (0 = one plain execution)")
 	flag.Parse()
 
 	var err error
 	switch *app {
 	case "speech":
-		err = runSpeech(*pes, *frames, *seed, *hw, *trans)
+		err = runSpeech(*pes, *frames, *seed, *hw, *trans, *sessions)
 	case "crack":
 		err = runCrack(*pes, *particles, *steps, *seed, *adaptive)
 	default:
@@ -68,7 +70,7 @@ var (
 	netBlock     int
 )
 
-func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
+func runSpeech(pes, frames int, seed uint64, hw bool, trans string, sessions int) error {
 	p := lpc.DefaultParams()
 	codec, err := lpc.NewCodec(p)
 	if err != nil {
@@ -105,10 +107,12 @@ func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
 	serial := model.Residual(frame)
 	var parallel []float64
 	var stats *lpc.ParallelStats
-	switch trans {
-	case "chan":
+	switch {
+	case sessions > 0:
+		parallel, stats, err = sessionsResidual(model, frame, pes, sessions, trans)
+	case trans == "chan":
 		parallel, stats, err = lpc.ParallelResidual(model, frame, pes)
-	case "loopback", "tcp":
+	case trans == "loopback" || trans == "tcp":
 		parallel, stats, err = networkedResidual(model, frame, pes, trans)
 	default:
 		return fmt.Errorf("unknown transport %q (chan, loopback, or tcp)", trans)
@@ -122,9 +126,13 @@ func runSpeech(pes, frames int, seed uint64, hw bool, trans string) error {
 			maxDiff = d
 		}
 	}
-	if trans == "chan" {
+	switch {
+	case sessions > 0:
+		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges (%s transport, %d sessions on one shared link)\n",
+			stats.PEs, trans, sessions)
+	case trans == "chan":
 		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges\n", stats.PEs)
-	} else {
+	default:
 		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges (%s transport, 2 nodes)\n", stats.PEs, trans)
 	}
 	fmt.Printf("  messages: %d, wire bytes: %d, ack bytes: %d\n", stats.Messages, stats.WireBytes, stats.AckBytes)

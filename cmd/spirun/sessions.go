@@ -1,0 +1,206 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/lpc"
+	"repro/internal/session"
+	"repro/internal/spi"
+	"repro/internal/transport"
+)
+
+// sessionsResidual runs n concurrent actor-D sessions multiplexed over
+// ONE shared link pair: the I/O side (node 0) opens each session through
+// a session.Client, the worker side (node 1) admits and runs its half
+// per session. Every session is a complete distributed execution of the
+// error-generation system; all n residuals must be bit-identical. The
+// returned stats aggregate both nodes across all sessions, with per-edge
+// rows merged so each edge appears once no matter how many sessions
+// crossed it.
+func sessionsResidual(model *dsp.LPCModel, frame []float64, pes, n int, trans string) ([]float64, *lpc.ParallelStats, error) {
+	if pes > len(frame) {
+		pes = len(frame)
+	}
+	p := lpc.DefaultDeploy(len(frame), pes)
+	p.SampleBytes = 8
+	sys, err := lpc.ErrorGenSystem(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	nodeOf := lpc.SplitIOWorkers(sys.Mapping.NumProcs, 2)
+	decls0, err := spi.PeerDecls(sys.Graph, sys.Mapping, nodeOf, 0, netBlock)
+	if err != nil {
+		return nil, nil, err
+	}
+	decls1, err := spi.PeerDecls(sys.Graph, sys.Mapping, nodeOf, 1, netBlock)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var tr transport.Transport
+	var listenAddr string
+	switch trans {
+	case "loopback":
+		tr, listenAddr = transport.NewLoopback(), "node0"
+	case "tcp":
+		tr, listenAddr = &transport.TCP{}, "127.0.0.1:0"
+	default:
+		return nil, nil, fmt.Errorf("-sessions needs a networked transport (loopback or tcp), not %q", trans)
+	}
+	ln, err := tr.Listen(listenAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer ln.Close()
+
+	lcfg := transport.LinkConfig{
+		Sessions:      true,
+		Batch:         netBatch,
+		PiggybackAcks: netPiggyback,
+		Blocked:       netBlock > 1,
+	}
+	clientMux := session.NewMux(nil) // node 0: opens sessions, assembles residuals
+	serverMux := session.NewMux(nil) // node 1: admits opens, runs the worker half
+	accepted := make(chan *transport.Link, 1)
+	acceptErr := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		cfg := lcfg
+		cfg.Node = 0
+		l, err := transport.AcceptLink(c, cfg,
+			func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {
+				return decls0[peer], clientMux, nil
+			})
+		if err != nil {
+			acceptErr <- err
+			return
+		}
+		accepted <- l
+	}()
+	conn, err := transport.DialRetry(context.Background(), tr, ln.Addr(),
+		transport.RetryConfig{Attempts: 50, BaseDelay: time.Millisecond})
+	if err != nil {
+		return nil, nil, err
+	}
+	dcfg := lcfg
+	dcfg.Node = 1
+	dcfg.Edges = decls1[0]
+	l1, err := transport.NewLink(conn, dcfg, serverMux)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer l1.Abort()
+	serverMux.Bind(l1)
+	var l0 *transport.Link
+	select {
+	case l0 = <-accepted:
+	case err := <-acceptErr:
+		return nil, nil, err
+	}
+	defer l0.Abort()
+	clientMux.Bind(l0)
+
+	// Worker side: every OPEN is admitted and runs its half of the graph
+	// session-scoped over the adopted stream.
+	var (
+		smu         sync.Mutex
+		serverStats []*spi.ExecStats
+		serverWG    sync.WaitGroup
+	)
+	serverMux.SetOnOpen(func(m *session.Mux, sid uint32, tenant string) {
+		s := m.Adopt(sid, 0)
+		m.Link().SendSessionOpenOK(sid, session.StatusAdmitted)
+		serverWG.Add(1)
+		go func() {
+			defer serverWG.Done()
+			_, st, err := lpc.DistributedResidual(model, frame, pes, 1, spi.DistOptions{
+				Node: 1, Addrs: make([]string, 2), NodeOf: nodeOf, Block: netBlock, Links: s,
+			})
+			status := byte(session.CloseDone)
+			if err != nil {
+				status = session.CloseError
+			}
+			m.Link().SendSessionClose(sid, status)
+			m.Release(s)
+			smu.Lock()
+			if st != nil {
+				serverStats = append(serverStats, st)
+			}
+			smu.Unlock()
+		}()
+	})
+
+	client := session.NewClient(clientMux, 30*time.Second)
+	results := make([][]float64, n)
+	clientStats := make([]*spi.ExecStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := client.Open("spirun")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], clientStats[i], err = lpc.DistributedResidual(model, frame, pes, 1, spi.DistOptions{
+				Node: 0, Addrs: make([]string, 2), NodeOf: nodeOf, Block: netBlock, Links: s,
+			})
+			status, cerr := s.AwaitClose(30 * time.Second)
+			client.Done(s)
+			if err == nil && cerr != nil {
+				err = cerr
+			}
+			if err == nil && status != session.CloseDone {
+				err = fmt.Errorf("worker side closed session with status %d", status)
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	serverWG.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("session %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if len(results[i]) != len(results[0]) {
+			return nil, nil, fmt.Errorf("session %d returned %d samples, session 0 returned %d", i, len(results[i]), len(results[0]))
+		}
+		for j := range results[i] {
+			if results[i][j] != results[0][j] {
+				return nil, nil, fmt.Errorf("session %d sample %d = %g, session 0 = %g (not bit-identical)", i, j, results[i][j], results[0][j])
+			}
+		}
+	}
+
+	// Aggregate across sessions and both nodes. Messages count on the
+	// sender, acks on the receiver, so summing never double counts; the
+	// per-edge merge keys on edge ID, so N sessions crossing one edge
+	// produce one row with the summed counters — not N duplicate rows.
+	total := &lpc.ParallelStats{PEs: pes}
+	all := append(append([]*spi.ExecStats(nil), clientStats...), serverStats...)
+	lists := make([][]spi.EdgeTraffic, 0, len(all))
+	for _, st := range all {
+		if st == nil {
+			continue
+		}
+		total.Messages += st.SPI.Messages
+		total.WireBytes += st.SPI.WireBytes
+		total.Acks += st.SPI.Acks
+		total.AckBytes += st.SPI.AckBytes
+		lists = append(lists, st.Edges)
+	}
+	total.Edges = mergeEdgeTraffic(lists...)
+	return results[0], total, nil
+}

@@ -1,0 +1,123 @@
+// Package demo provides the deterministic demo kernels and the
+// assignment-list mapping shared by the runnable commands (spinode,
+// spiload): every output byte is a pure function of the graph, seed,
+// actor, iteration, and inputs, so any partition of the graph — across
+// processors, nodes, or sessions — produces bit-identical sink digests.
+package demo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/dataflow"
+	"repro/internal/sched"
+	"repro/internal/spi"
+	"repro/internal/vts"
+)
+
+// Mapping builds a sched.Mapping from a processor-per-actor assignment
+// list in graph actor order. Every processor index up to the maximum
+// must host at least one actor.
+func Mapping(g *dataflow.Graph, assign []int) (*sched.Mapping, error) {
+	actors := g.Actors()
+	if len(assign) != len(actors) {
+		return nil, fmt.Errorf("assignment lists %d processors for %d actors", len(assign), len(actors))
+	}
+	numProcs := 0
+	for _, p := range assign {
+		if p < 0 {
+			return nil, fmt.Errorf("negative processor %d", p)
+		}
+		if p+1 > numProcs {
+			numProcs = p + 1
+		}
+	}
+	m := &sched.Mapping{
+		NumProcs: numProcs,
+		Proc:     make([]sched.Processor, len(actors)),
+		Order:    make([][]dataflow.ActorID, numProcs),
+	}
+	for i, a := range actors {
+		p := assign[i]
+		m.Proc[a] = sched.Processor(p)
+		m.Order[p] = append(m.Order[p], a)
+	}
+	for p := 0; p < numProcs; p++ {
+		if len(m.Order[p]) == 0 {
+			return nil, fmt.Errorf("processor %d has no actors", p)
+		}
+	}
+	return m, nil
+}
+
+// Sinks returns a fresh digest slot per sink actor (no output edges),
+// keyed by actor name — the map Kernels folds results into.
+func Sinks(g *dataflow.Graph) map[string]*uint64 {
+	digests := map[string]*uint64{}
+	for _, a := range g.Actors() {
+		if len(g.Out(a)) == 0 {
+			digests[g.Actor(a).Name] = new(uint64)
+		}
+	}
+	return digests
+}
+
+// Kernels builds deterministic kernels for an arbitrary graph: each
+// actor's output on every edge is a pseudo-random (seeded, reproducible)
+// byte string derived from the actor, iteration, and its inputs; actors
+// without outputs fold their inputs into a digest under mu. Because
+// every byte is a pure function of the graph and seed, any partition of
+// the graph produces the same digests.
+func Kernels(g *dataflow.Graph, seed uint64, digests map[string]*uint64, mu *sync.Mutex) (map[dataflow.ActorID]spi.Kernel, error) {
+	conv, err := vts.Convert(g)
+	if err != nil {
+		return nil, err
+	}
+	kernels := map[dataflow.ActorID]spi.Kernel{}
+	for _, a := range g.Actors() {
+		a := a
+		name := g.Actor(a).Name
+		outs := g.Out(a)
+		kernels[a] = func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s|%s|%d|%d", g.Name(), name, iter, seed)
+			// Fold inputs in a deterministic edge order.
+			ins := g.In(a)
+			sorted := append([]dataflow.EdgeID(nil), ins...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for _, eid := range sorted {
+				fmt.Fprintf(h, "|%s:", g.Edge(eid).Name)
+				h.Write(in[eid])
+			}
+			state := h.Sum64()
+			if len(outs) == 0 {
+				mu.Lock()
+				*digests[name] ^= state * uint64(iter*2654435761+1)
+				mu.Unlock()
+				return nil, nil
+			}
+			out := map[dataflow.EdgeID][]byte{}
+			for _, eid := range outs {
+				info := conv.Info(eid)
+				n := int(info.BMax)
+				if info.Dynamic && n > 1 {
+					n = 1 + int(state%uint64(n))
+				}
+				buf := make([]byte, n)
+				s := state ^ uint64(eid)
+				for i := range buf {
+					// xorshift64 fill: cheap, reproducible.
+					s ^= s << 13
+					s ^= s >> 7
+					s ^= s << 17
+					buf[i] = byte(s)
+				}
+				out[eid] = buf
+			}
+			return out, nil
+		}
+	}
+	return kernels, nil
+}

@@ -1,0 +1,285 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+	"repro/internal/sched"
+	"repro/internal/spi"
+)
+
+// ServerConfig describes the graph a serving node runs per session and
+// the admission policy it runs it under.
+type ServerConfig struct {
+	// Graph, Mapping, NodeOf, Iterations and Block describe the per-
+	// session execution exactly as they would a standalone
+	// spi.ExecuteDistributed run.
+	Graph      *dataflow.Graph
+	Mapping    *sched.Mapping
+	NodeOf     []int
+	Iterations int
+	Block      int
+	// Node is this server's node index.
+	Node int
+	// Kernels instantiates a fresh kernel set for each session: sessions
+	// must not share mutable kernel state.
+	Kernels func(sid uint32, tenant string) map[dataflow.ActorID]spi.Kernel
+	// Admission bounds concurrent sessions; the zero value admits all.
+	Admission Admission
+	// Obs, when non-nil, exports per-tenant session metrics and threads
+	// through to each session's execution.
+	Obs *obs.Observer
+	// OnDone, when non-nil, is called as each session finishes (after its
+	// CLOSE is sent) with the close status and the execution error.
+	OnDone func(sid uint32, tenant string, status byte, err error)
+}
+
+// Snapshot is a point-in-time view of the server's admission book, in
+// the shape /healthz reports.
+type Snapshot struct {
+	Live      int   `json:"sessions_live"`
+	Degraded  int   `json:"sessions_degraded"`
+	Admitted  int64 `json:"sessions_admitted"`
+	Rejected  int64 `json:"sessions_rejected"`
+	Shed      int64 `json:"sessions_shed"`
+	Completed int64 `json:"sessions_completed"`
+	Failed    int64 `json:"sessions_failed"`
+}
+
+// Server owns this node's side of every session on every attached link:
+// it admits OPENs in arrival order, runs one session-scoped
+// ExecuteDistributed per admitted session, and closes each session with
+// its outcome. One Server serves many muxes (one per peer link).
+type Server struct {
+	cfg   ServerConfig
+	nodes int
+	adm   *admitter
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []openReq
+	stopped bool
+
+	wg sync.WaitGroup
+
+	admitted  int64
+	rejected  int64
+	shed      int64
+	completed int64
+	failed    int64
+}
+
+type openReq struct {
+	m      *Mux
+	sid    uint32
+	tenant string
+}
+
+// NewServer validates the graph/mapping pair once and starts the
+// admission dispatcher.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Graph == nil || cfg.Mapping == nil || cfg.Kernels == nil {
+		return nil, fmt.Errorf("session: ServerConfig needs Graph, Mapping and Kernels")
+	}
+	if err := cfg.Mapping.Validate(cfg.Graph); err != nil {
+		return nil, err
+	}
+	nodes := 0
+	for _, n := range cfg.NodeOf {
+		if n+1 > nodes {
+			nodes = n + 1
+		}
+	}
+	if nodes == 0 {
+		nodes = cfg.Mapping.NumProcs
+	}
+	s := &Server{cfg: cfg, nodes: nodes, adm: newAdmitter(cfg.Admission)}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Attach wires one bound mux into the server. On links that negotiated
+// featSessions, inbound OPENs feed the admission queue; on old links the
+// server starts the single implicit session immediately (admitted
+// outside the capacity caps — there is no way to tell the peer no).
+func (s *Server) Attach(m *Mux) {
+	l := m.Link()
+	if l.SessionsNegotiated() {
+		m.SetOnOpen(func(mm *Mux, sid uint32, tenant string) {
+			s.enqueue(mm, sid, tenant)
+		})
+		return
+	}
+	st := m.Implicit(l.PeerNode())
+	_, e, _ := s.adm.admit("", true)
+	s.startSession(m, st, e, "")
+}
+
+func (s *Server) enqueue(m *Mux, sid uint32, tenant string) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, openReq{m: m, sid: sid, tenant: tenant})
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+// dispatch drains the open queue in arrival order on a single goroutine,
+// so admission verdicts are deterministic in that order and OPENOK sends
+// (which may block on a full link) never stall a link reader.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		s.mu.Unlock()
+		s.handleOpen(req)
+	}
+}
+
+func (s *Server) handleOpen(req openReq) {
+	status, e, victim := s.adm.admit(req.tenant, false)
+	if victim != nil {
+		s.mu.Lock()
+		s.shed++
+		s.mu.Unlock()
+		s.counter("session_shed_total", "sessions evicted to make room", victim.tenant).Inc()
+		victim.mu.Lock()
+		st := victim.stream
+		victim.mu.Unlock()
+		if st != nil {
+			st.shed()
+		}
+	}
+	if status != StatusAdmitted {
+		s.mu.Lock()
+		s.rejected++
+		s.mu.Unlock()
+		s.cfg.Obs.Counter("session_rejected_total", "sessions refused by admission control",
+			obs.L("tenant", req.tenant), obs.L("reason", StatusString(status))).Inc()
+		_ = req.m.Link().SendSessionOpenOK(req.sid, status)
+		return
+	}
+	stream := req.m.Adopt(req.sid, req.m.Link().PeerNode())
+	e.mu.Lock()
+	e.stream = stream
+	e.mu.Unlock()
+	stream.setAccount(func(delta int64) { s.adm.addBytes(e, delta) })
+	if err := req.m.Link().SendSessionOpenOK(req.sid, StatusAdmitted); err != nil {
+		// The link died under the verdict; the stream is already (or is
+		// about to be) closed by the mux fan-out, and runSession below
+		// will fail fast. Run it anyway so the entry is released.
+		_ = err
+	}
+	s.startSession(req.m, stream, e, req.tenant)
+}
+
+func (s *Server) startSession(m *Mux, st *Stream, e *entry, tenant string) {
+	s.mu.Lock()
+	s.admitted++
+	s.mu.Unlock()
+	s.counter("session_admitted_total", "sessions admitted", tenant).Inc()
+	s.gauge("session_live", "currently live sessions", tenant).Add(1)
+	s.wg.Add(1)
+	go s.runSession(m, st, e, tenant)
+}
+
+// runSession is one session's whole server-side life: instantiate
+// kernels, execute the node's partition over the session stream, send
+// CLOSE with the outcome, release the admission slot.
+func (s *Server) runSession(m *Mux, st *Stream, e *entry, tenant string) {
+	defer s.wg.Done()
+	start := time.Now()
+	kernels := s.cfg.Kernels(st.SID(), tenant)
+	opts := spi.DistOptions{
+		Node:   s.cfg.Node,
+		Addrs:  make([]string, s.nodes),
+		NodeOf: s.cfg.NodeOf,
+		Block:  s.cfg.Block,
+		Links:  st,
+		Obs:    s.cfg.Obs,
+	}
+	_, err := spi.ExecuteDistributed(s.cfg.Graph, s.cfg.Mapping, kernels, s.cfg.Iterations, opts)
+
+	status := CloseDone
+	switch {
+	case e.wasShed():
+		status = CloseShed
+	case err != nil:
+		status = CloseError
+	}
+	if st.Tagged() {
+		_ = m.Link().SendSessionClose(st.SID(), status)
+	}
+	m.Release(st)
+	s.adm.release(e, st.takeQueued())
+
+	s.mu.Lock()
+	if status == CloseDone {
+		s.completed++
+	} else {
+		s.failed++
+	}
+	s.mu.Unlock()
+	s.gauge("session_live", "currently live sessions", tenant).Add(-1)
+	if status == CloseDone {
+		s.counter("session_completed_total", "sessions that ran to completion", tenant).Inc()
+	} else {
+		s.counter("session_failed_total", "sessions that ended in shed or error", tenant).Inc()
+	}
+	s.cfg.Obs.Histogram("session_duration_us", "per-session wall time in microseconds",
+		obs.LatencyBucketsUS, obs.L("tenant", tenant)).Observe(float64(time.Since(start).Microseconds()))
+	if s.cfg.OnDone != nil {
+		s.cfg.OnDone(st.SID(), tenant, status, err)
+	}
+}
+
+func (s *Server) counter(name, help, tenant string) *obs.Counter {
+	return s.cfg.Obs.Counter(name, help, obs.L("tenant", tenant))
+}
+
+func (s *Server) gauge(name, help, tenant string) *obs.Gauge {
+	return s.cfg.Obs.Gauge(name, help, obs.L("tenant", tenant))
+}
+
+// Snapshot reports the admission book for health endpoints and tests.
+func (s *Server) Snapshot() Snapshot {
+	live, degraded := s.adm.counts()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		Live:      live,
+		Degraded:  degraded,
+		Admitted:  s.admitted,
+		Rejected:  s.rejected,
+		Shed:      s.shed,
+		Completed: s.completed,
+		Failed:    s.failed,
+	}
+}
+
+// Close stops admitting and waits for every running session to finish.
+// Callers should tear down (or let clients close) the underlying links
+// first; a session blocked on a live, idle link will keep Close waiting.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -85,6 +85,30 @@ type DistOptions struct {
 	// events all land in the observer's registry and tracer. Nil (the
 	// default) leaves the run uninstrumented.
 	Obs *obs.Observer
+	// Links, when non-nil, supplies pre-established message links instead
+	// of having ExecuteDistributed dial/accept transport connections
+	// itself: Transport, Listener, Retry, and Reconnect are ignored, and
+	// the run neither closes nor aborts any transport connection — it
+	// calls Links.Finish and leaves the lifecycle to the provider. The
+	// session layer (internal/session) uses this to run many concurrent
+	// executions of one graph over a single shared link per node pair.
+	Links LinkProvider
+}
+
+// LinkProvider supplies the message links of one execution, decoupling a
+// run from transport connection setup. Connect is called once per peer
+// node, in ascending node order; Finish exactly once, after the last
+// send of the run (graceful) or on setup/run failure (abortive).
+type LinkProvider interface {
+	// Connect returns the link carrying the given cross-node edges to
+	// peer and attaches h as the link's inbound dispatcher for this
+	// execution. decls is the local half of the edge manifest, for
+	// validation against whatever the provider negotiated.
+	Connect(peer int, decls []transport.EdgeDecl, h transport.Handler) (MessageLink, error)
+	// Finish ends this execution's use of the links. graceful mirrors
+	// the Close-vs-Abort distinction of owned links: false means peers
+	// must treat the shared edges as failed.
+	Finish(graceful bool)
 }
 
 // DegradedError reports a distributed run that finished in degraded mode:
@@ -270,8 +294,8 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	if iterations <= 0 {
 		return nil, fmt.Errorf("spi: iterations = %d", iterations)
 	}
-	if opts.Transport == nil && len(opts.Addrs) > 1 {
-		return nil, errors.New("spi: distributed run needs a transport")
+	if opts.Transport == nil && opts.Links == nil && len(opts.Addrs) > 1 {
+		return nil, errors.New("spi: distributed run needs a transport or a link provider")
 	}
 	nodeOf, err := opts.nodeOf(m)
 	if err != nil {
@@ -374,9 +398,39 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	}
 
 	fails := &peerFails{}
-	links, stopResume, err := connectPeers(env.rt, peers, fails, opts)
-	if err != nil {
-		return nil, err
+	var (
+		mlinks     map[int]MessageLink     // what edges bind to
+		links      map[int]*transport.Link // owned links (nil with a provider)
+		stopResume func()
+	)
+	if opts.Links != nil {
+		mlinks = make(map[int]MessageLink, len(peers))
+		stopResume = func() {}
+		// Ascending peer order, so a provider that admits or rejects
+		// per-peer does so deterministically.
+		order := make([]int, 0, len(peers))
+		for peer := range peers {
+			order = append(order, peer)
+		}
+		sort.Ints(order)
+		for _, peer := range order {
+			pp := peers[peer]
+			ml, cerr := opts.Links.Connect(peer, pp.decls, &linkHandler{rt: env.rt, edges: pp.ids, peer: peer, fails: fails})
+			if cerr != nil {
+				opts.Links.Finish(false)
+				return nil, cerr
+			}
+			mlinks[peer] = ml
+		}
+	} else {
+		links, stopResume, err = connectPeers(env.rt, peers, fails, opts)
+		if err != nil {
+			return nil, err
+		}
+		mlinks = make(map[int]MessageLink, len(links))
+		for p, l := range links {
+			mlinks[p] = l
+		}
 	}
 	closeLinks := func() {
 		var wg sync.WaitGroup
@@ -386,11 +440,26 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		}
 		wg.Wait()
 	}
+	// finish releases the run's links: owned links Close or Abort, a
+	// provider is told which of the two its sessions should mimic.
+	finish := func(graceful bool) {
+		if opts.Links != nil {
+			opts.Links.Finish(graceful)
+			return
+		}
+		if graceful {
+			closeLinks()
+			return
+		}
+		for _, l := range links {
+			l.Abort()
+		}
+	}
 
 	// Bind the local half of each cross-node edge, then preload delays —
 	// sender-side only, so the initial tokens cross the wire exactly once.
 	for _, b := range bound {
-		link := links[b.peer]
+		link := mlinks[b.peer]
 		env.edgeLink[b.eid] = link
 		if b.out {
 			err = env.rt.BindRemoteSender(b.cfg.ID, link)
@@ -402,7 +471,7 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		}
 		if err != nil {
 			env.rt.CloseAll()
-			closeLinks()
+			finish(false)
 			stopResume()
 			return nil, err
 		}
@@ -411,17 +480,15 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 	procErrs := env.run(myProcs, iterations)
 	runErr := collapseErrs(procErrs)
 	if runErr != nil && !opts.Degrade {
-		// Abort, not Close: the peers must observe a connection error so
-		// they close the shared edges, not a GOODBYE that looks like a
-		// normal completion.
-		for _, l := range links {
-			l.Abort()
-		}
+		// Abort, not Close: the peers must observe a failure so they
+		// close the shared edges, not a GOODBYE that looks like a normal
+		// completion.
+		finish(false)
 	} else {
 		// Degraded runs close gracefully: surviving peers already received
 		// FINs for the starved edges, and a GOODBYE lets them finish their
 		// own drains normally.
-		closeLinks()
+		finish(true)
 	}
 	stopResume()
 
@@ -663,4 +730,40 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 		}
 	}
 	return links, stop, nil
+}
+
+// PeerDecls computes, for each peer node, the handshake manifest of
+// cross-node edges node me shares with it under the given graph, mapping,
+// and node assignment — exactly the declarations ExecuteDistributed would
+// put in its HELLO. A caller establishing long-lived, session-multiplexed
+// links ahead of any execution (spinode -serve, spiload) uses it so every
+// session-scoped run finds its edges already declared on the shared link.
+// block must match the executions' DistOptions.Block.
+func PeerDecls(g *dataflow.Graph, m *sched.Mapping, nodeOf []int, me, block int) (map[int][]transport.EdgeDecl, error) {
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	if len(nodeOf) != m.NumProcs {
+		return nil, fmt.Errorf("spi: NodeOf has %d entries, mapping has %d processors", len(nodeOf), m.NumProcs)
+	}
+	plan, err := newGraphPlan(g, block)
+	if err != nil {
+		return nil, err
+	}
+	decls := map[int][]transport.EdgeDecl{}
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		srcNode, snkNode := nodeOf[m.Proc[e.Src]], nodeOf[m.Proc[e.Snk]]
+		if srcNode == snkNode || (srcNode != me && snkNode != me) {
+			continue
+		}
+		cfg := plan.edgeConfig(eid)
+		out := srcNode == me
+		peer := snkNode
+		if !out {
+			peer = srcNode
+		}
+		decls[peer] = append(decls[peer], declFor(cfg, out))
+	}
+	return decls, nil
 }

@@ -83,6 +83,14 @@ type LinkConfig struct {
 	// version-3 HELLO; leaving it off keeps the handshake byte-identical
 	// to version 2 and fully interoperable with old peers.
 	PiggybackAcks bool
+	// Sessions advertises and, when the peer advertises it too, enables
+	// session multiplexing: session-tagged DATA/ACK/FIN frames plus the
+	// OPEN/OPENOK/CLOSE lifecycle (see SessionHandler). Like
+	// PiggybackAcks this is mutual-optional — an old or unwilling peer
+	// simply negotiates it off, and callers fall back to one implicit
+	// untagged session. The handler passed to NewLink/AcceptConn must
+	// implement SessionHandler when Sessions is set.
+	Sessions bool
 	// Blocked declares that this link's DATA frames carry packed
 	// multi-token slabs on block-aligned edges (vectorized execution).
 	// Unlike PiggybackAcks this is a requirement, not a mutual option:
@@ -266,8 +274,10 @@ type Link struct {
 	out    map[uint16]EdgeDecl // edges the local side sends data on
 	in     map[uint16]EdgeDecl // edges the local side receives data on
 
-	batchOn bool // write coalescing configured
-	piggyOn bool // ack piggybacking negotiated with the peer
+	batchOn bool           // write coalescing configured
+	piggyOn bool           // ack piggybacking negotiated with the peer
+	sessOn  bool           // session multiplexing negotiated with the peer
+	sh      SessionHandler // h's session extension, when it has one
 
 	wmu sync.Mutex // serializes connection writes and RESUME replay
 
@@ -360,6 +370,9 @@ func (c *LinkConfig) features() uint32 {
 	}
 	if c.Blocked {
 		f |= featBlocked
+	}
+	if c.Sessions {
+		f |= featSessions
 	}
 	return f
 }
@@ -497,6 +510,10 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 	// Piggybacking is mutual: this side must have it configured and the
 	// peer must have advertised decoding support in its HELLO.
 	l.piggyOn = cfg.PiggybackAcks && peerFeatures&featPiggyAck != 0
+	// Sessions likewise; the handler's SessionHandler half is resolved
+	// once here so the read loop dispatches without a per-frame assert.
+	l.sessOn = cfg.Sessions && peerFeatures&featSessions != 0
+	l.sh, _ = h.(SessionHandler)
 	for _, d := range cfg.Edges {
 		if d.Out {
 			l.out[d.ID] = d
@@ -592,7 +609,7 @@ func (l *Link) SendData(edge uint16, msg []byte) error {
 		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not outbound on this link", edge)}
 	}
-	if err := l.sendSessionFrame(frameData, msg, true); err != nil {
+	if err := l.sendSessionFrame(frameData, nil, msg, true); err != nil {
 		return err
 	}
 	// Counters only on the per-frame path: the SPI layer already traces
@@ -704,16 +721,19 @@ func (l *Link) flushNow() {
 // an error: the frame is already buffered and the RESUME replay delivers
 // it.
 func (l *Link) sendSession(typ byte, body []byte) error {
-	return l.sendSessionFrame(typ, body, false)
+	return l.sendSessionFrame(typ, nil, body, false)
 }
 
-// sendSessionFrame is sendSession with an opt-in piggyback slot: when
-// piggy is set (DATA frames only), any queued acks are claimed at the
-// moment the sequence number is assigned and prepended as a DATAACK
-// prefix. The claim happens inside the lock, after the stall loop, so an
-// ack never rides a frame that then sits blocked behind a full resend
-// buffer — a stalled sender leaves queued acks for the deadline flusher.
-func (l *Link) sendSessionFrame(typ byte, body []byte, piggy bool) error {
+// sendSessionFrame is sendSession with a body split into head|tail (the
+// session-tagged frames pass their u32 sid prefix as a stack-allocated
+// head, which buildFrame copies, keeping the hot path allocation-free)
+// and an opt-in piggyback slot: when piggy is set (DATA frames only, so
+// head is nil), any queued acks are claimed at the moment the sequence
+// number is assigned and prepended as a DATAACK prefix. The claim
+// happens inside the lock, after the stall loop, so an ack never rides a
+// frame that then sits blocked behind a full resend buffer — a stalled
+// sender leaves queued acks for the deadline flusher.
+func (l *Link) sendSessionFrame(typ byte, head, body []byte, piggy bool) error {
 	for {
 		l.wmu.Lock()
 		l.mu.Lock()
@@ -762,7 +782,6 @@ func (l *Link) sendSessionFrame(typ byte, body []byte, piggy bool) error {
 			<-ch
 			continue
 		}
-		var head []byte
 		if piggy && l.piggyOn && len(l.pendingOrder) > 0 {
 			head = l.takePendingAcksLocked()
 			typ = frameDataAck

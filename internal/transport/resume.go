@@ -136,6 +136,11 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 				return
 			}
 			l.trimUnacked(n)
+		case frameSOpen, frameSOpenOK, frameSClose, frameSData, frameSAck, frameSFin:
+			if derr := l.dispatchSession(typ, body); derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
 		case frameGoodbye:
 			// Ack from a separate goroutine — two symmetric closes on
 			// loopback would deadlock if both readers stopped to write —
