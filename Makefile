@@ -34,12 +34,14 @@ bench-smoke:
 	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute' -benchtime=10x .
 
 # Tiered link-throughput comparison: batched vs unbatched (frame
-# coalescing, ablation A8) and blocked vs batched (vectorized slab
-# packing, ablation A9). Runs the BenchmarkLinkThroughput matrix plus the
+# coalescing, ablation A8), blocked vs batched (vectorized slab
+# packing, ablation A9), and heartbeat vs blocked (liveness probing
+# overhead — the speedup ratio near 1.0 is the evidence heartbeats are
+# free on the hot path). Runs the BenchmarkLinkThroughput matrix plus the
 # blocked-execution benchmark and reduces them to per-carrier speedup,
 # allocation, and ack-frame ratios with cmd/benchdiff (no benchstat
 # dependency). BENCHOUT is the committed evidence file.
-BENCHOUT ?= BENCH_5.json
+BENCHOUT ?= BENCH_7.json
 bench-compare:
 	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchdiff -o $(BENCHOUT)
@@ -53,6 +55,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=5s ./internal/dataflow
 	$(GO) test -run=NONE -fuzz=FuzzDecodeBatched -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=5s ./internal/transport
+	$(GO) test -run=NONE -fuzz=FuzzDecodePing -fuzztime=5s ./internal/transport
 
 # Multi-tenant load smoke: 100 sessions multiplexed over one shared link
 # against the in-process session server, on both byte carriers (loopback
@@ -66,12 +69,13 @@ load:
 	$(GO) run ./cmd/spiload -inproc-tcp -sessions 100 -concurrency 16 -iters 10 -tenants 4 -duration 60s
 
 # The seeded fault-schedule suite: chaos link tests, distributed runs with
-# drops/corruption/duplicates/severs, graceful degradation, and the
-# pipeline.sdf + LPC residual chaos harnesses. Deterministic (seeded), so
-# failures reproduce.
+# drops/corruption/duplicates/severs/stalls, graceful degradation, the
+# liveness layer (heartbeat timeouts, stall watchdog, deadline unwinding,
+# session reaping), and the pipeline.sdf + LPC residual chaos harnesses.
+# Deterministic (seeded), so failures reproduce.
 chaos:
-	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline' -count=1 \
-		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode
+	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline|Heartbeat|Stall|Deadline|Reap' -count=1 \
+		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode ./internal/session
 
 # Observability suite: the obs package under the race detector, the
 # spinode metrics/trace/HTTP integration tests, and the A7 overhead

@@ -762,10 +762,14 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 // ReceiveInto; tokens_per_s is the headline metric and allocs/op (run
 // with -benchmem) shows the pooled send/receive path staying
 // allocation-free. Each networked carrier runs unbatched (one write per
-// frame), batched (frame coalescing + ack piggybacking), and blocked
+// frame), batched (frame coalescing + ack piggybacking), blocked
 // (vectorized execution: 16 tokens packed into one slab message on top of
 // the batched tuning, so headers, credits, and acks are paid once per
-// block); the chan carrier is the in-process upper bound.
+// block), and heartbeat (the blocked tuning with liveness probing
+// enabled: pings only fire on idle links, so under saturation the tier
+// measures the per-frame last-heard tracking and pinger-ticker cost —
+// the heartbeat_overhead evidence that liveness is near-free on the hot
+// path); the chan carrier is the in-process upper bound.
 func BenchmarkLinkThroughput(b *testing.B) {
 	const edgeID = 1
 	const size = 16
@@ -859,8 +863,9 @@ func BenchmarkLinkThroughput(b *testing.B) {
 
 	network := func(b *testing.B, tr transport.Transport, addr string, mode string) {
 		batched := mode != "unbatched"
+		blocked := mode == "blocked" || mode == "heartbeat"
 		maxBytes := size
-		if mode == "blocked" {
+		if blocked {
 			maxBytes = spi.SlabBound(size, true, blockTokens)
 		}
 		rtA, rtB := spi.NewRuntime(), spi.NewRuntime()
@@ -882,7 +887,14 @@ func BenchmarkLinkThroughput(b *testing.B) {
 				cfg.Batch = transport.BatchConfig{MaxFrames: 32, MaxBytes: 64 << 10, MaxDelay: 100 * time.Microsecond}
 				cfg.PiggybackAcks = true
 			}
-			cfg.Blocked = mode == "blocked"
+			cfg.Blocked = blocked
+			if mode == "heartbeat" {
+				// An aggressive interval so the pinger ticker runs hot;
+				// the generous peer timeout keeps a slow CI box from
+				// tearing the benchmark link down mid-run.
+				cfg.Heartbeat = 5 * time.Millisecond
+				cfg.PeerTimeout = 2 * time.Second
+			}
 		}
 		ln, err := tr.Listen(addr)
 		if err != nil {
@@ -928,7 +940,7 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		if err := rtB.BindRemoteReceiver(edgeID, linkB); err != nil {
 			b.Fatal(err)
 		}
-		if mode == "blocked" {
+		if blocked {
 			streamBlocked(b, tx, rx)
 		} else {
 			stream(b, tx, rx)
@@ -944,6 +956,11 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		b.ReportMetric(writes/float64(b.N), "writes_per_msg")
 		b.ReportMetric(float64(sb.AcksSent)/float64(b.N), "ack_frames_per_msg")
 		b.ReportMetric(float64(sb.AcksPiggybacked)/float64(b.N), "acks_piggybacked_per_msg")
+		if mode == "heartbeat" {
+			// A saturated link is never idle, so this stays near zero —
+			// evidence the protocol adds no wire traffic under load.
+			b.ReportMetric(float64(sa.PingsSent+sb.PingsSent)/float64(b.N), "pings_per_msg")
+		}
 		var wg sync.WaitGroup
 		for _, l := range []*transport.Link{linkA, linkB} {
 			wg.Add(1)
@@ -954,7 +971,7 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		rtB.CloseAll()
 	}
 
-	for _, mode := range []string{"unbatched", "batched", "blocked"} {
+	for _, mode := range []string{"unbatched", "batched", "blocked", "heartbeat"} {
 		mode := mode
 		b.Run("loopback/"+mode, func(b *testing.B) {
 			network(b, transport.NewLoopback(), "throughput-bench", mode)

@@ -1,9 +1,11 @@
 // Command benchdiff turns `go test -bench` output into a comparison
 // report. It parses benchmark result lines from stdin, pairs each
 // optimization tier with the tier below it — `<name>/batched` against
-// `<name>/unbatched` (frame coalescing, ablation A8) and
-// `<name>/blocked` against `<name>/batched` (vectorized slab packing,
-// ablation A9), and `<name>/sessions` against `<name>/single`
+// `<name>/unbatched` (frame coalescing, ablation A8), `<name>/blocked`
+// against `<name>/batched` (vectorized slab packing, ablation A9),
+// `<name>/heartbeat` against `<name>/blocked` (liveness probing cost:
+// the ratio shows heartbeats are near-free under load), and
+// `<name>/sessions` against `<name>/single`
 // (multi-tenant session multiplexing, from cmd/spiload's -bench mode) —
 // computes the throughput/latency/allocation ratios, and writes the
 // whole set as JSON. `make bench-compare` uses it to produce the
@@ -67,13 +69,18 @@ type report struct {
 }
 
 // comparisons defines the tier ladder: each entry pairs <prefix>/improved
-// against <prefix>/base.
+// against <prefix>/base. An improvedOnly entry is an overlay tier, not a
+// rung of the ladder: it pairs only where the improved variant actually
+// ran, so a run filtered down to the base tiers is not a half-run — but
+// an improved result whose base is missing is still an error.
 var comparisons = []struct {
 	label, base, improved string
+	improvedOnly          bool
 }{
-	{"batched_vs_unbatched", "unbatched", "batched"},
-	{"blocked_vs_batched", "batched", "blocked"},
-	{"sessions_vs_single", "single", "sessions"},
+	{label: "batched_vs_unbatched", base: "unbatched", improved: "batched"},
+	{label: "blocked_vs_batched", base: "batched", improved: "blocked"},
+	{label: "heartbeat_overhead", base: "blocked", improved: "heartbeat", improvedOnly: true},
+	{label: "sessions_vs_single", base: "single", improved: "sessions"},
 }
 
 func main() {
@@ -186,10 +193,15 @@ func build(results []result, ctx map[string]string) (report, []error) {
 	for _, c := range comparisons {
 		// Every prefix that shows either side of this comparison must show
 		// both: a half-run (one tier's benchmark missing or filtered out)
-		// is an error, not a silent skip.
+		// is an error, not a silent skip. Overlay tiers only key off the
+		// improved side — their base doubles as another tier's rung.
+		suffixes := []string{"/" + c.base, "/" + c.improved}
+		if c.improvedOnly {
+			suffixes = suffixes[1:]
+		}
 		prefixes := map[string]bool{}
 		for _, r := range results {
-			for _, suffix := range []string{"/" + c.base, "/" + c.improved} {
+			for _, suffix := range suffixes {
 				if p, ok := strings.CutSuffix(r.Name, suffix); ok {
 					prefixes[p] = true
 				}

@@ -45,6 +45,50 @@ func TestBuildPairsAllTiers(t *testing.T) {
 	}
 }
 
+// TestBuildHeartbeatOverlayTier: the heartbeat tier is an overlay — it
+// pairs against the blocked rung when present, and a run without any
+// heartbeat results (TestBuildPairsAllTiers) is complete, not a half-run.
+// But a heartbeat result whose blocked baseline is missing is an error.
+func TestBuildHeartbeatOverlayTier(t *testing.T) {
+	results := []result{
+		res("BenchmarkLinkThroughput/loopback/unbatched", full(1000)),
+		res("BenchmarkLinkThroughput/loopback/batched", full(3000)),
+		res("BenchmarkLinkThroughput/loopback/blocked", full(9000)),
+		res("BenchmarkLinkThroughput/loopback/heartbeat", full(8910)),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var hb *pair
+	for i := range rep.Pairs {
+		if rep.Pairs[i].Comparison == "heartbeat_overhead" {
+			hb = &rep.Pairs[i]
+		}
+	}
+	if hb == nil {
+		t.Fatalf("no heartbeat_overhead pair in %+v", rep.Pairs)
+	}
+	if hb.Base.Name != "BenchmarkLinkThroughput/loopback/blocked" {
+		t.Errorf("heartbeat tier base = %s, want the blocked rung", hb.Base.Name)
+	}
+	if hb.SpeedupTokens != 0.99 {
+		t.Errorf("heartbeat overhead speedup = %v, want 0.99", hb.SpeedupTokens)
+	}
+
+	// heartbeat without its baseline: a named error, no report.
+	_, errs = build([]result{
+		res("BenchmarkLinkThroughput/tcp/heartbeat", full(8910)),
+	}, nil)
+	joined := ""
+	for _, err := range errs {
+		joined += err.Error() + "\n"
+	}
+	if !strings.Contains(joined, "tcp/blocked missing") {
+		t.Errorf("errors %q do not flag the missing blocked baseline", joined)
+	}
+}
+
 func TestBuildMissingSideIsNamedError(t *testing.T) {
 	results := []result{
 		res("BenchmarkLinkThroughput/tcp/batched", full(3000)),

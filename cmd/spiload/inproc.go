@@ -62,7 +62,8 @@ func startInproc(cfg loadConfig, tr transport.Transport, listenAddr string, maxS
 			}
 			return ks
 		},
-		Admission: session.Admission{MaxSessions: maxSessions, TenantQuota: tenantQuota},
+		Admission:      session.Admission{MaxSessions: maxSessions, TenantQuota: tenantQuota},
+		SessionTimeout: cfg.SessionTimeout,
 	})
 	if err != nil {
 		return nil, "", err

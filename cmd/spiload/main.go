@@ -75,6 +75,11 @@ type loadConfig struct {
 	Seed        uint64
 	Reconnect   transport.ReconnectConfig
 	OpenTimeout time.Duration
+	// SessionTimeout bounds each session's whole lifetime (open through
+	// close) at one wall-clock deadline; with -inproc it is also handed to
+	// the server as its reap timeout, so an abandoned session is shed
+	// rather than leaked. 0 leaves only the OpenTimeout bound.
+	SessionTimeout time.Duration
 }
 
 // loadReport aggregates one load phase.
@@ -186,7 +191,15 @@ func runOne(cfg loadConfig, client *session.Client, tenant string, want map[stri
 		NodeOf: cfg.NodeOf,
 		Links:  s,
 	})
-	status, cerr := s.AwaitClose(cfg.OpenTimeout)
+	var status byte
+	var cerr error
+	if cfg.SessionTimeout > 0 {
+		// The deadline is anchored at open, so exec time already spent
+		// counts against it — the whole session fits the budget or fails.
+		status, cerr = s.AwaitCloseDeadline(t0.Add(cfg.SessionTimeout))
+	} else {
+		status, cerr = s.AwaitClose(cfg.OpenTimeout)
+	}
 	client.Done(s)
 	lat := time.Since(t0)
 
@@ -412,6 +425,8 @@ func main() {
 	flag.IntVar(&cfg.Tenants, "tenants", 1, "tenant names to round-robin sessions across")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "kernel seed; must match the server's -seed for digest verification")
 	flag.DurationVar(&cfg.OpenTimeout, "open-timeout", 30*time.Second, "per-session open/close wait bound")
+	flag.DurationVar(&cfg.SessionTimeout, "session-timeout", 0,
+		"hard wall-clock budget per session from open to close; with -inproc the server also reaps sessions idle this long (0 = off)")
 	reconnect := flag.Int("reconnect", 0, "reconnect attempts after a link drop (0 = fail fast)")
 	reconnectDeadline := flag.Duration("reconnect-deadline", 15*time.Second, "total budget for resuming a dropped link")
 	chaosSpec := flag.String("chaos", "", "client-side fault-injection spec (see transport.ParseFaultSpec)")

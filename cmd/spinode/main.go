@@ -61,7 +61,15 @@ func main() {
 	flag.IntVar(&cfg.Iterations, "iters", 10, "graph iterations to execute")
 	flag.Uint64Var(&cfg.Seed, "seed", 1, "deterministic kernel seed")
 	flag.DurationVar(&cfg.ConnectTimeout, "connect-timeout", 0,
-		"bound on connection establishment (0 = retry ladder only)")
+		"bound on connection establishment (0 = retry ladder only; superseded by -deadline)")
+	flag.DurationVar(&cfg.Deadline, "deadline", 0,
+		"hard time budget for the whole run: past it every blocked actor is released and the node exits with a deadline error (0 = unbounded)")
+	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 0,
+		"PING idle links at this interval to detect silent peers; negotiated, so peers without it interoperate (0 = off)")
+	flag.DurationVar(&cfg.PeerTimeout, "peer-timeout", 0,
+		"declare a peer dead after this much silence when -heartbeat is on (0 = 4x heartbeat)")
+	flag.DurationVar(&cfg.StallTimeout, "stall-timeout", 0,
+		"abort the run if no actor fires and no edge moves for this long, naming the stalled actors (0 = off)")
 	reconnect := flag.Int("reconnect", 0, "reconnect attempts after a link drop (0 = fail fast)")
 	reconnectDeadline := flag.Duration("reconnect-deadline", 15*time.Second,
 		"total time budget for resuming one dropped link")
@@ -93,6 +101,8 @@ func main() {
 		"with -serve: queued-byte budget per tenant before its oldest session is degraded (0 = unbounded)")
 	tenantWeights := flag.String("tenant-weights", "",
 		"with -serve: weighted shares of -max-sessions, e.g. alice=3,bob=1")
+	sessionTimeout := flag.Duration("session-timeout", 0,
+		"with -serve: shed a session whose client has been silent this long (0 = never reap)")
 	flag.Parse()
 
 	if *graphPath == "" {
@@ -149,11 +159,12 @@ func main() {
 			os.Exit(2)
 		}
 		scfg := serveConfig{
-			nodeConfig:    cfg,
-			MaxSessions:   *maxSessions,
-			TenantQuota:   *tenantQuota,
-			TenantBytes:   *tenantBytes,
-			TenantWeights: weights,
+			nodeConfig:     cfg,
+			MaxSessions:    *maxSessions,
+			TenantQuota:    *tenantQuota,
+			TenantBytes:    *tenantBytes,
+			TenantWeights:  weights,
+			SessionTimeout: *sessionTimeout,
 		}
 		stop := make(chan struct{})
 		sig := make(chan os.Signal, 1)
@@ -210,6 +221,14 @@ type nodeConfig struct {
 	ConnectTimeout time.Duration
 	Reconnect      transport.ReconnectConfig
 	Degrade        bool
+	// Deadline bounds the whole run (setup plus execution); it supersedes
+	// ConnectTimeout when set. Heartbeat/PeerTimeout enable link liveness
+	// probing and StallTimeout the no-progress watchdog — all pass
+	// through to spi.DistOptions.
+	Deadline     time.Duration
+	Heartbeat    time.Duration
+	PeerTimeout  time.Duration
+	StallTimeout time.Duration
 	// Batch configures each link's write coalescer; PiggybackAcks lets
 	// links carry acks on outgoing DATA frames (negotiated with the peer).
 	Batch         transport.BatchConfig
@@ -360,9 +379,20 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		Batch:         cfg.Batch,
 		PiggybackAcks: cfg.PiggybackAcks,
 		Block:         cfg.Block,
+		Heartbeat:     cfg.Heartbeat,
+		PeerTimeout:   cfg.PeerTimeout,
+		StallTimeout:  cfg.StallTimeout,
 		Obs:           o,
 	}
-	if cfg.ConnectTimeout > 0 {
+	// DistOptions.Context bounds the whole run: -deadline is that budget
+	// directly; -connect-timeout keeps its historical role (setup bound)
+	// and now also stops a run still stuck past it.
+	switch {
+	case cfg.Deadline > 0:
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+		defer cancel()
+		opts.Context = ctx
+	case cfg.ConnectTimeout > 0:
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.ConnectTimeout)
 		defer cancel()
 		opts.Context = ctx

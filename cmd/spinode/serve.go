@@ -24,6 +24,9 @@ type serveConfig struct {
 	TenantQuota   int
 	TenantBytes   int64
 	TenantWeights map[string]int
+	// SessionTimeout sheds sessions whose client goes silent for this
+	// long (0 = never reap); see session.ServerConfig.SessionTimeout.
+	SessionTimeout time.Duration
 }
 
 // parseWeights parses the -tenant-weights grammar: "alice=3,bob=1".
@@ -125,7 +128,8 @@ func runServe(cfg serveConfig, tr transport.Transport, ln transport.Listener, w 
 			MaxTenantBytes: cfg.TenantBytes,
 			TenantWeights:  cfg.TenantWeights,
 		},
-		Obs: o,
+		SessionTimeout: cfg.SessionTimeout,
+		Obs:            o,
 	})
 	if err != nil {
 		return err
@@ -167,8 +171,8 @@ func runServe(cfg serveConfig, tr transport.Transport, ln transport.Listener, w 
 					return
 				case <-tick.C:
 					s := srv.Snapshot()
-					fmt.Fprintf(w, "sessions: live=%d degraded=%d admitted=%d rejected=%d shed=%d completed=%d failed=%d\n",
-						s.Live, s.Degraded, s.Admitted, s.Rejected, s.Shed, s.Completed, s.Failed)
+					fmt.Fprintf(w, "sessions: live=%d degraded=%d admitted=%d rejected=%d shed=%d reaped=%d completed=%d failed=%d\n",
+						s.Live, s.Degraded, s.Admitted, s.Rejected, s.Shed, s.Reaped, s.Completed, s.Failed)
 				}
 			}
 		}()
@@ -181,6 +185,8 @@ func runServe(cfg serveConfig, tr transport.Transport, ln transport.Listener, w 
 		Batch:         cfg.Batch,
 		PiggybackAcks: cfg.PiggybackAcks,
 		Blocked:       cfg.Block > 1,
+		Heartbeat:     cfg.Heartbeat,
+		PeerTimeout:   cfg.PeerTimeout,
 		Obs:           o,
 	}
 	var lmu sync.Mutex

@@ -9,11 +9,13 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/dsp"
 	"repro/internal/lpc"
@@ -45,6 +47,14 @@ func main() {
 		"networked runs: vectorization blocking factor B — fire B iterations per block and pack B tokens per message on block-aligned edges (0 = off, bit-identical outputs either way)")
 	sessions := flag.Int("sessions", 0,
 		"networked speech runs: run this many concurrent actor-D sessions multiplexed over one shared link; per-edge stats aggregate across sessions (0 = one plain execution)")
+	flag.DurationVar(&netHeartbeat, "heartbeat", 0,
+		"networked runs: PING idle links at this interval to detect silent peers (0 = off)")
+	flag.DurationVar(&netPeerTimeout, "peer-timeout", 0,
+		"networked runs: declare a peer dead after this much silence when -heartbeat is on (0 = 4x heartbeat)")
+	flag.DurationVar(&netDeadline, "deadline", 0,
+		"networked runs: hard time budget per execution; past it blocked actors are released and the run fails instead of hanging (0 = unbounded)")
+	flag.DurationVar(&netStallTimeout, "stall-timeout", 0,
+		"networked runs: abort when no actor fires and no edge moves for this long, naming the starved actors (0 = off)")
 	flag.Parse()
 
 	var err error
@@ -65,9 +75,13 @@ func main() {
 // netBatch / netPiggyback hold the transport tuning flags for the
 // loopback/tcp runs (the chan transport has no wire to tune).
 var (
-	netBatch     transport.BatchConfig
-	netPiggyback bool
-	netBlock     int
+	netBatch        transport.BatchConfig
+	netPiggyback    bool
+	netBlock        int
+	netHeartbeat    time.Duration
+	netPeerTimeout  time.Duration
+	netDeadline     time.Duration
+	netStallTimeout time.Duration
 )
 
 func runSpeech(pes, frames int, seed uint64, hw bool, trans string, sessions int) error {
@@ -209,6 +223,12 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 		errs    [2]error
 		wg      sync.WaitGroup
 	)
+	ctx := context.Background()
+	if netDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, netDeadline)
+		defer cancel()
+	}
 	for node := 0; node < 2; node++ {
 		wg.Add(1)
 		go func(node int) {
@@ -220,6 +240,12 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 				Batch:         netBatch,
 				PiggybackAcks: netPiggyback,
 				Block:         netBlock,
+				Heartbeat:     netHeartbeat,
+				PeerTimeout:   netPeerTimeout,
+				StallTimeout:  netStallTimeout,
+			}
+			if netDeadline > 0 {
+				opts.Context = ctx
 			}
 			if node == 0 {
 				opts.Listener = ln

@@ -62,6 +62,8 @@ func sessionsResidual(model *dsp.LPCModel, frame []float64, pes, n int, trans st
 		Batch:         netBatch,
 		PiggybackAcks: netPiggyback,
 		Blocked:       netBlock > 1,
+		Heartbeat:     netHeartbeat,
+		PeerTimeout:   netPeerTimeout,
 	}
 	clientMux := session.NewMux(nil) // node 0: opens sessions, assembles residuals
 	serverMux := session.NewMux(nil) // node 1: admits opens, runs the worker half
@@ -122,7 +124,7 @@ func sessionsResidual(model *dsp.LPCModel, frame []float64, pes, n int, trans st
 		go func() {
 			defer serverWG.Done()
 			_, st, err := lpc.DistributedResidual(model, frame, pes, 1, spi.DistOptions{
-				Node: 1, Addrs: make([]string, 2), NodeOf: nodeOf, Block: netBlock, Links: s,
+				Node: 1, Addrs: make([]string, 2), NodeOf: nodeOf, Block: netBlock, Links: s, StallTimeout: netStallTimeout,
 			})
 			status := byte(session.CloseDone)
 			if err != nil {
@@ -139,6 +141,12 @@ func sessionsResidual(model *dsp.LPCModel, frame []float64, pes, n int, trans st
 	})
 
 	client := session.NewClient(clientMux, 30*time.Second)
+	// -deadline bounds every session's close wait at one shared wall-clock
+	// instant, so n stragglers cannot serialize n full timeouts.
+	var closeBy time.Time
+	if netDeadline > 0 {
+		closeBy = time.Now().Add(netDeadline)
+	}
 	results := make([][]float64, n)
 	clientStats := make([]*spi.ExecStats, n)
 	errs := make([]error, n)
@@ -153,9 +161,9 @@ func sessionsResidual(model *dsp.LPCModel, frame []float64, pes, n int, trans st
 				return
 			}
 			results[i], clientStats[i], err = lpc.DistributedResidual(model, frame, pes, 1, spi.DistOptions{
-				Node: 0, Addrs: make([]string, 2), NodeOf: nodeOf, Block: netBlock, Links: s,
+				Node: 0, Addrs: make([]string, 2), NodeOf: nodeOf, Block: netBlock, Links: s, StallTimeout: netStallTimeout,
 			})
-			status, cerr := s.AwaitClose(30 * time.Second)
+			status, cerr := s.AwaitCloseDeadline(closeBy)
 			client.Done(s)
 			if err == nil && cerr != nil {
 				err = cerr

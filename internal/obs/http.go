@@ -34,6 +34,28 @@ func (o *Observer) Handler(health HealthFunc) http.Handler {
 		if health != nil {
 			doc = health()
 		}
+		// Registered health sources (e.g. per-link liveness) merge into
+		// the document: alongside a map's keys, or under "health" when
+		// the caller's document is not a map.
+		if extras := o.healthExtras(); len(extras) > 0 {
+			merged := make(map[string]any, len(extras)+8)
+			switch d := doc.(type) {
+			case map[string]any:
+				for k, v := range d {
+					merged[k] = v
+				}
+			case map[string]string:
+				for k, v := range d {
+					merged[k] = v
+				}
+			default:
+				merged["health"] = doc
+			}
+			for k, v := range extras {
+				merged[k] = v
+			}
+			doc = merged
+		}
 		json.NewEncoder(w).Encode(doc)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {

@@ -1,5 +1,7 @@
 package obs
 
+import "sync"
+
 // Observer bundles one process's metrics registry and event tracer. A nil
 // *Observer is the disabled state: every accessor returns nil handles
 // whose record methods are no-ops, so instrumented code never branches on
@@ -10,6 +12,12 @@ type Observer struct {
 	// Node is the Chrome trace pid for events recorded by this process,
 	// set by the daemon to its node index.
 	Node int
+
+	// Named health sources merged into every /healthz document (see
+	// SetHealth). Subsystems register themselves here so the handler
+	// needs no wiring per source.
+	hmu    sync.Mutex
+	health map[string]HealthFunc
 }
 
 // New returns an enabled observer with a fresh registry and a wall-clock
@@ -68,4 +76,48 @@ func (o *Observer) Pid() int {
 		return 0
 	}
 	return o.Node
+}
+
+// SetHealth registers (or replaces) a named live-status source: its value
+// appears under key in every /healthz document the Handler serves, merged
+// alongside the caller-supplied document. Transport links register their
+// liveness view here so health endpoints show per-link state without any
+// per-binary wiring. A nil observer ignores the call; a nil fn removes
+// the key.
+func (o *Observer) SetHealth(key string, fn HealthFunc) {
+	if o == nil {
+		return
+	}
+	o.hmu.Lock()
+	if o.health == nil {
+		o.health = map[string]HealthFunc{}
+	}
+	if fn == nil {
+		delete(o.health, key)
+	} else {
+		o.health[key] = fn
+	}
+	o.hmu.Unlock()
+}
+
+// healthExtras evaluates every registered health source outside the lock
+// (JSON encoding sorts map keys, so output order is deterministic).
+func (o *Observer) healthExtras() map[string]any {
+	if o == nil {
+		return nil
+	}
+	o.hmu.Lock()
+	snap := make(map[string]HealthFunc, len(o.health))
+	for k, fn := range o.health {
+		snap[k] = fn
+	}
+	o.hmu.Unlock()
+	if len(snap) == 0 {
+		return nil
+	}
+	out := make(map[string]any, len(snap))
+	for k, fn := range snap {
+		out[k] = fn()
+	}
+	return out
 }

@@ -1,6 +1,9 @@
 package session
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // Admission bounds what one node will serve. The zero value admits
 // everything (no caps).
@@ -198,6 +201,19 @@ func (a *admitter) oldestLocked(wantDegraded bool, tenant string) *entry {
 		}
 	}
 	return best
+}
+
+// entries snapshots the live book in admission order (oldest first), for
+// the reaper's scan and the health snapshot's per-session ages.
+func (a *admitter) entries() []*entry {
+	a.mu.Lock()
+	out := make([]*entry, 0, len(a.live))
+	for _, e := range a.live {
+		out = append(out, e)
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
 }
 
 func (a *admitter) counts() (live, degraded int) {

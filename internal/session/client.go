@@ -92,6 +92,21 @@ func (s *Stream) AwaitClose(timeout time.Duration) (byte, error) {
 	}
 }
 
+// AwaitCloseDeadline is AwaitClose against an absolute deadline, for
+// callers threading one time budget through several waits. A deadline at
+// or before now fails immediately; a zero deadline means the default
+// AwaitClose timeout.
+func (s *Stream) AwaitCloseDeadline(deadline time.Time) (byte, error) {
+	if deadline.IsZero() {
+		return s.AwaitClose(0)
+	}
+	d := time.Until(deadline)
+	if d <= 0 {
+		return CloseError, errors.New("session: close deadline exceeded")
+	}
+	return s.AwaitClose(d)
+}
+
 // Done releases the client-side stream after the session ended.
 func (c *Client) Done(s *Stream) {
 	c.mux.Release(s)

@@ -1,0 +1,122 @@
+package session
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestServerReapsAbandonedSession: a client opens a session and then goes
+// silent forever. With SessionTimeout set the server must shed it — slot
+// and quota released, the client told CloseShed — instead of leaking the
+// session until process death.
+func TestServerReapsAbandonedSession(t *testing.T) {
+	h := startServe(t, transport.NewLoopback(), "reap", ServerConfig{
+		SessionTimeout: 100 * time.Millisecond,
+		Admission:      Admission{MaxSessions: 1},
+	}, true)
+	defer h.stop()
+
+	s, err := h.client.Open("ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While the ghost is still live, the snapshot reports its age.
+	snap := waitSnapshot(t, h.srv, "the ghost session to appear", func(sn Snapshot) bool {
+		return len(sn.Sessions) == 1
+	})
+	if got := snap.Sessions[0]; got.Tenant != "ghost" || got.AgeMS < 0 || got.IdleMS < 0 {
+		t.Fatalf("session age row = %+v", got)
+	}
+
+	// Never run the client partition: pure silence. The reaper must fire.
+	waitSnapshot(t, h.srv, "the abandoned session to be reaped", func(sn Snapshot) bool {
+		return sn.Reaped >= 1
+	})
+	status, cerr := s.AwaitClose(10 * time.Second)
+	if cerr != nil {
+		t.Fatalf("awaiting the reaped session's close: %v", cerr)
+	}
+	if status != CloseShed {
+		t.Fatalf("reaped session closed with status %d, want CloseShed (%d)", status, CloseShed)
+	}
+	h.client.Done(s)
+
+	// The slot the ghost held (MaxSessions: 1) must be free again: a
+	// fresh session is admitted and completes normally.
+	ref := localReference(t, h.iters)
+	sink, status, err := h.runSession("alice")
+	if err != nil {
+		t.Fatalf("post-reap session: %v", err)
+	}
+	if status != CloseDone {
+		t.Fatalf("post-reap session closed with status %d", status)
+	}
+	if !samePayloads(ref, sink) {
+		t.Fatal("post-reap session output diverged from reference")
+	}
+	snap = h.srv.Snapshot()
+	if snap.Reaped != 1 {
+		t.Errorf("snapshot reaped = %d, want 1", snap.Reaped)
+	}
+	if snap.Completed != 1 {
+		t.Errorf("snapshot completed = %d, want 1", snap.Completed)
+	}
+}
+
+// TestServerReaperSparesActiveSessions: sessions that keep traffic moving
+// must never be reaped, however long they live relative to the timeout.
+func TestServerReaperSparesActiveSessions(t *testing.T) {
+	h := startServe(t, transport.NewLoopback(), "reap-active", ServerConfig{
+		// Iterations kept default (10); the timeout is far shorter than
+		// the whole run but far longer than any inter-message gap.
+		SessionTimeout: 250 * time.Millisecond,
+	}, true)
+	defer h.stop()
+
+	ref := localReference(t, h.iters)
+	for i := 0; i < 3; i++ {
+		sink, status, err := h.runSession("steady")
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if status != CloseDone {
+			t.Fatalf("session %d closed with status %d", i, status)
+		}
+		if !samePayloads(ref, sink) {
+			t.Fatalf("session %d output diverged", i)
+		}
+	}
+	if snap := h.srv.Snapshot(); snap.Reaped != 0 {
+		t.Fatalf("reaper shed %d active sessions", snap.Reaped)
+	}
+}
+
+// TestAwaitCloseDeadline: the deadline form of AwaitClose returns as soon
+// as the deadline passes — it never inherits the long default timeout.
+func TestAwaitCloseDeadline(t *testing.T) {
+	h := startServe(t, transport.NewLoopback(), "deadline", ServerConfig{}, true)
+	defer h.stop()
+
+	s, err := h.client.Open("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	status, cerr := s.AwaitCloseDeadline(time.Now().Add(50 * time.Millisecond))
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline wait took %v", elapsed)
+	}
+	if cerr == nil {
+		t.Fatalf("deadline in the near past returned status %d with no error", status)
+	}
+	if status != CloseError {
+		t.Errorf("expired wait returned status %d, want CloseError", status)
+	}
+	if !strings.Contains(cerr.Error(), "deadline") && !strings.Contains(cerr.Error(), "timed out") {
+		t.Errorf("expired wait error %q does not mention the deadline", cerr)
+	}
+	h.client.Done(s)
+}

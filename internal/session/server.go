@@ -29,6 +29,13 @@ type ServerConfig struct {
 	Kernels func(sid uint32, tenant string) map[dataflow.ActorID]spi.Kernel
 	// Admission bounds concurrent sessions; the zero value admits all.
 	Admission Admission
+	// SessionTimeout, when positive, arms the session reaper: a session
+	// whose client has sent nothing (no data, acks, or fins) for this
+	// long is shed exactly like a degraded session — its slot, quota,
+	// and byte budget are released and the client (if it ever returns)
+	// sees CloseShed. Without it an abandoned client parks its session's
+	// server half forever. 0 disables reaping.
+	SessionTimeout time.Duration
 	// Obs, when non-nil, exports per-tenant session metrics and threads
 	// through to each session's execution.
 	Obs *obs.Observer
@@ -45,8 +52,22 @@ type Snapshot struct {
 	Admitted  int64 `json:"sessions_admitted"`
 	Rejected  int64 `json:"sessions_rejected"`
 	Shed      int64 `json:"sessions_shed"`
+	Reaped    int64 `json:"sessions_reaped"`
 	Completed int64 `json:"sessions_completed"`
 	Failed    int64 `json:"sessions_failed"`
+	// Sessions lists every live session's age and idle time, oldest
+	// first, so operators can see a client going silent before the
+	// reaper (or shedding) acts on it.
+	Sessions []SessionAge `json:"sessions,omitempty"`
+}
+
+// SessionAge is one live session's liveness view in a Snapshot.
+type SessionAge struct {
+	SID      uint32 `json:"sid"`
+	Tenant   string `json:"tenant,omitempty"`
+	AgeMS    int64  `json:"age_ms"`
+	IdleMS   int64  `json:"idle_ms"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // Server owns this node's side of every session on every attached link:
@@ -63,11 +84,14 @@ type Server struct {
 	queue   []openReq
 	stopped bool
 
-	wg sync.WaitGroup
+	wg       sync.WaitGroup
+	reapStop chan struct{}
+	reapTick *time.Ticker
 
 	admitted  int64
 	rejected  int64
 	shed      int64
+	reaped    int64
 	completed int64
 	failed    int64
 }
@@ -100,7 +124,56 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.dispatch()
+	if cfg.SessionTimeout > 0 {
+		// Scan at a quarter of the timeout so a silent client is reaped
+		// within ~1.25× the configured bound.
+		interval := cfg.SessionTimeout / 4
+		if interval < time.Millisecond {
+			interval = time.Millisecond
+		}
+		s.reapStop = make(chan struct{})
+		s.reapTick = time.NewTicker(interval)
+		s.wg.Add(1)
+		go s.reapLoop()
+	}
 	return s, nil
+}
+
+// reapLoop periodically sheds sessions whose client has gone silent for
+// longer than SessionTimeout.
+func (s *Server) reapLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.reapStop:
+			return
+		case <-s.reapTick.C:
+			s.reapOnce()
+		}
+	}
+}
+
+func (s *Server) reapOnce() {
+	for _, e := range s.adm.entries() {
+		e.mu.Lock()
+		st, dead := e.stream, e.shed
+		e.mu.Unlock()
+		if st == nil || dead {
+			continue
+		}
+		idle := st.IdleFor()
+		if idle < s.cfg.SessionTimeout {
+			continue
+		}
+		e.mu.Lock()
+		e.shed = true
+		e.mu.Unlock()
+		s.mu.Lock()
+		s.reaped++
+		s.mu.Unlock()
+		s.counter("session_reaped_total", "sessions shed because the client went silent", e.tenant).Inc()
+		st.reap(idle)
+	}
 }
 
 // Attach wires one bound mux into the server. On links that negotiated
@@ -260,6 +333,22 @@ func (s *Server) gauge(name, help, tenant string) *obs.Gauge {
 // Snapshot reports the admission book for health endpoints and tests.
 func (s *Server) Snapshot() Snapshot {
 	live, degraded := s.adm.counts()
+	var ages []SessionAge
+	for _, e := range s.adm.entries() {
+		e.mu.Lock()
+		st, deg := e.stream, e.degraded
+		e.mu.Unlock()
+		if st == nil {
+			continue
+		}
+		ages = append(ages, SessionAge{
+			SID:      st.SID(),
+			Tenant:   e.tenant,
+			AgeMS:    st.Age().Milliseconds(),
+			IdleMS:   st.IdleFor().Milliseconds(),
+			Degraded: deg,
+		})
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Snapshot{
@@ -268,8 +357,10 @@ func (s *Server) Snapshot() Snapshot {
 		Admitted:  s.admitted,
 		Rejected:  s.rejected,
 		Shed:      s.shed,
+		Reaped:    s.reaped,
 		Completed: s.completed,
 		Failed:    s.failed,
+		Sessions:  ages,
 	}
 }
 
@@ -281,5 +372,9 @@ func (s *Server) Close() {
 	s.stopped = true
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if s.reapStop != nil {
+		close(s.reapStop)
+		s.reapTick.Stop()
+	}
 	s.wg.Wait()
 }

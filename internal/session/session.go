@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/spi"
@@ -363,10 +365,16 @@ type Stream struct {
 	closeCh  chan byte
 	done     chan struct{}
 	doneOnce sync.Once
+
+	// Liveness bookkeeping for the server's reaper and /healthz: when the
+	// stream was created and (atomically, so the reaper never takes the
+	// stream lock) when the peer was last heard from on it.
+	opened     time.Time
+	lastActive atomic.Int64 // UnixNano
 }
 
 func newStream(m *Mux, sid uint32, tagged bool, peer int) *Stream {
-	return &Stream{
+	s := &Stream{
 		mux:     m,
 		sid:     sid,
 		tagged:  tagged,
@@ -374,7 +382,21 @@ func newStream(m *Mux, sid uint32, tagged bool, peer int) *Stream {
 		openCh:  make(chan byte, 1),
 		closeCh: make(chan byte, 1),
 		done:    make(chan struct{}),
+		opened:  time.Now(),
 	}
+	s.lastActive.Store(s.opened.UnixNano())
+	return s
+}
+
+// touch refreshes the stream's last-activity stamp.
+func (s *Stream) touch() { s.lastActive.Store(time.Now().UnixNano()) }
+
+// Age is the time since the session opened.
+func (s *Stream) Age() time.Duration { return time.Since(s.opened) }
+
+// IdleFor is the time since the peer was last heard from on this session.
+func (s *Stream) IdleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastActive.Load())
 }
 
 // SID returns the session ID (0 for the implicit session).
@@ -476,6 +498,7 @@ func (s *Stream) Finish(graceful bool) {}
 // against Connect's replay: an execution observes the exact wire order.
 
 func (s *Stream) handleData(edge uint16, msg []byte) {
+	s.touch()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -497,6 +520,7 @@ func (s *Stream) handleData(edge uint16, msg []byte) {
 }
 
 func (s *Stream) handleAck(edge uint16, count uint32) {
+	s.touch()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -512,6 +536,7 @@ func (s *Stream) handleAck(edge uint16, count uint32) {
 }
 
 func (s *Stream) handleFin(edge uint16) {
+	s.touch()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -575,6 +600,12 @@ func (s *Stream) linkClosed(err error) {
 // and every other session stay up.
 func (s *Stream) shed() {
 	s.linkClosed(fmt.Errorf("session %d shed by admission control", s.sid))
+}
+
+// reap is shed for a silent client: the session's peer has sent nothing
+// for idle, so the server evicts it rather than hold its slot forever.
+func (s *Stream) reap(idle time.Duration) {
+	s.linkClosed(fmt.Errorf("session %d reaped: client silent for %v", s.sid, idle))
 }
 
 // linkError returns the stream's terminal error, if any.

@@ -39,8 +39,11 @@ type DistOptions struct {
 	Listener transport.Listener
 	// Retry configures dial retry/backoff (zero value = transport.DefaultRetry).
 	Retry transport.RetryConfig
-	// Context, when non-nil, bounds connection establishment: cancelling
-	// it interrupts dial retry backoff. It does not cancel the run itself.
+	// Context, when non-nil, bounds the whole execution: cancelling it
+	// interrupts dial retry backoff during setup AND aborts a running
+	// graph — every blocked actor is released and the run returns the
+	// context error (wrapped in a DegradedError when Degrade is set).
+	// Use context.WithDeadline to give a run a hard time budget.
 	Context context.Context
 	// Reconnect enables transparent link resumption: a dropped connection
 	// is re-dialed (dialer side) or awaited (acceptor side) and the
@@ -60,6 +63,21 @@ type DistOptions struct {
 	SendTimeout  time.Duration
 	IdleTimeout  time.Duration
 	CloseTimeout time.Duration
+	// Heartbeat enables transport-level liveness probing on every link:
+	// an idle link is PINGed each interval, and a peer silent for
+	// PeerTimeout (default 4×Heartbeat) is declared dead and routed into
+	// the reconnect/degrade path — catching black-holed connections that
+	// never surface an I/O error. 0 disables; the feature is negotiated,
+	// so peers without it still interoperate. See transport.LinkConfig.
+	Heartbeat   time.Duration
+	PeerTimeout time.Duration
+	// StallTimeout arms a progress watchdog over the run: if no local
+	// actor fires and no edge moves a message or credit for this long,
+	// the run is declared stalled — a per-edge queue/credit snapshot is
+	// dumped to Obs, every blocked actor is released, and the run ends
+	// with a *StallError naming the stalled actors (as DegradedError's
+	// cause in degrade mode) instead of hanging forever. 0 disables.
+	StallTimeout time.Duration
 	// Batch configures each link's write coalescer
 	// (transport.BatchConfig). The zero value disables batching: every
 	// frame is written the moment it is encoded.
@@ -477,8 +495,10 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		}
 	}
 
-	procErrs := env.run(myProcs, iterations)
-	runErr := collapseErrs(procErrs)
+	procErrs, wdErr := env.runWatched(myProcs, iterations, watchConfig{
+		stall: opts.StallTimeout, ctx: opts.Context, o: opts.Obs, node: me,
+	})
+	runErr := watchVerdict(collapseErrs(procErrs), wdErr)
 	if runErr != nil && !opts.Degrade {
 		// Abort, not Close: the peers must observe a failure so they
 		// close the shared edges, not a GOODBYE that looks like a normal
@@ -526,6 +546,12 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 				firings[name] = stats.ActorFirings[name]
 			}
 		}
+		if wdErr != nil && (cause == nil || errors.Is(cause, ErrClosed) || cancelled(wdErr)) {
+			// The watchdog's CloseAll is what cascaded ErrClosed (and, on
+			// peers, link teardown errors) through the processors; the
+			// stall or cancellation is the root.
+			cause = wdErr
+		}
 		if cause == nil && len(peerErrs) == 0 {
 			return stats, nil
 		}
@@ -568,6 +594,8 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 		SendTimeout:   opts.SendTimeout,
 		IdleTimeout:   opts.IdleTimeout,
 		CloseTimeout:  opts.CloseTimeout,
+		Heartbeat:     opts.Heartbeat,
+		PeerTimeout:   opts.PeerTimeout,
 		Reconnect:     opts.Reconnect,
 		Batch:         opts.Batch,
 		PiggybackAcks: opts.PiggybackAcks,

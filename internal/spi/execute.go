@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/dataflow"
 	"repro/internal/obs"
@@ -77,9 +78,10 @@ type execEnv struct {
 	localTransfers int64
 
 	// Firing accounting. Each actor is owned by exactly one processor
-	// goroutine, so its slot is written without locks; run's WaitGroup
-	// orders the final reads. actorObs carries the optional firing
-	// metrics/trace handles (nil-safe when no observer is attached).
+	// goroutine, but the slots are read concurrently by the progress
+	// watchdog (watchdog.go), so all access is atomic. actorObs carries
+	// the optional firing metrics/trace handles (nil-safe when no
+	// observer is attached).
 	fired    map[dataflow.ActorID]*int64
 	actorObs map[dataflow.ActorID]actorObs
 
@@ -137,7 +139,7 @@ func (env *execEnv) initFirings(procs []int, o *obs.Observer) {
 func (env *execEnv) firingSnapshot() map[string]int {
 	out := make(map[string]int, len(env.fired))
 	for a, n := range env.fired {
-		out[env.g.Actor(a).Name] = int(*n)
+		out[env.g.Actor(a).Name] = int(atomic.LoadInt64(n))
 	}
 	return out
 }
@@ -298,7 +300,7 @@ func (env *execEnv) runProc(p, iterations int) error {
 				env.localMu.Unlock()
 			}
 			ao.firings.Inc()
-			*env.fired[a]++
+			atomic.AddInt64(env.fired[a], 1)
 		}
 	}
 	return nil
@@ -390,7 +392,7 @@ func (env *execEnv) runProcBlocked(p, iterations int) error {
 			ao.tr.Span("kernel", ao.name, ao.pid, ao.tid, start, obs.A("iter", int64(base)))
 			ao.latency.Observe(float64(ao.tr.Now() - start))
 			ao.firings.Add(int64(n))
-			*env.fired[a] += int64(n)
+			atomic.AddInt64(env.fired[a], int64(n))
 		}
 	}
 	return nil
@@ -639,7 +641,10 @@ func ExecuteBlocked(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflow.Ac
 		procs[p] = p
 	}
 	env.initFirings(procs, nil)
-	if err := collapseErrs(env.run(procs, iterations)); err != nil {
+	procErrs, wdErr := env.runWatched(procs, iterations, watchConfig{
+		stall: vec.StallTimeout, ctx: vec.Context, o: vec.Obs,
+	})
+	if err := watchVerdict(collapseErrs(procErrs), wdErr); err != nil {
 		return nil, err
 	}
 	return &ExecStats{

@@ -1,10 +1,13 @@
 package spi
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/obs"
 )
 
 // Vectorized (blocked) execution. A blocking factor B groups B consecutive
@@ -191,4 +194,15 @@ type VecOptions struct {
 	// scalar Kernel, lifted one firing at a time (bit-identical, but
 	// without the amortized-call benefit).
 	Kernels map[dataflow.ActorID]VectorKernel
+	// StallTimeout arms the progress watchdog: a run with no actor
+	// firings and no edge message/credit movement for this long is
+	// aborted with a *StallError naming the stalled actors instead of
+	// deadlocking silently. 0 disables. See DistOptions.StallTimeout.
+	StallTimeout time.Duration
+	// Context, when non-nil, bounds the run: cancellation releases every
+	// blocked actor and the execution returns the context error.
+	Context context.Context
+	// Obs, when non-nil, receives the watchdog's diagnostic dump
+	// (per-edge queue/credit gauges and trace instants on a stall).
+	Obs *obs.Observer
 }

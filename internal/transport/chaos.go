@@ -49,6 +49,14 @@ type FaultConfig struct {
 	SeverAt []int
 	// Sever is the probability any frame write severs the connection.
 	Sever float64
+	// StallAt, when > 0, black-holes the connection from that write
+	// ordinal on: every write (this one and all later, heartbeats
+	// included) reports success but nothing reaches the peer, and the
+	// connection stays open. A sever is detectable — the next I/O errors —
+	// but a stall is pure silence, the half-open failure mode that only a
+	// heartbeat timeout can distinguish from an idle peer. Deterministic,
+	// independent of the RNG; counts one fault when it triggers.
+	StallAt int
 	// SkipFrames exempts the first N writes on each connection from all
 	// faults, keeping handshakes intact so schedules exercise
 	// mid-session recovery rather than connect failures.
@@ -65,7 +73,7 @@ type FaultConfig struct {
 
 // FaultStats counts the faults a FaultTransport actually injected.
 type FaultStats struct {
-	Drops, Duplicates, Corruptions, Delays, Severs, DeniedDials int64
+	Drops, Duplicates, Corruptions, Delays, Severs, Stalls, DeniedDials int64
 }
 
 // FaultTransport wraps another Transport and injects the configured
@@ -79,7 +87,7 @@ type FaultTransport struct {
 	dials   int64
 	faults  int64 // total injected, compared against MaxFaults
 
-	drops, dups, corrupts, delays, severs, denied int64
+	drops, dups, corrupts, delays, severs, stalls, denied int64
 
 	obs faultObs
 }
@@ -100,7 +108,7 @@ func (t *FaultTransport) SetObserver(o *obs.Observer) {
 		return
 	}
 	fo := faultObs{tr: o.Tracer(), pid: o.Pid(), counters: map[string]*obs.Counter{}}
-	for _, kind := range []string{"drop", "duplicate", "corrupt", "delay", "sever", "denydial"} {
+	for _, kind := range []string{"drop", "duplicate", "corrupt", "delay", "sever", "stall", "denydial"} {
 		fo.counters[kind] = o.Counter("chaos_faults_total",
 			"Faults injected by the chaos transport, by kind.", obs.L("kind", kind))
 	}
@@ -140,6 +148,7 @@ func (t *FaultTransport) Stats() FaultStats {
 		Corruptions: atomic.LoadInt64(&t.corrupts),
 		Delays:      atomic.LoadInt64(&t.delays),
 		Severs:      atomic.LoadInt64(&t.severs),
+		Stalls:      atomic.LoadInt64(&t.stalls),
 		DeniedDials: atomic.LoadInt64(&t.denied),
 	}
 }
@@ -222,10 +231,11 @@ type faultConn struct {
 	Conn
 	t *FaultTransport
 
-	mu     sync.Mutex
-	rng    *rand.Rand
-	writes int
-	dead   bool
+	mu      sync.Mutex
+	rng     *rand.Rand
+	writes  int
+	dead    bool
+	stalled bool // StallAt triggered: writes succeed but go nowhere
 }
 
 // errSevered is what writes on a chaos-severed connection report.
@@ -237,11 +247,28 @@ func (c *faultConn) Write(p []byte) (int, error) {
 	if c.dead {
 		return 0, &Error{Op: "send", Addr: c.RemoteAddr(), Err: errSevered}
 	}
+	if c.stalled {
+		return len(p), nil // black hole: success reported, nothing sent
+	}
+	cfg := &c.t.cfg
+	// Heartbeat probes bypass the write-ordinal count and the RNG so a
+	// link with probing on draws the exact same fault schedule as one
+	// without: heartbeats observe chaos, they must not perturb it. A
+	// stalled or dead connection still swallows them (above) — that is
+	// the failure they exist to detect.
+	if len(p) > 4 && (p[4] == framePing || p[4] == framePong) {
+		return c.Conn.Write(p)
+	}
 	ord := c.writes
 	c.writes++
-	cfg := &c.t.cfg
 	if ord < cfg.SkipFrames {
 		return c.Conn.Write(p)
+	}
+	if cfg.StallAt > 0 && ord >= cfg.StallAt && c.t.spendFault() {
+		c.stalled = true
+		atomic.AddInt64(&c.t.stalls, 1)
+		c.t.fault("stall")
+		return len(p), nil
 	}
 	for _, at := range cfg.SeverAt {
 		if at == ord && c.t.spendFault() {
@@ -291,8 +318,8 @@ func (c *faultConn) sever() (int, error) {
 
 // ParseFaultSpec parses a "key=value,key=value" chaos specification, as
 // accepted by spinode's -chaos flag. Keys: seed, drop, dup, corrupt,
-// delay, delayms, sever, severat (semicolon-separated ordinals), skip,
-// maxfaults, denydials.
+// delay, delayms, sever, severat (semicolon-separated ordinals), stallat,
+// skip, maxfaults, denydials.
 func ParseFaultSpec(spec string) (FaultConfig, error) {
 	var cfg FaultConfig
 	if strings.TrimSpace(spec) == "" {
@@ -329,6 +356,8 @@ func ParseFaultSpec(spec string) (FaultConfig, error) {
 				}
 				cfg.SeverAt = append(cfg.SeverAt, at)
 			}
+		case "stallat":
+			cfg.StallAt, err = strconv.Atoi(val)
 		case "skip":
 			cfg.SkipFrames, err = strconv.Atoi(val)
 		case "maxfaults":

@@ -24,15 +24,17 @@ import (
 //	RESUMEOK := u64 recvSeq
 //	GOODBYE  := empty                               (graceful shutdown)
 //	DATAACK  := u8 n | n * (u16 edge | u32 count) | SPI-encoded message
+//	PING     := u64 timestamp                       (liveness probe)
+//	PONG     := u64 timestamp                       (probe echo, RTT sample)
 //
 // length covers type+seq+crc+body; crc is CRC-32 (IEEE) over type|seq|body.
 // seq is a per-direction monotonic sequence number carried by the session
 // frames (DATA, ACK, FIN) — those are buffered by the sender until the
 // peer's CUMACK covers them, which is what makes a RESUME handshake able to
 // replay exactly the unacknowledged suffix after a connection is re-dialed.
-// Control frames (HELLO, CUMACK, RESUME, RESUMEOK, GOODBYE) carry seq 0 and
-// are never replayed. All integers are little-endian, matching the SPI
-// message headers.
+// Control frames (HELLO, CUMACK, RESUME, RESUMEOK, GOODBYE, PING, PONG)
+// carry seq 0 and are never replayed. All integers are little-endian,
+// matching the SPI message headers.
 //
 // Version 3 appends a u32 feature-flag field to HELLO. A version-2 hello
 // (no field) means "no optional features". DATAACK — a DATA frame with
@@ -51,6 +53,9 @@ const (
 	frameResumeOK byte = 7
 	frameFin      byte = 8
 	frameDataAck  byte = 9
+	// Session-tagged frames occupy 10..15 (see session.go).
+	framePing byte = 16
+	framePong byte = 17
 
 	helloMagic      uint32 = 0x53504931 // "SPI1"
 	helloVersion    byte   = 3
@@ -65,6 +70,11 @@ const (
 	// peer whose bit disagrees, since the two payload layouts cannot
 	// interoperate.
 	featBlocked uint32 = 1 << 1
+	// featHeartbeat advertises that this side understands PING/PONG
+	// liveness probes. Mutual-optional like featPiggyAck: probes flow only
+	// when both sides advertised it, and an old peer simply negotiates
+	// heartbeats off.
+	featHeartbeat uint32 = 1 << 3
 
 	frameHeaderBytes = 17 // u32 length + u8 type + u64 seq + u32 crc
 	helloFixedBytes  = 17 // magic + version + node + token + nedges
@@ -75,6 +85,7 @@ const (
 	cumAckBodyBytes  = 8
 	resumeBodyBytes  = 23 // magic + version + node + token + recvSeq
 	piggyEntryBytes  = 6  // u16 edge | u32 count
+	pingBodyBytes    = 8  // u64 sender timestamp, echoed verbatim in PONG
 
 	// DefaultMaxFrame bounds one frame; anything larger on the wire is a
 	// framing error, protecting the receiver from hostile length fields.
@@ -434,6 +445,20 @@ func decodeResume(body []byte) (node uint16, token uint64, recvSeq uint64, err e
 	token = binary.LittleEndian.Uint64(body[7:])
 	recvSeq = binary.LittleEndian.Uint64(body[15:])
 	return node, token, recvSeq, nil
+}
+
+// encodePing writes a PING/PONG body: the sender's monotonic timestamp in
+// nanoseconds. A PONG echoes the PING's timestamp verbatim, so the prober
+// computes the round-trip time without any clock agreement between peers.
+func encodePing(dst []byte, ts uint64) {
+	binary.LittleEndian.PutUint64(dst, ts)
+}
+
+func decodePing(body []byte) (ts uint64, err error) {
+	if len(body) != pingBodyBytes {
+		return 0, fmt.Errorf("ping frame of %d bytes, want %d", len(body), pingBodyBytes)
+	}
+	return binary.LittleEndian.Uint64(body), nil
 }
 
 func encodeResumeOK(recvSeq uint64) []byte {

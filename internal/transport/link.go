@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -91,6 +92,22 @@ type LinkConfig struct {
 	// untagged session. The handler passed to NewLink/AcceptConn must
 	// implement SessionHandler when Sessions is set.
 	Sessions bool
+	// Heartbeat enables active liveness probing: this side advertises
+	// featHeartbeat in its HELLO and, when the peer advertised it too, a
+	// per-link prober sends a PING whenever no frame has been heard from
+	// the peer for one Heartbeat interval. Any inbound frame refreshes the
+	// last-heard mark, so a busy link never pays for probes; PONG echoes
+	// carry an RTT sample. Zero disables probing (and, with no other
+	// features, keeps the HELLO byte-identical to version 2).
+	Heartbeat time.Duration
+	// PeerTimeout declares the connection dead after this much inbound
+	// silence despite probing — the half-open / black-holed failure mode a
+	// read deadline alone cannot distinguish from an idle-but-alive peer.
+	// The dead connection is routed into the normal failure path: RESUME
+	// recovery when Reconnect allows it, link failure (and the caller's
+	// DegradedError) otherwise. Default 4× Heartbeat; only meaningful when
+	// heartbeats are negotiated.
+	PeerTimeout time.Duration
 	// Blocked declares that this link's DATA frames carry packed
 	// multi-token slabs on block-aligned edges (vectorized execution).
 	// Unlike PiggybackAcks this is a requirement, not a mutual option:
@@ -136,6 +153,13 @@ func (c *LinkConfig) resendLimit() int {
 	return 256
 }
 
+func (c *LinkConfig) peerTimeout() time.Duration {
+	if c.PeerTimeout > 0 {
+		return c.PeerTimeout
+	}
+	return 4 * c.Heartbeat
+}
+
 // LinkStats counts one link's wire traffic (frame bodies plus the
 // frame headers).
 type LinkStats struct {
@@ -153,6 +177,10 @@ type LinkStats struct {
 	// standalone ones); AcksPiggybackedRecv is the inbound mirror.
 	// BatchFlushes counts coalesced multi-frame writes.
 	AcksPiggybacked, AcksPiggybackedRecv, BatchFlushes int64
+	// PingsSent counts liveness probes sent on idle links, PongsReceived
+	// the echoes that came back (each one an RTT sample), and
+	// HeartbeatTimeouts the connections declared dead for inbound silence.
+	PingsSent, PongsReceived, HeartbeatTimeouts int64
 }
 
 // Link connection states. A link starts up, drops to down when its
@@ -189,6 +217,12 @@ type linkObs struct {
 	acksPiggyRecv          *obs.Counter
 	batchFlushes           *obs.Counter
 	resendDepth            *obs.Gauge
+	pingsSent, pongsRecv   *obs.Counter
+	hbTimeouts             *obs.Counter
+	// rtt is the PONG round-trip histogram in microseconds. Unlike the
+	// counters it stays nil without a registry: a zero-value Histogram has
+	// no buckets to observe into, and Stats has the lastRTT atomic anyway.
+	rtt *obs.Histogram
 }
 
 // sessionRowBase offsets session-event trace rows above edge IDs.
@@ -210,6 +244,8 @@ func newLinkObs(o *obs.Observer, peer int) linkObs {
 			acksPiggy:  &obs.Counter{}, acksPiggyRecv: &obs.Counter{},
 			batchFlushes: &obs.Counter{},
 			resendDepth:  &obs.Gauge{},
+			pingsSent:    &obs.Counter{}, pongsRecv: &obs.Counter{},
+			hbTimeouts: &obs.Counter{},
 		}
 	}
 	pl := obs.L("peer", strconv.Itoa(peer))
@@ -236,6 +272,10 @@ func newLinkObs(o *obs.Observer, peer int) linkObs {
 		acksPiggyRecv: o.Counter("transport_link_acks_piggybacked_received_total", "ack entries received on inbound DATA frames", pl),
 		batchFlushes:  o.Counter("transport_link_batch_flushes_total", "coalesced multi-frame writes", pl),
 		resendDepth:   o.Gauge("transport_link_resend_depth", "unacknowledged frames held for replay", pl),
+		pingsSent:     o.Counter("transport_link_pings_sent_total", "liveness probes sent on idle links", pl),
+		pongsRecv:     o.Counter("transport_link_pongs_received_total", "probe echoes received (RTT samples)", pl),
+		hbTimeouts:    o.Counter("transport_link_heartbeat_timeouts_total", "connections declared dead for inbound silence", pl),
+		rtt:           o.Histogram("transport_link_rtt_us", "PING/PONG round-trip time in microseconds.", nil, pl),
 	}
 }
 
@@ -277,7 +317,17 @@ type Link struct {
 	batchOn bool           // write coalescing configured
 	piggyOn bool           // ack piggybacking negotiated with the peer
 	sessOn  bool           // session multiplexing negotiated with the peer
+	hbOn    bool           // heartbeat probing negotiated with the peer
 	sh      SessionHandler // h's session extension, when it has one
+
+	// Liveness tracking, lock-free: lastHeard is the UnixNano of the last
+	// tick at which the pinger saw the inbound frame counter move (plus
+	// the RESUME handshake, which stamps it directly), lastRTT the most
+	// recent PONG round-trip in microseconds. The reader itself never
+	// touches the clock for liveness — the frame counter it already
+	// maintains is the proof of life.
+	lastHeard atomic.Int64
+	lastRTT   atomic.Int64
 
 	wmu sync.Mutex // serializes connection writes and RESUME replay
 
@@ -373,6 +423,9 @@ func (c *LinkConfig) features() uint32 {
 	}
 	if c.Sessions {
 		f |= featSessions
+	}
+	if c.Heartbeat > 0 {
+		f |= featHeartbeat
 	}
 	return f
 }
@@ -514,6 +567,10 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 	// once here so the read loop dispatches without a per-frame assert.
 	l.sessOn = cfg.Sessions && peerFeatures&featSessions != 0
 	l.sh, _ = h.(SessionHandler)
+	// Heartbeats likewise: probes flow only when this side wants them and
+	// the peer can answer them.
+	l.hbOn = cfg.Heartbeat > 0 && peerFeatures&featHeartbeat != 0
+	l.lastHeard.Store(time.Now().UnixNano())
 	for _, d := range cfg.Edges {
 		if d.Out {
 			l.out[d.ID] = d
@@ -522,6 +579,12 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 		}
 	}
 	go l.readLoop(conn, 0, l.readerDone)
+	if l.hbOn {
+		go l.pinger()
+	}
+	// Publish this link's liveness view into /healthz: keyed by peer, so
+	// the newest link to a peer (e.g. after reconnection churn) wins.
+	cfg.Obs.SetHealth(fmt.Sprintf("link_node_%d", peer), func() any { return l.Liveness() })
 	return l
 }
 
@@ -598,7 +661,166 @@ func (l *Link) Stats() LinkStats {
 		AcksPiggybacked:     l.obs.acksPiggy.Value(),
 		AcksPiggybackedRecv: l.obs.acksPiggyRecv.Value(),
 		BatchFlushes:        l.obs.batchFlushes.Value(),
+		PingsSent:           l.obs.pingsSent.Value(),
+		PongsReceived:       l.obs.pongsRecv.Value(),
+		HeartbeatTimeouts:   l.obs.hbTimeouts.Value(),
 	}
+}
+
+// HeartbeatsNegotiated reports whether both sides advertised
+// featHeartbeat: PINGs are sent only when it returns true.
+func (l *Link) HeartbeatsNegotiated() bool { return l.hbOn }
+
+// LinkLiveness is a point-in-time liveness snapshot of one link, shaped
+// for /healthz: how long since the peer was last heard from, the most
+// recent PONG round trip, and the probe counters.
+type LinkLiveness struct {
+	Peer              int    `json:"peer"`
+	State             string `json:"state"`
+	HeartbeatOn       bool   `json:"heartbeat_on"`
+	SinceHeardMS      int64  `json:"since_heard_ms"`
+	LastRTTMicros     int64  `json:"last_rtt_us"`
+	PingsSent         int64  `json:"pings_sent"`
+	HeartbeatTimeouts int64  `json:"heartbeat_timeouts"`
+}
+
+func stateString(s int) string {
+	switch s {
+	case stateUp:
+		return "up"
+	case stateDown:
+		return "down"
+	case stateClosed:
+		return "closed"
+	default:
+		return "failed"
+	}
+}
+
+// Liveness snapshots the link's failure-detector state. SinceHeardMS is
+// meaningful only while heartbeats are negotiated (the reader refreshes
+// the mark only then); it still reports time since handshake otherwise.
+func (l *Link) Liveness() LinkLiveness {
+	l.mu.Lock()
+	state := l.state
+	l.mu.Unlock()
+	return LinkLiveness{
+		Peer:              l.peer,
+		State:             stateString(state),
+		HeartbeatOn:       l.hbOn,
+		SinceHeardMS:      (time.Now().UnixNano() - l.lastHeard.Load()) / int64(time.Millisecond),
+		LastRTTMicros:     l.lastRTT.Load(),
+		PingsSent:         l.obs.pingsSent.Value(),
+		HeartbeatTimeouts: l.obs.hbTimeouts.Value(),
+	}
+}
+
+// pinger is the per-link failure detector, running for the life of a link
+// that negotiated heartbeats. Each tick it first folds the reader's frame
+// counter into the liveness mark — if any frame arrived since the last
+// tick the peer is alive, stamped at tick granularity so the receive hot
+// path never touches the clock — then checks how long the peer has been
+// silent: past PeerTimeout the connection is declared dead and fed to the
+// normal failure path (recovery or link failure), past one Heartbeat
+// interval a PING probes the peer — so a busy link never sends a probe,
+// and an idle-but-alive one answers with a PONG whose arrival refreshes
+// the mark and samples the RTT. The tick-granular stamp means detection
+// lags true silence by at most one extra interval: with the default
+// timeout of 4 intervals a dead peer is declared within 6 intervals,
+// still inside the 2x-PeerTimeout bound. Outages (stateDown) are the
+// recovery goroutine's problem, bounded by its own reconnect deadline;
+// the pinger just waits them out.
+func (l *Link) pinger() {
+	interval := l.cfg.Heartbeat
+	timeout := l.cfg.peerTimeout()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	heard := l.obs.framesRecv.Value()
+	for {
+		select {
+		case <-t.C:
+		case <-l.closedCh:
+			return
+		}
+		l.mu.Lock()
+		state, conn, gen, closing := l.state, l.conn, l.gen, l.closing
+		l.mu.Unlock()
+		if closing || state == stateClosed || state == stateFailed {
+			return
+		}
+		if state != stateUp {
+			continue
+		}
+		if n := l.obs.framesRecv.Value(); n != heard {
+			heard = n
+			l.lastHeard.Store(time.Now().UnixNano())
+		}
+		silent := time.Duration(time.Now().UnixNano() - l.lastHeard.Load())
+		if silent >= timeout {
+			l.obs.hbTimeouts.Inc()
+			l.obs.tr.Instant("session", "heartbeat-timeout", l.obs.pid, l.obs.sessTid,
+				obs.A("silent_ms", int64(silent/time.Millisecond)))
+			l.connError(gen, &Error{Op: "liveness", Addr: l.raddr, Transient: true,
+				Err: fmt.Errorf("node %d silent for %v, heartbeat timeout %v exceeded", l.peer, silent.Round(time.Millisecond), timeout)})
+			continue
+		}
+		if silent >= interval {
+			l.sendPing(conn, gen)
+		}
+	}
+}
+
+// sendPing writes one liveness probe carrying the current timestamp. It
+// runs on the pinger goroutine, so (unlike the reader's tryCumAck) it may
+// block on the writer mutex; the frame rides the coalescer like any
+// other, though on an idle link — the only kind that gets probed — the
+// batch is empty and the deadline timer flushes it within MaxDelay.
+func (l *Link) sendPing(conn Conn, gen int) {
+	l.wmu.Lock()
+	l.mu.Lock()
+	if l.gen != gen || l.state != stateUp || l.closing {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	var body [pingBodyBytes]byte
+	encodePing(body[:], uint64(time.Now().UnixNano()))
+	f := buildFrame(framePing, 0, nil, body[:])
+	err := l.writeWire(conn, gen, f.wire)
+	putWire(f.buf)
+	l.wmu.Unlock()
+	if err != nil {
+		l.connError(gen, &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err})
+		return
+	}
+	l.obs.pingsSent.Inc()
+	l.recheckCumAck()
+}
+
+// sendPong echoes a PING's timestamp back. Spawned on its own goroutine
+// by the reader (like ackGoodbye): answering inline would park the reader
+// on wmu behind writers that may themselves be blocked on the peer.
+func (l *Link) sendPong(conn Conn, gen int, ts uint64) {
+	l.wmu.Lock()
+	l.mu.Lock()
+	if l.gen != gen || l.state != stateUp || l.closing {
+		l.mu.Unlock()
+		l.wmu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	var body [pingBodyBytes]byte
+	encodePing(body[:], ts)
+	f := buildFrame(framePong, 0, nil, body[:])
+	err := l.writeWire(conn, gen, f.wire)
+	putWire(f.buf)
+	l.wmu.Unlock()
+	if err != nil {
+		l.connError(gen, &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err})
+		return
+	}
+	l.recheckCumAck()
 }
 
 // SendData transmits one SPI-encoded message on an outbound edge. When

@@ -30,6 +30,9 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 			l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Transient: isTimeout(err), Err: err})
 			return
 		}
+		// Any frame is proof of life: the pinger watches this counter and
+		// refreshes the liveness mark when it moves, so the hot path pays
+		// nothing extra for heartbeat tracking.
 		l.obs.framesRecv.Inc()
 		l.obs.bytesRecv.Add(int64(frameHeaderBytes + len(body)))
 		if numberedFrame(typ) {
@@ -141,6 +144,28 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
 				return
 			}
+		case framePing:
+			ts, derr := decodePing(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			// Echo from a separate goroutine, like the GOODBYE ack: the
+			// reader must never park on wmu behind a writer that may itself
+			// be blocked on the peer.
+			go l.sendPong(conn, gen, ts)
+		case framePong:
+			ts, derr := decodePing(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			if rtt := time.Now().UnixNano() - int64(ts); rtt >= 0 {
+				us := rtt / int64(time.Microsecond)
+				l.lastRTT.Store(us)
+				l.obs.rtt.Observe(float64(us))
+			}
+			l.obs.pongsRecv.Inc()
 		case frameGoodbye:
 			// Ack from a separate goroutine — two symmetric closes on
 			// loopback would deadlock if both readers stopped to write —
@@ -356,10 +381,11 @@ func (l *Link) recover(gen int, prevDone chan struct{}, cause error) {
 	deadline := time.Now().Add(rc.Deadline)
 	lastErr := cause
 	if l.dialer {
+		rng := jitterRNG(rc.Jitter, rc.JitterSeed)
 		delay := rc.BaseDelay
 		for attempt := 0; attempt < rc.Attempts; attempt++ {
 			if attempt > 0 {
-				if !l.sleepUntil(delay, deadline) {
+				if !l.sleepUntil(jitterDelay(delay, rc.Jitter, rng), deadline) {
 					break
 				}
 				delay = time.Duration(float64(delay) * rc.Multiplier)
@@ -522,6 +548,9 @@ func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 	l.replayActive = len(replay) > 0
 	l.conn = conn
 	l.state = stateUp
+	// The RESUME handshake just heard from the peer; reset the liveness
+	// mark so the fresh connection starts with a full timeout budget.
+	l.lastHeard.Store(time.Now().UnixNano())
 	// The RESUME/RESUME-OK exchange carried our recvSeq, so everything
 	// received so far is already acknowledged to the peer.
 	l.cumAcked = l.recvSeq

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"syscall"
 	"time"
@@ -131,6 +132,15 @@ type RetryConfig struct {
 	BaseDelay  time.Duration
 	MaxDelay   time.Duration
 	Multiplier float64
+	// Jitter spreads each backoff sleep uniformly over
+	// [d·(1−Jitter), d·(1+Jitter)]. Purely deterministic backoff makes
+	// every client of a restarted node re-dial in lockstep — a thundering
+	// herd exactly when the node is least able to absorb one. 0 disables;
+	// values are clamped to [0, 1].
+	Jitter float64
+	// JitterSeed seeds the jitter RNG for reproducible schedules in
+	// tests; 0 draws a nondeterministic seed.
+	JitterSeed int64
 }
 
 // DefaultRetry is tuned for process startup races: ~12 attempts spanning a
@@ -156,7 +166,39 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 	if rc.Multiplier > 1 {
 		d.Multiplier = rc.Multiplier
 	}
+	d.Jitter = rc.Jitter
+	d.JitterSeed = rc.JitterSeed
 	return d
+}
+
+// jitterRNG builds the backoff-jitter source: seeded when the caller
+// wants a reproducible schedule, time-derived otherwise. Returns nil when
+// jitter is disabled so the no-jitter path stays allocation-free.
+func jitterRNG(jitter float64, seed int64) *rand.Rand {
+	if jitter <= 0 {
+		return nil
+	}
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// jitterDelay spreads d uniformly over [d·(1−j), d·(1+j)]. A nil rng
+// (jitter disabled) returns d unchanged.
+func jitterDelay(d time.Duration, j float64, rng *rand.Rand) time.Duration {
+	if rng == nil || j <= 0 || d <= 0 {
+		return d
+	}
+	if j > 1 {
+		j = 1
+	}
+	f := 1 + j*(2*rng.Float64()-1)
+	jd := time.Duration(float64(d) * f)
+	if jd < 0 {
+		return 0
+	}
+	return jd
 }
 
 // DialRetry dials addr, retrying transient failures with exponential
@@ -165,11 +207,12 @@ func (rc RetryConfig) withDefaults() RetryConfig {
 // the backoff sleeps and returns ctx.Err() wrapped in a transport Error.
 func DialRetry(ctx context.Context, t Transport, addr string, rc RetryConfig) (Conn, error) {
 	rc = rc.withDefaults()
+	rng := jitterRNG(rc.Jitter, rc.JitterSeed)
 	delay := rc.BaseDelay
 	var lastErr error
 	for attempt := 0; attempt < rc.Attempts; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, delay); err != nil {
+			if err := sleepCtx(ctx, jitterDelay(delay, rc.Jitter, rng)); err != nil {
 				return nil, &Error{Op: "dial", Addr: addr, Err: err}
 			}
 			delay = time.Duration(float64(delay) * rc.Multiplier)
@@ -226,6 +269,13 @@ type ReconnectConfig struct {
 	// Deadline bounds one whole outage (all attempts plus handshakes).
 	// Zero means 30s when reconnection is enabled.
 	Deadline time.Duration
+	// Jitter spreads each re-dial backoff uniformly over
+	// [d·(1−Jitter), d·(1+Jitter)], de-synchronizing the reconnect storm
+	// when a node serving many links restarts. 0 disables; clamped to
+	// [0, 1]. JitterSeed makes the schedule reproducible in tests (0 =
+	// nondeterministic).
+	Jitter     float64
+	JitterSeed int64
 }
 
 // Enabled reports whether the policy allows any reconnection at all.
