@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs load
+.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs load orch
 
-check: fmt vet build race bench-smoke fuzz-smoke load
+check: fmt vet build race bench-smoke fuzz-smoke load orch
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,7 +31,7 @@ bench:
 # each, no timing value, just proof the hot paths still execute. Wired into
 # `make check` so a broken benchmark fails CI, not the next perf run.
 bench-smoke:
-	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute' -benchtime=10x .
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch' -benchtime=10x .
 
 # Tiered link-throughput comparison: batched vs unbatched (frame
 # coalescing, ablation A8), blocked vs batched (vectorized slab
@@ -40,10 +40,14 @@ bench-smoke:
 # free on the hot path). Runs the BenchmarkLinkThroughput matrix plus the
 # blocked-execution benchmark and reduces them to per-carrier speedup,
 # allocation, and ack-frame ratios with cmd/benchdiff (no benchstat
-# dependency). BENCHOUT is the committed evidence file.
-BENCHOUT ?= BENCH_7.json
+# dependency). The elastic_vs_static tier compares the orchestrated
+# worker pool (with a forced migration and a worker kill) against the
+# static single-process run and records migration downtime (tokens
+# stalled) as a first-class metric. BENCHOUT is the committed evidence
+# file.
+BENCHOUT ?= BENCH_8.json
 bench-compare:
-	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute' -benchmem -benchtime=1s . \
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchdiff -o $(BENCHOUT)
 
 # Short fuzz passes over the parsers and wire decoders (the surfaces that
@@ -56,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeBatched -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodePing -fuzztime=5s ./internal/transport
+	$(GO) test -run=NONE -fuzz=FuzzDecodeCtrl -fuzztime=5s ./internal/orch
 
 # Multi-tenant load smoke: 100 sessions multiplexed over one shared link
 # against the in-process session server, on both byte carriers (loopback
@@ -71,11 +76,22 @@ load:
 # The seeded fault-schedule suite: chaos link tests, distributed runs with
 # drops/corruption/duplicates/severs/stalls, graceful degradation, the
 # liveness layer (heartbeat timeouts, stall watchdog, deadline unwinding,
-# session reaping), and the pipeline.sdf + LPC residual chaos harnesses.
+# session reaping), the pipeline.sdf + LPC residual chaos harnesses, and
+# the orchestration layer's migration-under-fault suite (worker kill,
+# heartbeat-declared death, mid-block sever + live migration).
 # Deterministic (seeded), so failures reproduce.
 chaos:
-	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline|Heartbeat|Stall|Deadline|Reap' -count=1 \
-		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode ./internal/session
+	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline|Heartbeat|Stall|Deadline|Reap|Orchestrated|Migration' -count=1 \
+		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode ./internal/session ./internal/orch
+
+# Orchestration smoke: a 3-worker in-process pool under spictl, first
+# with a forced live migration (planned rotation at epoch 2, zero
+# aborts), then with a worker killed mid-run (abort + re-place + replay).
+# Both runs verify the orchestrated sink digests bit for bit against the
+# static single-process execution; spictl exits non-zero on any mismatch.
+orch:
+	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 2 -verify
+	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 1 -kill w2@2 -verify
 
 # Observability suite: the obs package under the race detector, the
 # spinode metrics/trace/HTTP integration tests, and the A7 overhead

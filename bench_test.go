@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dataflow"
+	"repro/internal/demo"
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/hdl"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/lpc"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/orch"
 	"repro/internal/particle"
 	"repro/internal/platform"
 	"repro/internal/sched"
@@ -1166,4 +1168,113 @@ func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("loopback/observed", func(b *testing.B) { netTrip(b, lo, "obs-bench", obs.New(), obs.New()) })
 	b.Run("tcp/bare", func(b *testing.B) { netTrip(b, &transport.TCP{}, "127.0.0.1:0", nil, nil) })
 	b.Run("tcp/observed", func(b *testing.B) { netTrip(b, &transport.TCP{}, "127.0.0.1:0", obs.New(), obs.New()) })
+}
+
+// BenchmarkOrch measures the cost of elasticity: the same 3-processor
+// signal chain run statically in-process (<name>/static) and under the
+// internal/orch coordinator with a 3-worker pool (<name>/elastic),
+// including one planned live migration (placement rotation at epoch 1)
+// and one worker death (kill at epoch 2) once b.N spans enough epochs.
+// tokens_per_s is the headline pair metric; the elastic side also
+// reports migrations, migration_downtime_tokens (iterations that had to
+// be re-executed because an epoch aborted — the stall a client would
+// observe), and recovery_ns (abort-to-redispatch wall time).
+// cmd/benchdiff pairs the two as the elastic_vs_static tier.
+func BenchmarkOrch(b *testing.B) {
+	const seed = 3
+	mk := func(b *testing.B) (*dataflow.Graph, *sched.Mapping) {
+		b.Helper()
+		g := dataflow.New("orchbench")
+		src := g.AddActor("src", 1)
+		fir := g.AddActor("fir", 1)
+		snk := g.AddActor("snk", 1)
+		g.AddEdge("sf", src, fir, 1, 1, dataflow.EdgeSpec{TokenBytes: 32, Delay: 1})
+		g.AddEdge("fs", fir, snk, 1, 1, dataflow.EdgeSpec{TokenBytes: 32})
+		m, err := demo.Mapping(g, []int{0, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g, m
+	}
+
+	b.Run("pool=3/static", func(b *testing.B) {
+		g, m := mk(b)
+		digests := demo.Sinks(g)
+		var mu sync.Mutex
+		kernels, err := demo.Kernels(g, seed, digests, &mu)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		if _, err := spi.Execute(g, m, kernels, b.N); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)/s, "tokens_per_s")
+		}
+	})
+
+	b.Run("pool=3/elastic", func(b *testing.B) {
+		g, m := mk(b)
+		tr := transport.NewLoopback()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		stops := map[string]context.CancelFunc{}
+		for i := 0; i < 3; i++ {
+			name := fmt.Sprintf("w%d", i)
+			wk, err := orch.NewWorker(orch.WorkerConfig{
+				Transport: tr, Coord: "bench-coord", Name: name,
+				Kernels: func(spec *spi.PartitionSpec) (*orch.KernelSet, error) {
+					kernels, sinks := demo.PartKernels(spec, seed)
+					return &orch.KernelSet{Kernels: kernels, Collect: sinks.Take}, nil
+				},
+				Retry: transport.RetryConfig{Attempts: 50, BaseDelay: time.Millisecond,
+					MaxDelay: 5 * time.Millisecond},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			wctx, wcancel := context.WithCancel(ctx)
+			defer wcancel()
+			stops[name] = wcancel
+			go wk.Run(wctx)
+		}
+		var killOnce sync.Once
+		coord, err := orch.NewCoordinator(orch.CoordConfig{
+			Transport: tr, Addr: "bench-coord", Graph: g, Mapping: m,
+			Iterations: b.N, EpochIters: 64, MinWorkers: 3,
+			EpochTimeout: 30 * time.Second,
+			OnPlace: func(epoch int, placement []int, ids []uint32) []int {
+				if epoch != 1 || len(ids) < 2 {
+					return placement
+				}
+				rotated := make([]int, len(placement))
+				for p, slot := range placement {
+					rotated[p] = (slot + 1) % len(ids)
+				}
+				return rotated
+			},
+			OnDispatch: func(epoch int) {
+				if epoch == 2 {
+					killOnce.Do(stops["w2"])
+				}
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		rep, err := coord.Run(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(b.N)/s, "tokens_per_s")
+		}
+		b.ReportMetric(float64(rep.Migrations), "migrations")
+		b.ReportMetric(float64(rep.StalledTokens), "migration_downtime_tokens")
+		b.ReportMetric(float64(rep.RecoveryNS), "recovery_ns")
+	})
 }

@@ -4,9 +4,11 @@
 // `<name>/unbatched` (frame coalescing, ablation A8), `<name>/blocked`
 // against `<name>/batched` (vectorized slab packing, ablation A9),
 // `<name>/heartbeat` against `<name>/blocked` (liveness probing cost:
-// the ratio shows heartbeats are near-free under load), and
+// the ratio shows heartbeats are near-free under load),
 // `<name>/sessions` against `<name>/single`
-// (multi-tenant session multiplexing, from cmd/spiload's -bench mode) —
+// (multi-tenant session multiplexing, from cmd/spiload's -bench mode),
+// and `<name>/elastic` against `<name>/static` (orchestrated worker pool
+// with live migration versus the in-process run, from BenchmarkOrch) —
 // computes the throughput/latency/allocation ratios, and writes the
 // whole set as JSON. `make bench-compare` uses it to produce the
 // committed evidence file; it has no external dependencies, so it works
@@ -17,7 +19,9 @@
 // error naming the offending pair, and the process exits non-zero without
 // writing JSON. A sessions-tier result additionally must report a nonzero
 // admitted_sessions count — a load run that admitted nothing measured
-// nothing. Every ratio in the output is finite — no NaN or Inf ever
+// nothing — and an elastic-tier result must report a nonzero migrations
+// count plus the migration_downtime_tokens metric, or the "elastic" run
+// never exercised elasticity. Every ratio in the output is finite — no NaN or Inf ever
 // reaches the report.
 //
 //	go test -run=NONE -bench BenchmarkLinkThroughput -benchmem . \
@@ -81,6 +85,7 @@ var comparisons = []struct {
 	{label: "blocked_vs_batched", base: "batched", improved: "blocked"},
 	{label: "heartbeat_overhead", base: "blocked", improved: "heartbeat", improvedOnly: true},
 	{label: "sessions_vs_single", base: "single", improved: "sessions"},
+	{label: "elastic_vs_static", base: "static", improved: "elastic"},
 }
 
 func main() {
@@ -242,6 +247,24 @@ func build(results []result, ctx map[string]string) (report, []error) {
 				if c.label == "sessions_vs_single" {
 					if v, have := side.Metrics["admitted_sessions"]; !have || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 						errs = append(errs, fmt.Errorf("pair %s (%s): zero sessions admitted in %s",
+							prefix, c.label, side.Name))
+						ok = false
+					}
+				}
+				// An elastic run that never migrated measured a static pool
+				// with extra hops, not elasticity: the elastic side must
+				// prove at least one live migration happened and must carry
+				// the migration-downtime metric (tokens re-executed because
+				// an epoch aborted — legitimately zero when every migration
+				// was planned rather than forced by a death).
+				if c.label == "elastic_vs_static" && side.Name == impName {
+					if v, have := side.Metrics["migrations"]; !have || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						errs = append(errs, fmt.Errorf("pair %s (%s): no migrations recorded in %s",
+							prefix, c.label, side.Name))
+						ok = false
+					}
+					if v, have := side.Metrics["migration_downtime_tokens"]; !have || math.IsNaN(v) || math.IsInf(v, 0) {
+						errs = append(errs, fmt.Errorf("pair %s (%s): migration_downtime_tokens missing in %s",
 							prefix, c.label, side.Name))
 						ok = false
 					}

@@ -226,6 +226,73 @@ func TestBuildZeroAdmittedIsError(t *testing.T) {
 	}
 }
 
+func elasticMetrics(tokens, migrations float64) map[string]float64 {
+	return map[string]float64{
+		"tokens_per_s":              tokens,
+		"ns/op":                     1e9 / tokens,
+		"migrations":                migrations,
+		"migration_downtime_tokens": 64,
+		"recovery_ns":               100000,
+	}
+}
+
+// TestBuildElasticTier pairs the orchestrated elastic pool against the
+// static single-process run.
+func TestBuildElasticTier(t *testing.T) {
+	static := elasticMetrics(4000, 0)
+	delete(static, "migrations") // the base side carries no elasticity metrics
+	delete(static, "migration_downtime_tokens")
+	results := []result{
+		res("BenchmarkOrch/pool=3/static", static),
+		res("BenchmarkOrch/pool=3/elastic", elasticMetrics(1000, 5)),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(rep.Pairs) != 1 || rep.Pairs[0].Comparison != "elastic_vs_static" {
+		t.Fatalf("pairs = %+v", rep.Pairs)
+	}
+	if rep.Pairs[0].SpeedupTokens != 0.25 {
+		t.Errorf("speedup = %v, want 0.25", rep.Pairs[0].SpeedupTokens)
+	}
+}
+
+// TestBuildElasticNoMigrationsIsError: an "elastic" run that never
+// migrated measured a static pool with extra hops — reject it loudly.
+func TestBuildElasticNoMigrationsIsError(t *testing.T) {
+	inert := elasticMetrics(1000, 0)
+	rep, errs := build([]result{
+		res("BenchmarkOrch/pool=3/static", elasticMetrics(4000, 0)),
+		res("BenchmarkOrch/pool=3/elastic", inert),
+	}, nil)
+	if len(errs) == 0 {
+		t.Fatal("zero migrations should be an error")
+	}
+	if !strings.Contains(errs[0].Error(), "no migrations recorded") ||
+		!strings.Contains(errs[0].Error(), "BenchmarkOrch/pool=3/elastic") {
+		t.Errorf("error %v does not name the inert elastic run", errs[0])
+	}
+	if len(rep.Pairs) != 0 {
+		t.Errorf("broken elastic pair still built: %+v", rep.Pairs)
+	}
+
+	// The downtime metric must be present even when zero: dropping it
+	// hides the cost of the migration the run claims to have done.
+	noDowntime := elasticMetrics(1000, 5)
+	delete(noDowntime, "migration_downtime_tokens")
+	_, errs = build([]result{
+		res("BenchmarkOrch/pool=3/static", elasticMetrics(4000, 0)),
+		res("BenchmarkOrch/pool=3/elastic", noDowntime),
+	}, nil)
+	if len(errs) == 0 {
+		t.Fatal("missing migration_downtime_tokens should be an error")
+	}
+	if !strings.Contains(errs[0].Error(), "migration_downtime_tokens missing") {
+		t.Errorf("error %v does not name the missing metric", errs[0])
+	}
+}
+
 func TestTrimProcs(t *testing.T) {
 	if got := trimProcs("BenchmarkX/sub-8"); got != "BenchmarkX/sub" {
 		t.Errorf("trimProcs = %q", got)

@@ -1,0 +1,416 @@
+// Command spictl runs the elastic orchestration control plane: a
+// coordinator that accepts worker registrations, partitions the graph,
+// dispatches each worker only its share, and live-migrates actors across
+// epoch boundaries when the pool changes or a worker dies (see
+// internal/orch).
+//
+// Self-contained smoke (one process, 3 workers over an in-memory
+// transport, one forced live migration, digests checked against the
+// static single-node run):
+//
+//	spictl -inproc 3 -iters 24 -epoch 6 -migrate-at 2 -verify
+//
+// Distributed: run spictl with -listen and point spinode -worker
+// instances at it:
+//
+//	spictl -listen 127.0.0.1:7200 -min-workers 3 -iters 240 -epoch 24
+//	spinode -worker -coord 127.0.0.1:7200 -name w0 -data-host 127.0.0.1
+//
+// Fault injection (in-proc pool only): -kill w1@2 cancels worker w1 as
+// epoch 2 dispatches; -choke w1@2 silences its transport instead, so only
+// heartbeat liveness can declare it dead. Exit status 1 on any failure,
+// including a -verify digest mismatch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/demo"
+	"repro/internal/obs"
+	"repro/internal/orch"
+	"repro/internal/sched"
+	"repro/internal/spi"
+	"repro/internal/transport"
+)
+
+// builtinGraph is the default workload: a 4-actor signal chain whose
+// edges cover every class the partition codec handles — cross-processor
+// static with delay, dynamic with delay, undelayed static, and a
+// same-processor delayed edge. Assign 0,1,2,0.
+const builtinGraph = `graph orchdemo
+actor src 100
+actor fir 220
+actor dec 180
+actor snk 60
+edge sf src fir 1 1 bytes=8 delay=2
+edge fd fir dec 1 1 bytes=16 delay=1 dynamic
+edge ds dec snk 1 1 bytes=4
+edge ss src snk 1 1 bytes=6 delay=1
+`
+
+func main() {
+	var cfg ctlConfig
+	graphPath := flag.String("graph", "", "dataflow graph file (default: a built-in 4-actor chain)")
+	assign := flag.String("assign", "", "comma-separated processor index per actor (default for the built-in graph: 0,1,2,0)")
+	flag.IntVar(&cfg.Iterations, "iters", 24, "total graph iterations to execute")
+	flag.IntVar(&cfg.EpochIters, "epoch", 6, "iterations per epoch (the migration/commit granularity)")
+	flag.Uint64Var(&cfg.Seed, "seed", 1, "deterministic kernel seed (workers must use the same)")
+	flag.StringVar(&cfg.Listen, "listen", "", "TCP control-plane address to accept spinode -worker registrations on")
+	flag.IntVar(&cfg.InProc, "inproc", 0, "spawn this many in-process workers over an in-memory transport instead of listening on TCP")
+	flag.IntVar(&cfg.MinWorkers, "min-workers", 0, "wait for this many workers before the first epoch (default: all of -inproc, else 1)")
+	flag.IntVar(&cfg.MigrateAt, "migrate-at", -1, "force a live migration by rotating the placement at this epoch (-1 = never)")
+	killSpec := flag.String("kill", "", "in-proc fault: cancel worker NAME as epoch E dispatches, e.g. w1@2")
+	chokeSpec := flag.String("choke", "", "in-proc fault: silence worker NAME's transport at epoch E (heartbeat-only death), e.g. w1@2")
+	flag.BoolVar(&cfg.Verify, "verify", false, "run the static single-node reference in-process and require bit-identical sink digests")
+	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 25*time.Millisecond, "control/data link liveness probe interval")
+	flag.DurationVar(&cfg.PeerTimeout, "peer-timeout", 0, "declare a worker dead after this much control-link silence (0 = 4x heartbeat)")
+	flag.DurationVar(&cfg.EpochTimeout, "epoch-timeout", 30*time.Second, "reap workers that stall an epoch past this bound")
+	flag.DurationVar(&cfg.Deadline, "deadline", 5*time.Minute, "hard budget for the whole run")
+	flag.Parse()
+
+	var err error
+	if *graphPath != "" {
+		f, ferr := os.Open(*graphPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "spictl:", ferr)
+			os.Exit(1)
+		}
+		cfg.Graph, err = dataflow.Parse(f)
+		f.Close()
+	} else {
+		cfg.Graph, err = dataflow.Parse(strings.NewReader(builtinGraph))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spictl:", err)
+		os.Exit(1)
+	}
+	switch {
+	case *assign != "":
+		if cfg.Assign, err = parseInts(*assign); err != nil {
+			fmt.Fprintln(os.Stderr, "spictl: -assign:", err)
+			os.Exit(2)
+		}
+	case *graphPath == "":
+		cfg.Assign = []int{0, 1, 2, 0}
+	default:
+		fmt.Fprintln(os.Stderr, "spictl: -assign is required with -graph")
+		os.Exit(2)
+	}
+	if cfg.Kill, err = parseFault(*killSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "spictl: -kill:", err)
+		os.Exit(2)
+	}
+	if cfg.Choke, err = parseFault(*chokeSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "spictl: -choke:", err)
+		os.Exit(2)
+	}
+	if (cfg.Listen == "") == (cfg.InProc == 0) {
+		fmt.Fprintln(os.Stderr, "spictl: exactly one of -listen or -inproc is required")
+		os.Exit(2)
+	}
+	if err := runCtl(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spictl:", err)
+		os.Exit(1)
+	}
+}
+
+// fault names a worker and the epoch at whose dispatch it fires.
+type fault struct {
+	Worker string
+	Epoch  int
+}
+
+func parseFault(s string) (*fault, error) {
+	if s == "" {
+		return nil, nil
+	}
+	name, at, ok := strings.Cut(s, "@")
+	if !ok || name == "" {
+		return nil, fmt.Errorf("want NAME@EPOCH, got %q", s)
+	}
+	e, err := strconv.Atoi(at)
+	if err != nil || e < 0 {
+		return nil, fmt.Errorf("bad epoch in %q", s)
+	}
+	return &fault{Worker: name, Epoch: e}, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ctlConfig is everything runCtl needs; main fills it from flags, tests
+// construct it directly.
+type ctlConfig struct {
+	Graph        *dataflow.Graph
+	Assign       []int
+	Iterations   int
+	EpochIters   int
+	Seed         uint64
+	Listen       string
+	InProc       int
+	MinWorkers   int
+	MigrateAt    int
+	Kill         *fault
+	Choke        *fault
+	Verify       bool
+	Heartbeat    time.Duration
+	PeerTimeout  time.Duration
+	EpochTimeout time.Duration
+	Deadline     time.Duration
+	// Obs optionally instruments the coordinator's links.
+	Obs *obs.Observer
+}
+
+// staticReference runs the unpartitioned single-process execution and
+// returns its per-sink digests — the bit-identity bar the orchestrated
+// run must clear.
+func staticReference(g *dataflow.Graph, m *sched.Mapping, seed uint64, iters int) (map[string]uint64, error) {
+	digests := demo.Sinks(g)
+	var mu sync.Mutex
+	kernels, err := demo.Kernels(g, seed, digests, &mu)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := spi.Execute(g, m, kernels, iters); err != nil {
+		return nil, err
+	}
+	out := map[string]uint64{}
+	for name, d := range digests {
+		out[name] = *d
+	}
+	return out, nil
+}
+
+// runCtl drives one orchestrated run end to end and reports digests and
+// elasticity counters on w.
+func runCtl(cfg ctlConfig, w io.Writer) error {
+	m, err := demo.Mapping(cfg.Graph, cfg.Assign)
+	if err != nil {
+		return err
+	}
+	min := cfg.MinWorkers
+	if min == 0 {
+		if min = cfg.InProc; min == 0 {
+			min = 1
+		}
+	}
+
+	var tr transport.Transport = &transport.TCP{}
+	coordAddr := cfg.Listen
+	if cfg.InProc > 0 {
+		tr = transport.NewLoopback()
+		coordAddr = "spictl-coord"
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Deadline)
+	defer cancel()
+
+	// In-proc pool: each worker gets its own context (so -kill can take
+	// one down) and optionally a choke-wrapped transport.
+	workerErrs := map[string]chan error{}
+	stops := map[string]context.CancelFunc{}
+	var choker *silencer
+	if cfg.InProc > 0 {
+		for i := 0; i < cfg.InProc; i++ {
+			name := fmt.Sprintf("w%d", i)
+			wtr := tr
+			if cfg.Choke != nil && cfg.Choke.Worker == name {
+				choker = &silencer{Transport: tr}
+				wtr = choker
+			}
+			wk, err := orch.NewWorker(orch.WorkerConfig{
+				Transport: wtr, Coord: coordAddr, Name: name,
+				Kernels: func(spec *spi.PartitionSpec) (*orch.KernelSet, error) {
+					kernels, sinks := demo.PartKernels(spec, cfg.Seed)
+					return &orch.KernelSet{Kernels: kernels, Collect: sinks.Take}, nil
+				},
+				Retry:     transport.RetryConfig{Attempts: 50, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+				Heartbeat: cfg.Heartbeat, PeerTimeout: cfg.PeerTimeout,
+				Obs: cfg.Obs,
+			})
+			if err != nil {
+				return err
+			}
+			wctx, wcancel := context.WithCancel(ctx)
+			defer wcancel()
+			stops[name] = wcancel
+			ch := make(chan error, 1)
+			workerErrs[name] = ch
+			go func() { ch <- wk.Run(wctx) }()
+		}
+	}
+
+	ccfg := orch.CoordConfig{
+		Transport: tr, Addr: coordAddr, Graph: cfg.Graph, Mapping: m,
+		Iterations: cfg.Iterations, EpochIters: cfg.EpochIters, MinWorkers: min,
+		Heartbeat: cfg.Heartbeat, PeerTimeout: cfg.PeerTimeout,
+		EpochTimeout: cfg.EpochTimeout, Obs: cfg.Obs,
+	}
+	if cfg.MigrateAt >= 0 {
+		at := cfg.MigrateAt
+		ccfg.OnPlace = func(epoch int, placement []int, ids []uint32) []int {
+			if epoch != at || len(ids) < 2 {
+				return placement
+			}
+			rotated := make([]int, len(placement))
+			for p, slot := range placement {
+				rotated[p] = (slot + 1) % len(ids)
+			}
+			return rotated
+		}
+	}
+	if cfg.Kill != nil || cfg.Choke != nil {
+		var killOnce, chokeOnce sync.Once
+		ccfg.OnDispatch = func(epoch int) {
+			if cfg.Kill != nil && epoch == cfg.Kill.Epoch {
+				if stop := stops[cfg.Kill.Worker]; stop != nil {
+					killOnce.Do(stop)
+				}
+			}
+			if cfg.Choke != nil && epoch == cfg.Choke.Epoch && choker != nil {
+				chokeOnce.Do(choker.Silence)
+			}
+		}
+	}
+	coord, err := orch.NewCoordinator(ccfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "spictl: graph %s, %d iterations in epochs of %d, min %d workers\n",
+		cfg.Graph.Name(), cfg.Iterations, cfg.EpochIters, min)
+	start := time.Now()
+	rep, err := coord.Run(ctx)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	names := make([]string, 0, len(rep.Digests))
+	for name := range rep.Digests {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "digest %s %016x\n", name, rep.Digests[name])
+	}
+	fmt.Fprintf(w, "orch: epochs=%d commits=%d aborts=%d migrations=%d stalled_tokens=%d workers_seen=%d workers_lost=%d recovery=%s elapsed=%s\n",
+		rep.Epochs, rep.Commits, rep.Aborts, rep.Migrations, rep.StalledTokens,
+		rep.WorkersSeen, rep.WorkersLost, time.Duration(rep.RecoveryNS), elapsed.Round(time.Millisecond))
+
+	// A killed or choked in-proc worker exits with an error by design;
+	// every other worker must come home clean.
+	for name, ch := range workerErrs {
+		faulted := (cfg.Kill != nil && cfg.Kill.Worker == name) ||
+			(cfg.Choke != nil && cfg.Choke.Worker == name)
+		if faulted {
+			continue
+		}
+		select {
+		case werr := <-ch:
+			if werr != nil {
+				return fmt.Errorf("worker %s: %w", name, werr)
+			}
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("worker %s did not shut down", name)
+		}
+	}
+
+	if cfg.Verify {
+		want, err := staticReference(cfg.Graph, m, cfg.Seed, cfg.Iterations)
+		if err != nil {
+			return fmt.Errorf("static reference: %w", err)
+		}
+		if len(want) != len(rep.Digests) {
+			return fmt.Errorf("verify: orchestrated run has %d sink digests, static has %d", len(rep.Digests), len(want))
+		}
+		for name, d := range want {
+			if rep.Digests[name] != d {
+				return fmt.Errorf("verify: sink %s digest %016x != static %016x", name, rep.Digests[name], d)
+			}
+		}
+		fmt.Fprintf(w, "verify: %d sink digest(s) bit-identical to the static run\n", len(want))
+	}
+	return nil
+}
+
+// silencer wraps a transport so every connection this side makes or
+// accepts can be silenced at once: writes keep "succeeding" but the peer
+// hears nothing, the failure mode only heartbeat liveness catches.
+type silencer struct {
+	transport.Transport
+	mu     sync.Mutex
+	silent bool
+}
+
+func (s *silencer) Silence() {
+	s.mu.Lock()
+	s.silent = true
+	s.mu.Unlock()
+}
+
+type silentConn struct {
+	transport.Conn
+	s *silencer
+}
+
+func (c *silentConn) Write(p []byte) (int, error) {
+	c.s.mu.Lock()
+	silent := c.s.silent
+	c.s.mu.Unlock()
+	if silent {
+		return len(p), nil
+	}
+	return c.Conn.Write(p)
+}
+
+func (s *silencer) Dial(addr string) (transport.Conn, error) {
+	c, err := s.Transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &silentConn{Conn: c, s: s}, nil
+}
+
+func (s *silencer) Listen(addr string) (transport.Listener, error) {
+	ln, err := s.Transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &silentListener{Listener: ln, s: s}, nil
+}
+
+type silentListener struct {
+	transport.Listener
+	s *silencer
+}
+
+func (l *silentListener) Accept() (transport.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &silentConn{Conn: c, s: l.s}, nil
+}

@@ -103,7 +103,44 @@ func main() {
 		"with -serve: weighted shares of -max-sessions, e.g. alice=3,bob=1")
 	sessionTimeout := flag.Duration("session-timeout", 0,
 		"with -serve: shed a session whose client has been silent this long (0 = never reap)")
+	worker := flag.Bool("worker", false,
+		"orchestrated worker: register with a spictl coordinator and execute dispatched partitions instead of loading a full manifest (see internal/orch)")
+	coordAddr := flag.String("coord", "",
+		"with -worker: the coordinator's control-plane address")
+	workerName := flag.String("name", "",
+		"with -worker: this worker's registration name (default: host:pid)")
+	dataHost := flag.String("data-host", "127.0.0.1",
+		"with -worker: host to bind per-epoch data-plane listeners on (ephemeral ports)")
 	flag.Parse()
+
+	if *worker {
+		// A worker holds no graph and no assignment: partitions arrive
+		// from the coordinator, so -graph/-assign/-addrs do not apply.
+		if *coordAddr == "" {
+			fmt.Fprintln(os.Stderr, "spinode: -worker requires -coord")
+			os.Exit(2)
+		}
+		wcfg := workerConfig{
+			Coord:       *coordAddr,
+			Name:        *workerName,
+			DataHost:    *dataHost,
+			Seed:        cfg.Seed,
+			Heartbeat:   cfg.Heartbeat,
+			PeerTimeout: cfg.PeerTimeout,
+		}
+		if *reconnect > 0 {
+			wcfg.Reconnect = transport.ReconnectConfig{
+				Attempts: *reconnect, Deadline: *reconnectDeadline,
+			}
+		}
+		ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer cancel()
+		if err := runWorker(ctx, wcfg, &transport.TCP{}, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spinode:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *graphPath == "" {
 		fmt.Fprintln(os.Stderr, "spinode: -graph is required")

@@ -1,0 +1,91 @@
+package demo
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/dataflow"
+	"repro/internal/spi"
+)
+
+// PartSinks accumulates the sink digest contributions of one execution
+// epoch. The per-iteration fold is XOR of an iteration-salted product, so
+// contributions are order-independent and compose across epochs, workers,
+// and re-executions: XOR-ing every committed epoch's contribution equals
+// the digest of the unpartitioned run.
+type PartSinks struct {
+	mu      sync.Mutex
+	digests map[string]uint64
+}
+
+// Take snapshots and resets the accumulated contributions — called once
+// per completed epoch, so an aborted epoch's partial contributions are
+// discarded by the next Take's caller simply never committing them.
+func (s *PartSinks) Take() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.digests
+	s.digests = map[string]uint64{}
+	return out
+}
+
+// PartKernels builds the deterministic demo kernels for one partition
+// spec, byte-identical to Kernels over the full graph: the hash folds the
+// graph name, actor name, global iteration, seed, and every input edge in
+// ascending edge-ID order, and outputs are xorshift-filled from the same
+// per-edge seeds. Actors with no output edges fold into sinks. Because
+// every PartActor carries its complete edge lists, sink detection and
+// input ordering need no graph.
+func PartKernels(spec *spi.PartitionSpec, seed uint64) (map[string]spi.Kernel, *PartSinks) {
+	edges := map[uint16]*spi.PartEdge{}
+	for i := range spec.Edges {
+		edges[spec.Edges[i].ID] = &spec.Edges[i]
+	}
+	sinks := &PartSinks{digests: map[string]uint64{}}
+	kernels := map[string]spi.Kernel{}
+	for pi := range spec.Procs {
+		for ai := range spec.Procs[pi].Actors {
+			a := &spec.Procs[pi].Actors[ai]
+			name := a.Name
+			ins := append([]uint16(nil), a.In...)
+			sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+			outs := a.Out
+			kernels[name] = func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+				h := fnv.New64a()
+				fmt.Fprintf(h, "%s|%s|%d|%d", spec.Graph, name, iter, seed)
+				for _, id := range ins {
+					fmt.Fprintf(h, "|%s:", edges[id].Name)
+					h.Write(in[dataflow.EdgeID(id)])
+				}
+				state := h.Sum64()
+				if len(outs) == 0 {
+					sinks.mu.Lock()
+					sinks.digests[name] ^= state * uint64(iter*2654435761+1)
+					sinks.mu.Unlock()
+					return nil, nil
+				}
+				out := map[dataflow.EdgeID][]byte{}
+				for _, id := range outs {
+					e := edges[id]
+					n := int(e.Bytes)
+					if e.Mode == uint8(spi.Dynamic) && n > 1 {
+						n = 1 + int(state%uint64(n))
+					}
+					buf := make([]byte, n)
+					s := state ^ uint64(id)
+					for i := range buf {
+						s ^= s << 13
+						s ^= s >> 7
+						s ^= s << 17
+						buf[i] = byte(s)
+					}
+					out[dataflow.EdgeID(id)] = buf
+				}
+				return out, nil
+			}
+		}
+	}
+	return kernels, sinks
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Balance places processors onto workers by greedy longest-processing-
+// time: processors sorted by descending load land one at a time on the
+// least-loaded worker. The orchestration coordinator feeds it the
+// previous epoch's per-processor busy time, so a hot processor migrates
+// toward idle workers at the next epoch boundary.
+//
+// Every worker is guaranteed at least one processor (a partition must
+// host something): whenever the number of still-empty workers equals the
+// number of unplaced processors, placement is restricted to the empty
+// workers. Ties break on the lower worker index, so placement is
+// deterministic for a given load vector.
+func Balance(load []float64, workers int) ([]int, error) {
+	procs := len(load)
+	if workers < 1 {
+		return nil, fmt.Errorf("sched: balance over %d workers", workers)
+	}
+	if procs < workers {
+		return nil, fmt.Errorf("sched: %d processors cannot cover %d workers", procs, workers)
+	}
+	order := make([]int, procs)
+	for p := range order {
+		order[p] = p
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if load[order[i]] != load[order[j]] {
+			return load[order[i]] > load[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	assigned := make([]int, procs)
+	total := make([]float64, workers)
+	count := make([]int, workers)
+	empty := workers
+	for i, p := range order {
+		mustFill := empty == procs-i
+		best := -1
+		for w := 0; w < workers; w++ {
+			if mustFill && count[w] > 0 {
+				continue
+			}
+			if best < 0 || total[w] < total[best] {
+				best = w
+			}
+		}
+		if count[best] == 0 {
+			empty--
+		}
+		assigned[p] = best
+		total[best] += load[p]
+		count[best]++
+	}
+	return assigned, nil
+}

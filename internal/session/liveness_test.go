@@ -57,12 +57,13 @@ func TestServerReapsAbandonedSession(t *testing.T) {
 	if !samePayloads(ref, sink) {
 		t.Fatal("post-reap session output diverged from reference")
 	}
-	snap = h.srv.Snapshot()
+	// The client can observe CloseDone a beat before the server's
+	// dispatcher books the completion, so poll rather than snapshot once.
+	snap = waitSnapshot(t, h.srv, "the completion to be booked", func(sn Snapshot) bool {
+		return sn.Completed == 1
+	})
 	if snap.Reaped != 1 {
 		t.Errorf("snapshot reaped = %d, want 1", snap.Reaped)
-	}
-	if snap.Completed != 1 {
-		t.Errorf("snapshot completed = %d, want 1", snap.Completed)
 	}
 }
 

@@ -1,0 +1,63 @@
+package session
+
+// Load is a point-in-time admission-load score for one serving node,
+// shaped for placement: an orchestrator (or a front door fanning OPENs
+// across a pool) compares Loads and routes the next session to the
+// least-loaded node. Scores order lexicographically — see Less.
+type Load struct {
+	// Live and Degraded count booked sessions; degraded ones still burn
+	// a slot but are first in line to be shed, so they tie-break after
+	// the live count.
+	Live     int
+	Degraded int
+	// QueuedBytes is the node's total delivered-but-unacknowledged
+	// inbound bytes across all tenants — the backpressure signal.
+	QueuedBytes int64
+	// Capacity is the node's MaxSessions cap, 0 meaning unbounded. A
+	// node at capacity sorts after every node with headroom regardless
+	// of the other fields: routing there would only shed or reject.
+	Capacity int
+}
+
+// Full reports whether the node has no admission headroom left.
+func (l Load) Full() bool { return l.Capacity > 0 && l.Live >= l.Capacity }
+
+// Less orders loads lightest-first: nodes with headroom before full
+// ones, then fewer live sessions, then fewer degraded, then fewer
+// queued bytes.
+func (l Load) Less(o Load) bool {
+	if l.Full() != o.Full() {
+		return !l.Full()
+	}
+	if l.Live != o.Live {
+		return l.Live < o.Live
+	}
+	if l.Degraded != o.Degraded {
+		return l.Degraded < o.Degraded
+	}
+	return l.QueuedBytes < o.QueuedBytes
+}
+
+// Load snapshots this server's admission load.
+func (s *Server) Load() Load {
+	live, degraded := s.adm.counts()
+	return Load{
+		Live:        live,
+		Degraded:    degraded,
+		QueuedBytes: s.adm.totalBytes(),
+		Capacity:    s.cfg.Admission.MaxSessions,
+	}
+}
+
+// PickLeastLoaded returns the index of the lightest load, ties going to
+// the lowest index so a deterministic input order yields a deterministic
+// route. It returns -1 for an empty slice.
+func PickLeastLoaded(loads []Load) int {
+	best := -1
+	for i, l := range loads {
+		if best < 0 || l.Less(loads[best]) {
+			best = i
+		}
+	}
+	return best
+}

@@ -707,7 +707,24 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 			addLink(peer, l)
 		}(peer)
 	}
+	// The accept loop blocks in ln.Accept with no context awareness of its
+	// own; close the listener when the context dies so a cancelled node
+	// (e.g. an orchestrated worker aborting mid-connect) unwinds instead
+	// of waiting forever for a peer that will never dial.
+	connected := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Only unblock the accept loop; the goroutines record their
+			// own, more descriptive errors (the dialers are ctx-aware).
+			if ln != nil {
+				ln.Close()
+			}
+		case <-connected:
+		}
+	}()
 	wg.Wait()
+	close(connected)
 	if firstErr == nil {
 		for peer := range peers {
 			if links[peer] == nil {
@@ -720,8 +737,12 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 		if ln != nil {
 			ln.Close()
 		}
+		// Abort, not Close: a graceful GOODBYE here would both stall this
+		// node for the full close timeout (the peers never answer — they
+		// are mid-epoch) and present to those peers as a clean shutdown,
+		// leaving their receivers parked instead of failing fast.
 		for _, l := range links {
-			l.Close()
+			l.Abort()
 		}
 		return nil, stopNothing, firstErr
 	}

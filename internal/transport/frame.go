@@ -56,6 +56,7 @@ const (
 	// Session-tagged frames occupy 10..15 (see session.go).
 	framePing byte = 16
 	framePong byte = 17
+	// Control-plane frames use 18 (see ctrl.go).
 
 	helloMagic      uint32 = 0x53504931 // "SPI1"
 	helloVersion    byte   = 3
@@ -104,9 +105,12 @@ const (
 // buffering them until the peer's cumulative ack means a RESUME replay
 // recovers every live session's unacknowledged tail — per-session resume
 // rides the link-level machinery with no extra state.
+// CTRL frames are numbered so the orchestration conversation survives a
+// reconnect: a dispatch or completion report lost to a severed connection
+// is replayed by RESUME instead of silently vanishing.
 func numberedFrame(typ byte) bool {
 	return typ == frameData || typ == frameAck || typ == frameFin || typ == frameGoodbye ||
-		typ == frameDataAck || sessionFrame(typ)
+		typ == frameDataAck || sessionFrame(typ) || typ == frameCtrl
 }
 
 // EdgeDecl is one edge's entry in the handshake manifest. Both sides of a

@@ -92,6 +92,12 @@ type LinkConfig struct {
 	// untagged session. The handler passed to NewLink/AcceptConn must
 	// implement SessionHandler when Sessions is set.
 	Sessions bool
+	// Ctrl advertises and, when the peer advertises it too, enables the
+	// control plane: CTRL frames carrying the orchestration
+	// coordinator/worker conversation (see CtrlHandler). Mutual-optional
+	// like Sessions — an old peer negotiates it off. The handler passed
+	// to NewLink/AcceptConn must implement CtrlHandler when Ctrl is set.
+	Ctrl bool
 	// Heartbeat enables active liveness probing: this side advertises
 	// featHeartbeat in its HELLO and, when the peer advertised it too, a
 	// per-link prober sends a PING whenever no frame has been heard from
@@ -317,8 +323,10 @@ type Link struct {
 	batchOn bool           // write coalescing configured
 	piggyOn bool           // ack piggybacking negotiated with the peer
 	sessOn  bool           // session multiplexing negotiated with the peer
+	ctrlOn  bool           // control plane negotiated with the peer
 	hbOn    bool           // heartbeat probing negotiated with the peer
 	sh      SessionHandler // h's session extension, when it has one
+	ch      CtrlHandler    // h's control-plane extension, when it has one
 
 	// Liveness tracking, lock-free: lastHeard is the UnixNano of the last
 	// tick at which the pinger saw the inbound frame counter move (plus
@@ -423,6 +431,9 @@ func (c *LinkConfig) features() uint32 {
 	}
 	if c.Sessions {
 		f |= featSessions
+	}
+	if c.Ctrl {
+		f |= featOrch
 	}
 	if c.Heartbeat > 0 {
 		f |= featHeartbeat
@@ -567,6 +578,9 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 	// once here so the read loop dispatches without a per-frame assert.
 	l.sessOn = cfg.Sessions && peerFeatures&featSessions != 0
 	l.sh, _ = h.(SessionHandler)
+	// The control plane likewise.
+	l.ctrlOn = cfg.Ctrl && peerFeatures&featOrch != 0
+	l.ch, _ = h.(CtrlHandler)
 	// Heartbeats likewise: probes flow only when this side wants them and
 	// the peer can answer them.
 	l.hbOn = cfg.Heartbeat > 0 && peerFeatures&featHeartbeat != 0

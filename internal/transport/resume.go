@@ -144,6 +144,11 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
 				return
 			}
+		case frameCtrl:
+			if derr := l.dispatchCtrl(body); derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
 		case framePing:
 			ts, derr := decodePing(body)
 			if derr != nil {
