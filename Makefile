@@ -43,9 +43,12 @@ bench-smoke:
 # dependency). The elastic_vs_static tier compares the orchestrated
 # worker pool (with a forced migration and a worker kill) against the
 # static single-process run and records migration downtime (tokens
-# stalled) as a first-class metric. BENCHOUT is the committed evidence
-# file.
-BENCHOUT ?= BENCH_8.json
+# stalled) as a first-class metric. The resync_vs_blocked tier compares
+# the blocked rung with the wire-level resynchronization suppression set
+# active — benchdiff requires its acks_suppressed_per_msg evidence to be
+# nonzero, proving the §4 verdict actually removed ack traffic. BENCHOUT
+# is the committed evidence file.
+BENCHOUT ?= BENCH_9.json
 bench-compare:
 	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchdiff -o $(BENCHOUT)
@@ -60,6 +63,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeBatched -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodePing -fuzztime=5s ./internal/transport
+	$(GO) test -run=NONE -fuzz=FuzzDecodeResync -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCtrl -fuzztime=5s ./internal/orch
 
 # Multi-tenant load smoke: 100 sessions multiplexed over one shared link
@@ -78,10 +82,12 @@ load:
 # liveness layer (heartbeat timeouts, stall watchdog, deadline unwinding,
 # session reaping), the pipeline.sdf + LPC residual chaos harnesses, and
 # the orchestration layer's migration-under-fault suite (worker kill,
-# heartbeat-declared death, mid-block sever + live migration).
+# heartbeat-declared death, mid-block sever + live migration), and the
+# resync suite (ack suppression surviving drops, severs, and resumption
+# with bit-identical digests and zero acks on suppressed edges).
 # Deterministic (seeded), so failures reproduce.
 chaos:
-	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline|Heartbeat|Stall|Deadline|Reap|Orchestrated|Migration' -count=1 \
+	$(GO) test -race -run 'Chaos|Degraded|Fault|BatchResume|BatchFlushDeadline|Heartbeat|Stall|Deadline|Reap|Orchestrated|Migration|Resync' -count=1 \
 		./internal/transport ./internal/spi ./internal/lpc ./cmd/spinode ./internal/session ./internal/orch
 
 # Orchestration smoke: a 3-worker in-process pool under spictl, first
@@ -92,6 +98,7 @@ chaos:
 orch:
 	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 2 -verify
 	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 1 -kill w2@2 -verify
+	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 2 -resync -verify
 
 # Observability suite: the obs package under the race detector, the
 # spinode metrics/trace/HTTP integration tests, and the A7 overhead

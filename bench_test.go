@@ -771,7 +771,11 @@ func BenchmarkTransportRoundTrip(b *testing.B) {
 // enabled: pings only fire on idle links, so under saturation the tier
 // measures the per-frame last-heard tracking and pinger-ticker cost —
 // the heartbeat_overhead evidence that liveness is near-free on the hot
-// path); the chan carrier is the in-process upper bound.
+// path), and resync (the blocked tuning with the edge in the negotiated
+// ack-suppression set, so the receiver emits no UBS acks at all —
+// acks_suppressed_per_msg is the resync_vs_blocked evidence that the §4
+// verdict removes the remaining ack traffic); the chan carrier is the
+// in-process upper bound.
 func BenchmarkLinkThroughput(b *testing.B) {
 	const edgeID = 1
 	const size = 16
@@ -865,7 +869,7 @@ func BenchmarkLinkThroughput(b *testing.B) {
 
 	network := func(b *testing.B, tr transport.Transport, addr string, mode string) {
 		batched := mode != "unbatched"
-		blocked := mode == "blocked" || mode == "heartbeat"
+		blocked := mode == "blocked" || mode == "heartbeat" || mode == "resync"
 		maxBytes := size
 		if blocked {
 			maxBytes = spi.SlabBound(size, true, blockTokens)
@@ -885,6 +889,13 @@ func BenchmarkLinkThroughput(b *testing.B) {
 			}
 		}
 		tune := func(cfg *transport.LinkConfig) {
+			// A one-way stream at slab rates fills the default 256-frame
+			// resend window and then paces on cumulative-ack round trips,
+			// which would make every pairwise tier measure flow-control
+			// latency coupling instead of the protocol cost it isolates;
+			// the same generous window for every mode takes that variable
+			// out of all of them.
+			cfg.ResendLimit = 4096
 			if batched {
 				cfg.Batch = transport.BatchConfig{MaxFrames: 32, MaxBytes: 64 << 10, MaxDelay: 100 * time.Microsecond}
 				cfg.PiggybackAcks = true
@@ -896,6 +907,9 @@ func BenchmarkLinkThroughput(b *testing.B) {
 				// tearing the benchmark link down mid-run.
 				cfg.Heartbeat = 5 * time.Millisecond
 				cfg.PeerTimeout = 2 * time.Second
+			}
+			if mode == "resync" {
+				cfg.ResyncEdges = []uint16{edgeID}
 			}
 		}
 		ln, err := tr.Listen(addr)
@@ -963,6 +977,11 @@ func BenchmarkLinkThroughput(b *testing.B) {
 			// evidence the protocol adds no wire traffic under load.
 			b.ReportMetric(float64(sa.PingsSent+sb.PingsSent)/float64(b.N), "pings_per_msg")
 		}
+		if mode == "resync" {
+			// Every UBS message still triggers a SendAck; with the edge in
+			// the negotiated suppression set none of them reach the wire.
+			b.ReportMetric(float64(sb.AcksSuppressed)/float64(b.N), "acks_suppressed_per_msg")
+		}
 		var wg sync.WaitGroup
 		for _, l := range []*transport.Link{linkA, linkB} {
 			wg.Add(1)
@@ -973,7 +992,7 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		rtB.CloseAll()
 	}
 
-	for _, mode := range []string{"unbatched", "batched", "blocked", "heartbeat"} {
+	for _, mode := range []string{"unbatched", "batched", "blocked", "heartbeat", "resync"} {
 		mode := mode
 		b.Run("loopback/"+mode, func(b *testing.B) {
 			network(b, transport.NewLoopback(), "throughput-bench", mode)

@@ -5,6 +5,8 @@
 // against `<name>/batched` (vectorized slab packing, ablation A9),
 // `<name>/heartbeat` against `<name>/blocked` (liveness probing cost:
 // the ratio shows heartbeats are near-free under load),
+// `<name>/resync` against `<name>/blocked` (wire-level resynchronization:
+// the §4 sync-graph verdict suppresses the remaining UBS acks entirely),
 // `<name>/sessions` against `<name>/single`
 // (multi-tenant session multiplexing, from cmd/spiload's -bench mode),
 // and `<name>/elastic` against `<name>/static` (orchestrated worker pool
@@ -19,7 +21,9 @@
 // error naming the offending pair, and the process exits non-zero without
 // writing JSON. A sessions-tier result additionally must report a nonzero
 // admitted_sessions count — a load run that admitted nothing measured
-// nothing — and an elastic-tier result must report a nonzero migrations
+// nothing — a resync-tier result must report a nonzero
+// acks_suppressed_per_msg (a "resync" run that suppressed no acks proved
+// nothing about the verdict) — and an elastic-tier result must report a nonzero migrations
 // count plus the migration_downtime_tokens metric, or the "elastic" run
 // never exercised elasticity. Every ratio in the output is finite — no NaN or Inf ever
 // reaches the report.
@@ -84,6 +88,7 @@ var comparisons = []struct {
 	{label: "batched_vs_unbatched", base: "unbatched", improved: "batched"},
 	{label: "blocked_vs_batched", base: "batched", improved: "blocked"},
 	{label: "heartbeat_overhead", base: "blocked", improved: "heartbeat", improvedOnly: true},
+	{label: "resync_vs_blocked", base: "blocked", improved: "resync", improvedOnly: true},
 	{label: "sessions_vs_single", base: "single", improved: "sessions"},
 	{label: "elastic_vs_static", base: "static", improved: "elastic"},
 }
@@ -247,6 +252,16 @@ func build(results []result, ctx map[string]string) (report, []error) {
 				if c.label == "sessions_vs_single" {
 					if v, have := side.Metrics["admitted_sessions"]; !have || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 						errs = append(errs, fmt.Errorf("pair %s (%s): zero sessions admitted in %s",
+							prefix, c.label, side.Name))
+						ok = false
+					}
+				}
+				// A "resync" run that swallowed no acks never exercised the
+				// suppression set — the tier would be comparing blocked
+				// against itself and calling the noise an ack reduction.
+				if c.label == "resync_vs_blocked" && side.Name == impName {
+					if v, have := side.Metrics["acks_suppressed_per_msg"]; !have || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						errs = append(errs, fmt.Errorf("pair %s (%s): acks_suppressed_per_msg missing or zero in %s",
 							prefix, c.label, side.Name))
 						ok = false
 					}

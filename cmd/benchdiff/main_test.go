@@ -89,6 +89,70 @@ func TestBuildHeartbeatOverlayTier(t *testing.T) {
 	}
 }
 
+// TestBuildResyncTier: the resync tier is an overlay over the blocked
+// rung, and its improved side must prove it actually suppressed acks —
+// a zero or absent acks_suppressed_per_msg is a named error, no report.
+func TestBuildResyncTier(t *testing.T) {
+	resync := full(9900)
+	resync["ack_frames_per_msg"] = 0
+	resync["acks_suppressed_per_msg"] = 0.0625
+	results := []result{
+		res("BenchmarkLinkThroughput/loopback/unbatched", full(1000)),
+		res("BenchmarkLinkThroughput/loopback/batched", full(3000)),
+		res("BenchmarkLinkThroughput/loopback/blocked", full(9000)),
+		res("BenchmarkLinkThroughput/loopback/resync", resync),
+	}
+	rep, errs := build(results, nil)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	var rs *pair
+	for i := range rep.Pairs {
+		if rep.Pairs[i].Comparison == "resync_vs_blocked" {
+			rs = &rep.Pairs[i]
+		}
+	}
+	if rs == nil {
+		t.Fatalf("no resync_vs_blocked pair in %+v", rep.Pairs)
+	}
+	if rs.Base.Name != "BenchmarkLinkThroughput/loopback/blocked" {
+		t.Errorf("resync tier base = %s, want the blocked rung", rs.Base.Name)
+	}
+	if rs.SpeedupTokens != 1.1 {
+		t.Errorf("resync speedup = %v, want 1.1", rs.SpeedupTokens)
+	}
+
+	// A "resync" run that swallowed nothing proved nothing.
+	inert := full(9900)
+	inert["acks_suppressed_per_msg"] = 0
+	_, errs = build([]result{
+		res("BenchmarkLinkThroughput/loopback/unbatched", full(1000)),
+		res("BenchmarkLinkThroughput/loopback/batched", full(3000)),
+		res("BenchmarkLinkThroughput/loopback/blocked", full(9000)),
+		res("BenchmarkLinkThroughput/loopback/resync", inert),
+	}, nil)
+	joined := ""
+	for _, err := range errs {
+		joined += err.Error() + "\n"
+	}
+	if !strings.Contains(joined, "acks_suppressed_per_msg missing or zero") ||
+		!strings.Contains(joined, "loopback/resync") {
+		t.Errorf("errors %q do not flag the inert resync run", joined)
+	}
+
+	// resync without its blocked baseline: a named error, no report.
+	_, errs = build([]result{
+		res("BenchmarkLinkThroughput/tcp/resync", resync),
+	}, nil)
+	joined = ""
+	for _, err := range errs {
+		joined += err.Error() + "\n"
+	}
+	if !strings.Contains(joined, "tcp/blocked missing") {
+		t.Errorf("errors %q do not flag the missing blocked baseline", joined)
+	}
+}
+
 func TestBuildMissingSideIsNamedError(t *testing.T) {
 	results := []result{
 		res("BenchmarkLinkThroughput/tcp/batched", full(3000)),

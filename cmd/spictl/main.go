@@ -71,6 +71,7 @@ func main() {
 	flag.IntVar(&cfg.MigrateAt, "migrate-at", -1, "force a live migration by rotating the placement at this epoch (-1 = never)")
 	killSpec := flag.String("kill", "", "in-proc fault: cancel worker NAME as epoch E dispatches, e.g. w1@2")
 	chokeSpec := flag.String("choke", "", "in-proc fault: silence worker NAME's transport at epoch E (heartbeat-only death), e.g. w1@2")
+	flag.BoolVar(&cfg.Resync, "resync", false, "suppress UBS acks on edges the sync graph proves redundant; workers negotiate the suppression set per link and every epoch's re-placement recomputes it")
 	flag.BoolVar(&cfg.Verify, "verify", false, "run the static single-node reference in-process and require bit-identical sink digests")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 25*time.Millisecond, "control/data link liveness probe interval")
 	flag.DurationVar(&cfg.PeerTimeout, "peer-timeout", 0, "declare a worker dead after this much control-link silence (0 = 4x heartbeat)")
@@ -175,6 +176,7 @@ type ctlConfig struct {
 	MigrateAt    int
 	Kill         *fault
 	Choke        *fault
+	Resync       bool
 	Verify       bool
 	Heartbeat    time.Duration
 	PeerTimeout  time.Duration
@@ -266,7 +268,7 @@ func runCtl(cfg ctlConfig, w io.Writer) error {
 		Transport: tr, Addr: coordAddr, Graph: cfg.Graph, Mapping: m,
 		Iterations: cfg.Iterations, EpochIters: cfg.EpochIters, MinWorkers: min,
 		Heartbeat: cfg.Heartbeat, PeerTimeout: cfg.PeerTimeout,
-		EpochTimeout: cfg.EpochTimeout, Obs: cfg.Obs,
+		EpochTimeout: cfg.EpochTimeout, Resync: cfg.Resync, Obs: cfg.Obs,
 	}
 	if cfg.MigrateAt >= 0 {
 		at := cfg.MigrateAt

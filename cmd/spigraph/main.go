@@ -5,17 +5,28 @@
 //	spigraph -graph fig1   # the paper's VTS example
 //	spigraph -graph app1   # the n-PE actor D system
 //	spigraph -graph app2   # the 2-PE particle filter system
+//
+// The wire-level resynchronization verdict — which interprocessor UBS
+// acks a distributed deployment suppresses, and the covering path that
+// proves each one redundant:
+//
+//	spigraph -graph app1 -resync -format=wire
+//	spigraph -file pipeline.sdf -assign 0,1,1 -resync -format=wire
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/dataflow"
+	"repro/internal/demo"
 	"repro/internal/lpc"
 	"repro/internal/particle"
 	"repro/internal/sched"
+	"repro/internal/spi"
 	"repro/internal/syncgraph"
 	"repro/internal/vts"
 )
@@ -23,15 +34,23 @@ import (
 func main() {
 	graph := flag.String("graph", "fig1", "graph to analyze: fig1, app1, app1full, app2")
 	file := flag.String("file", "", "load a graph description file instead of a built-in graph")
+	assign := flag.String("assign", "", "with -file: comma-separated processor index per actor, building the mapping -resync analyzes")
 	pes := flag.Int("pes", 3, "PE count for app graphs")
 	dot := flag.Bool("dot", false, "print the graph in Graphviz DOT format instead of the analysis")
+	resync := flag.Bool("resync", false, "emit the wire-level ack-suppression verdict: per-edge suppress/keep with covering-path witnesses (needs a mapping: app1, app2, or -file with -assign)")
+	format := flag.String("format", "wire", "with -resync: output format (only \"wire\")")
 	flag.Parse()
 	emitDOT = *dot
+	resyncWire = *resync
+	if resyncWire && *format != "wire" {
+		fmt.Fprintf(os.Stderr, "spigraph: unknown -format %q (only \"wire\")\n", *format)
+		os.Exit(2)
+	}
 
 	var err error
 	switch {
 	case *file != "":
-		err = analyzeFile(*file)
+		err = analyzeFile(*file, *assign)
 	case *graph == "fig1":
 		err = analyzeFig1()
 	case *graph == "app1full":
@@ -65,10 +84,14 @@ func main() {
 	}
 }
 
-// emitDOT switches printVTS-style analyses to Graphviz output.
-var emitDOT bool
+// emitDOT switches printVTS-style analyses to Graphviz output; resyncWire
+// appends the wire-level ack-suppression verdict where a mapping exists.
+var (
+	emitDOT    bool
+	resyncWire bool
+)
 
-func analyzeFile(path string) error {
+func analyzeFile(path, assign string) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -83,7 +106,62 @@ func analyzeFile(path string) error {
 		return nil
 	}
 	fmt.Print(g)
-	return printVTS(g)
+	if err := printVTS(g); err != nil {
+		return err
+	}
+	if !resyncWire {
+		return nil
+	}
+	if assign == "" {
+		return fmt.Errorf("-resync with -file needs -assign to define the mapping")
+	}
+	procs, err := parseInts(assign)
+	if err != nil {
+		return fmt.Errorf("-assign: %w", err)
+	}
+	m, err := demo.Mapping(g, procs)
+	if err != nil {
+		return err
+	}
+	return printResyncWire(g, m)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad entry %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// printResyncWire renders spi.ResyncSuppression as it lands on the wire:
+// one row per interprocessor edge, suppress or keep, with the covering
+// path that justifies each suppression, then the negotiated ID set.
+func printResyncWire(g *dataflow.Graph, m *sched.Mapping) error {
+	plan, err := spi.ResyncSuppression(g, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resync wire verdict: %d ack feedback edge(s), %d suppressed, %d surviving\n",
+		plan.AckFeedback, len(plan.Suppressed), plan.AckSurviving)
+	for _, eid := range g.Edges() {
+		e := g.Edge(eid)
+		if m.Proc[e.Src] == m.Proc[e.Snk] {
+			continue
+		}
+		if witness, ok := plan.Suppressed[eid]; ok {
+			fmt.Printf("  edge %-3d %-12s suppress  via %s\n", eid, e.Name, witness)
+		} else {
+			fmt.Printf("  edge %-3d %-12s keep\n", eid, e.Name)
+		}
+	}
+	fmt.Printf("wire suppression set: %v\n", plan.SuppressedIDs())
+	return nil
 }
 
 // analyzeFullApp1 analyzes the five-actor application-1 pipeline of the
@@ -186,6 +264,11 @@ func analyzeSystem(build func() (*dataflow.Graph, *sched.Mapping, error)) error 
 	syncgraph.AddAllFeedback(sg, 1)
 	rep := syncgraph.Resynchronize(sg, syncgraph.ResyncOptions{})
 	fmt.Println(rep)
+	if resyncWire {
+		if err := printResyncWire(g, m); err != nil {
+			return err
+		}
+	}
 	res, err := sched.SelfTimed(g, m, sched.SelfTimedConfig{Iterations: 20, Warmup: 5})
 	if err != nil {
 		return err

@@ -87,6 +87,8 @@ func main() {
 		"carry acknowledgements on outgoing DATA frames when the peer supports it")
 	flag.IntVar(&cfg.Block, "block", 0,
 		"vectorization blocking factor B: fire B iterations per block and pack B tokens per message on block-aligned edges; all nodes must agree (0 = off, bit-identical digests either way)")
+	flag.BoolVar(&cfg.Resync, "resync", false,
+		"suppress UBS acks on edges whose synchronization the sync graph proves another path already covers; negotiated per link, all nodes must agree (bit-identical digests either way)")
 	flag.StringVar(&cfg.HTTPAddr, "http", "",
 		"serve live introspection (GET /metrics, /healthz, /trace) on this address, e.g. 127.0.0.1:9090")
 	flag.DurationVar(&cfg.StatsInterval, "stats-interval", 0,
@@ -273,6 +275,9 @@ type nodeConfig struct {
 	// Block is the vectorization blocking factor B (0 or 1 = scalar); all
 	// nodes must use the same value, enforced by the HELLO handshake.
 	Block int
+	// Resync suppresses redundant UBS acks per the §4 sync-graph verdict;
+	// all nodes must agree (enforced per link at handshake).
+	Resync bool
 	// HTTPAddr, when set, serves GET /metrics (Prometheus text),
 	// /healthz (JSON status), and /trace (Chrome trace_event JSON) for
 	// the duration of the run.
@@ -416,6 +421,7 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		Batch:         cfg.Batch,
 		PiggybackAcks: cfg.PiggybackAcks,
 		Block:         cfg.Block,
+		Resync:        cfg.Resync,
 		Heartbeat:     cfg.Heartbeat,
 		PeerTimeout:   cfg.PeerTimeout,
 		StallTimeout:  cfg.StallTimeout,
@@ -460,9 +466,9 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 		fmt.Fprintf(w, "stats: %d messages, %d wire bytes, %d acks, %d local transfers\n",
 			st.SPI.Messages, st.SPI.WireBytes, st.SPI.Acks, st.LocalTransfers)
 		for _, e := range st.Edges {
-			fmt.Fprintf(w, "  edge %s (%s): %d messages, %d data bytes, %d acks, %d ack bytes, %d piggybacked\n",
+			fmt.Fprintf(w, "  edge %s (%s): %d messages, %d data bytes, %d acks, %d ack bytes, %d piggybacked, %d suppressed\n",
 				e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes,
-				e.Stats.AcksPiggybacked)
+				e.Stats.AcksPiggybacked, e.Stats.AcksSuppressed)
 		}
 	}
 	if de != nil {

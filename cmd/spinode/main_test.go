@@ -165,7 +165,7 @@ func loadPipelineSDF(t *testing.T) *dataflow.Graph {
 // returns both nodes' outputs and errors. A watchdog bounds the run so a
 // failed recovery cannot hang the suite.
 func runTwoNodes(t *testing.T, newGraph func(t *testing.T) *dataflow.Graph, tr transport.Transport,
-	iters int, rc transport.ReconnectConfig, degrade bool, block int) ([2]*bytes.Buffer, [2]error) {
+	iters int, rc transport.ReconnectConfig, degrade bool, block int, resync bool) ([2]*bytes.Buffer, [2]error) {
 	t.Helper()
 	ln, err := tr.Listen("chaos-node0")
 	if err != nil {
@@ -190,6 +190,7 @@ func runTwoNodes(t *testing.T, newGraph func(t *testing.T) *dataflow.Graph, tr t
 				Reconnect:  rc,
 				Degrade:    degrade,
 				Block:      block,
+				Resync:     resync,
 			}
 			var lnArg transport.Listener
 			if node == 0 {
@@ -243,7 +244,7 @@ func TestPipelineChaosRecovers(t *testing.T) {
 				t.Fatal(err)
 			}
 			ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
-			outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 0)
+			outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 0, false)
 			for node, err := range errs {
 				if err != nil {
 					t.Fatalf("node %d: %v (faults: %+v)\n%s", node, err, ft.Stats(), outs[node].String())
@@ -283,7 +284,7 @@ func TestPipelineBlockedMatchesSingle(t *testing.T) {
 	}
 	for _, block := range []int{2, 4, 7} { // 7 leaves a partial final block of 5
 		outs, errs := runTwoNodes(t, loadPipelineSDF, transport.NewLoopback(), iters,
-			transport.ReconnectConfig{}, false, block)
+			transport.ReconnectConfig{}, false, block, false)
 		for node, err := range errs {
 			if err != nil {
 				t.Fatalf("block %d node %d: %v\n%s", block, node, err, outs[node].String())
@@ -320,7 +321,7 @@ func TestPipelineBlockedChaosRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
-	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 4)
+	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 4, false)
 	for node, err := range errs {
 		if err != nil {
 			t.Fatalf("node %d: %v (faults: %+v)\n%s", node, err, ft.Stats(), outs[node].String())
@@ -329,6 +330,66 @@ func TestPipelineBlockedChaosRecovers(t *testing.T) {
 	got := append(digestLines(outs[0].String()), digestLines(outs[1].String())...)
 	if len(got) != 1 || got[0] != want[0] {
 		t.Errorf("blocked chaos digests diverged:\nwant %v\ngot  %v (faults: %+v)", want, got, ft.Stats())
+	}
+}
+
+// TestPipelineResyncChaosRecovers runs pipeline.sdf under chaos with
+// -resync on both nodes. The graph's only cross-node edge (sm) is static,
+// so the suppression set is empty on both sides, neither advertises the
+// resync capability, and the link falls back to full acking — the test
+// pins that an empty verdict degrades to exactly the unoptimized wire
+// behavior with a bit-identical digest across drops and severs.
+func TestPipelineResyncChaosRecovers(t *testing.T) {
+	const iters = 40
+	single := nodeConfig{
+		Graph:      loadPipelineSDF(t),
+		Assign:     []int{0, 1, 1},
+		NodeOf:     []int{0, 0},
+		Addrs:      []string{"only"},
+		Iterations: iters,
+		Seed:       7,
+	}
+	var ref bytes.Buffer
+	if err := runNode(single, transport.NewLoopback(), nil, &ref); err != nil {
+		t.Fatal(err)
+	}
+	want := digestLines(ref.String())
+	if len(want) != 1 {
+		t.Fatalf("single-node run printed %d digest lines:\n%s", len(want), ref.String())
+	}
+	rc := transport.ReconnectConfig{Attempts: 50, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Deadline: 20 * time.Second}
+	for _, spec := range []string{
+		"seed=41,drop=0.05,skip=6,maxfaults=25",
+		"seed=42,severat=9;31,skip=6",
+	} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			fc, err := transport.ParseFaultSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
+			outs, errs := runTwoNodes(t, loadPipelineSDF, ft, iters, rc, false, 0, true)
+			for node, err := range errs {
+				if err != nil {
+					t.Fatalf("node %d: %v (faults: %+v)\n%s", node, err, ft.Stats(), outs[node].String())
+				}
+			}
+			got := append(digestLines(outs[0].String()), digestLines(outs[1].String())...)
+			if len(got) != 1 || got[0] != want[0] {
+				t.Errorf("digests diverged under %s with -resync:\nwant %v\ngot  %v (faults: %+v)",
+					spec, want, got, ft.Stats())
+			}
+			for node := 0; node < 2; node++ {
+				for _, line := range strings.Split(outs[node].String(), "\n") {
+					if strings.Contains(line, "suppressed") && !strings.HasSuffix(line, " 0 suppressed") {
+						t.Errorf("node %d reported suppressed acks on a graph with no suppressible edges: %q",
+							node, line)
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -343,7 +404,7 @@ func TestPipelineDegradedExit(t *testing.T) {
 	ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
 	rc := transport.ReconnectConfig{Attempts: 4, BaseDelay: time.Millisecond,
 		MaxDelay: 2 * time.Millisecond, Deadline: 500 * time.Millisecond}
-	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true, 0)
+	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true, 0, false)
 	for node, err := range errs {
 		var de *spi.DegradedError
 		if !errors.As(err, &de) {

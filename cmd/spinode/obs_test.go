@@ -331,7 +331,7 @@ func TestDegradedSummaryReportsFirings(t *testing.T) {
 	ft := transport.NewFaultTransport(transport.NewLoopback(), fc)
 	rc := transport.ReconnectConfig{Attempts: 4, BaseDelay: time.Millisecond,
 		MaxDelay: 2 * time.Millisecond, Deadline: 500 * time.Millisecond}
-	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true, 0)
+	outs, errs := runTwoNodes(t, loadPipelineSDF, ft, 200, rc, true, 0, false)
 	firingLine := regexp.MustCompile(`(\w+) completed (\d+)/200 firings`)
 	for node, err := range errs {
 		if err == nil {

@@ -45,6 +45,8 @@ func main() {
 		"networked runs: carry acknowledgements on outgoing DATA frames")
 	flag.IntVar(&netBlock, "block", 0,
 		"networked runs: vectorization blocking factor B — fire B iterations per block and pack B tokens per message on block-aligned edges (0 = off, bit-identical outputs either way)")
+	flag.BoolVar(&netResync, "resync", false,
+		"networked runs: suppress UBS acks on edges whose synchronization the sync graph proves redundant; negotiated per link (bit-identical outputs either way)")
 	sessions := flag.Int("sessions", 0,
 		"networked speech runs: run this many concurrent actor-D sessions multiplexed over one shared link; per-edge stats aggregate across sessions (0 = one plain execution)")
 	flag.DurationVar(&netHeartbeat, "heartbeat", 0,
@@ -78,6 +80,7 @@ var (
 	netBatch        transport.BatchConfig
 	netPiggyback    bool
 	netBlock        int
+	netResync       bool
 	netHeartbeat    time.Duration
 	netPeerTimeout  time.Duration
 	netDeadline     time.Duration
@@ -240,6 +243,7 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 				Batch:         netBatch,
 				PiggybackAcks: netPiggyback,
 				Block:         netBlock,
+				Resync:        netResync,
 				Heartbeat:     netHeartbeat,
 				PeerTimeout:   netPeerTimeout,
 				StallTimeout:  netStallTimeout,
@@ -294,6 +298,7 @@ func mergeEdgeTraffic(lists ...[]spi.EdgeTraffic) []spi.EdgeTraffic {
 			m.Stats.Acks += e.Stats.Acks
 			m.Stats.AckBytes += e.Stats.AckBytes
 			m.Stats.AcksPiggybacked += e.Stats.AcksPiggybacked
+			m.Stats.AcksSuppressed += e.Stats.AcksSuppressed
 			m.Stats.CreditWaits += e.Stats.CreditWaits
 			if e.Stats.MaxQueued > m.Stats.MaxQueued {
 				m.Stats.MaxQueued = e.Stats.MaxQueued
@@ -313,11 +318,11 @@ func printEdgeTable(edges []spi.EdgeTraffic) {
 	if len(edges) == 0 {
 		return
 	}
-	fmt.Printf("  %-10s %-8s %9s %11s %10s %10s %10s\n", "edge", "proto", "messages", "data bytes", "acks", "ack bytes", "piggyback")
+	fmt.Printf("  %-10s %-8s %9s %11s %10s %10s %10s %10s\n", "edge", "proto", "messages", "data bytes", "acks", "ack bytes", "piggyback", "suppressed")
 	for _, e := range edges {
-		fmt.Printf("  %-10s %-8s %9d %11d %10d %10d %10d\n",
+		fmt.Printf("  %-10s %-8s %9d %11d %10d %10d %10d %10d\n",
 			e.Name, e.Protocol, e.Stats.Messages, e.Stats.WireBytes, e.Stats.Acks, e.Stats.AckBytes,
-			e.Stats.AcksPiggybacked)
+			e.Stats.AcksPiggybacked, e.Stats.AcksSuppressed)
 	}
 }
 

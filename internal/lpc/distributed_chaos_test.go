@@ -57,7 +57,7 @@ func TestDistributedResidualChaosRecovers(t *testing.T) {
 	for _, sc := range schedules {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, 0, N)
+			runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, 0, N, false)
 		})
 	}
 }
@@ -108,7 +108,76 @@ func TestDistributedResidualChaosBlocked(t *testing.T) {
 	for _, sc := range schedules {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, sc.block, N)
+			runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, sc.block, N, false)
+		})
+	}
+}
+
+// TestDistributedResidualResyncChaosRecovers repeats the chaos
+// determinism check with wire-level resynchronization active: every UBS
+// ack in the error-generation system is provably covered by another sync
+// path (spigraph -graph app1 -resync shows all nine suppressed), so under
+// drops and mid-block severs the recovered residual must stay
+// bit-identical to the fault-free reference while not a single ack for a
+// suppressed edge reaches the wire — not even resurrected by the RESUME
+// replay.
+func TestDistributedResidualResyncChaosRecovers(t *testing.T) {
+	const N, nPE, iters = 256, 3, 4
+	frame := signal.Speech(N, 77)
+	model, err := dsp.LPCAnalyze(frame, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultDeploy(N, nPE)
+	p.SampleBytes = 8
+	sys, err := ErrorGenSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	kernels, err := residualKernels(sys.Graph, p, model, frame, func(a []float64) { ref = a })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spi.Execute(sys.Graph, sys.Mapping, kernels, iters); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := transport.ReconnectConfig{Attempts: 50, BaseDelay: time.Millisecond,
+		MaxDelay: 5 * time.Millisecond, Deadline: 20 * time.Second}
+	schedules := []struct {
+		name  string
+		block int
+		cfg   transport.FaultConfig
+	}{
+		{"drops", 0, transport.FaultConfig{Seed: 321, Drop: 0.03, SkipFrames: 8, MaxFaults: 25}},
+		{"severs", 0, transport.FaultConfig{Seed: 322, SeverAt: []int{13, 41}, SkipFrames: 8}},
+		{"sever-mid-block-b2", 2, transport.FaultConfig{Seed: 323, SeverAt: []int{5, 11}, SkipFrames: 4}},
+	}
+	for _, sc := range schedules {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			stats := runChaosSchedule(t, model, frame, ref, sc.cfg, rc, nPE, iters, sc.block, N, true)
+			// The receiving half of every cross-node UBS edge folds its
+			// swallowed acks into AcksSuppressed and must show zero acks on
+			// the wire: coeffs_i and sect_i land on node 1, errs_i on node
+			// 0 — 3*nPE suppressed rows in total.
+			suppressedRows := 0
+			for node, st := range stats {
+				for _, e := range st.Edges {
+					if e.Stats.AcksSuppressed == 0 {
+						continue
+					}
+					suppressedRows++
+					if e.Stats.Acks != 0 || e.Stats.AckBytes != 0 {
+						t.Errorf("node %d edge %s: %d acks (%d bytes) reached the wire despite suppression",
+							node, e.Name, e.Stats.Acks, e.Stats.AckBytes)
+					}
+				}
+			}
+			if want := 3 * nPE; suppressedRows != want {
+				t.Errorf("suppression active on %d edge rows, want %d", suppressedRows, want)
+			}
 		})
 	}
 }
@@ -116,8 +185,10 @@ func TestDistributedResidualChaosBlocked(t *testing.T) {
 // runChaosSchedule executes the two-node residual system over a
 // fault-injected loopback with the given blocking factor (0 = scalar) and
 // compares node 0's assembled residual against the fault-free reference.
+// It returns both nodes' statistics so resync schedules can additionally
+// assert on ack suppression.
 func runChaosSchedule(t *testing.T, model *dsp.LPCModel, frame []float64, ref []float64,
-	cfg transport.FaultConfig, rc transport.ReconnectConfig, nPE, iters, block, n int) {
+	cfg transport.FaultConfig, rc transport.ReconnectConfig, nPE, iters, block, n int, resync bool) [2]*spi.ExecStats {
 	t.Helper()
 	ft := transport.NewFaultTransport(transport.NewLoopback(), cfg)
 	ln, err := ft.Listen("lpc-chaos0")
@@ -127,6 +198,7 @@ func runChaosSchedule(t *testing.T, model *dsp.LPCModel, frame []float64, ref []
 	addrs := []string{ln.Addr(), "unused"}
 	var (
 		results [2][]float64
+		stats   [2]*spi.ExecStats
 		errs    [2]error
 		wg      sync.WaitGroup
 	)
@@ -141,11 +213,12 @@ func runChaosSchedule(t *testing.T, model *dsp.LPCModel, frame []float64, ref []
 				Reconnect: rc,
 				Retry:     transport.RetryConfig{Attempts: 20, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
 				Block:     block,
+				Resync:    resync,
 			}
 			if node == 0 {
 				opts.Listener = ln
 			}
-			results[node], _, errs[node] = DistributedResidual(model, frame, nPE, iters, opts)
+			results[node], stats[node], errs[node] = DistributedResidual(model, frame, nPE, iters, opts)
 		}(node)
 	}
 	done := make(chan struct{})
@@ -169,4 +242,5 @@ func runChaosSchedule(t *testing.T, model *dsp.LPCModel, frame []float64, ref []
 			t.Fatalf("sample %d: recovered %v, fault-free %v (faults: %+v)", i, got[i], ref[i], ft.Stats())
 		}
 	}
+	return stats
 }

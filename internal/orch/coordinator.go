@@ -42,6 +42,13 @@ type CoordConfig struct {
 	// round, abort quiescence). A worker that blows the deadline is
 	// reaped like a dead one. Zero disables the reaper.
 	EpochTimeout time.Duration
+	// Resync activates the sync-graph ack-suppression marks on every
+	// dispatched partition spec: workers skip UBS acks on edges whose
+	// synchronization another path already covers. Each epoch's
+	// re-placement recomputes which marked edges cross workers, so the
+	// suppression set follows migrations. All workers negotiate the set
+	// per link; the verdict itself is placement-independent.
+	Resync bool
 	// OnPlace optionally rewrites an epoch's placement before dispatch:
 	// placement[p] is the slot (0-based participant index) hosting
 	// processor p, ids the stable worker ID per slot. Forced migrations
@@ -525,6 +532,7 @@ func (c *Coordinator) Run(ctx context.Context) (*Report, error) {
 		for slot, wc := range parts {
 			spec := specs[slot]
 			spec.BaseIter, spec.Iterations, spec.Addrs = base, n, es.addrs
+			spec.Resync = c.cfg.Resync
 			for i := range spec.Edges {
 				e := &spec.Edges[i]
 				if (e.Out || e.SameProc) && e.Delay > 0 {

@@ -331,6 +331,9 @@ func encodeSpec(w *writer, s *spi.PartitionSpec) {
 		if e.In {
 			flags |= 4
 		}
+		if e.SuppressAck {
+			flags |= 8
+		}
 		w.u8(flags)
 		w.u32(uint32(int32(e.Peer)))
 	}
@@ -353,6 +356,11 @@ func encodeSpec(w *writer, s *spi.PartitionSpec) {
 		w.str(k)
 		w.bytes(s.State[k])
 	}
+	var resync byte
+	if s.Resync {
+		resync = 1
+	}
+	w.u8(resync)
 }
 
 func decodeSpec(r *reader) *spi.PartitionSpec {
@@ -398,6 +406,7 @@ func decodeSpec(r *reader) *spi.PartitionSpec {
 		e.SameProc = flags&1 != 0
 		e.Out = flags&2 != 0
 		e.In = flags&4 != 0
+		e.SuppressAck = flags&8 != 0
 		e.Peer = int(int32(r.u32()))
 		s.Edges = append(s.Edges, e)
 	}
@@ -421,6 +430,7 @@ func decodeSpec(r *reader) *spi.PartitionSpec {
 			return s
 		}
 	}
+	s.Resync = r.u8() != 0
 	return s
 }
 

@@ -26,14 +26,16 @@ func wireMessages() []any {
 			Edges: []spi.PartEdge{
 				{ID: 0, Name: "ab", Mode: 0, Bytes: 8, Protocol: 0, Capacity: 4,
 					Delay: 2, In: true, Peer: 0},
-				{ID: 1, Name: "bc", Mode: 1, Bytes: 16, Protocol: 1, Out: true, Peer: 2},
+				{ID: 1, Name: "bc", Mode: 1, Bytes: 16, Protocol: 1, Out: true, Peer: 2,
+					SuppressAck: true},
 				{ID: 2, Name: "bs", SameProc: true, Bytes: 3, Peer: -1},
 			},
 			Preload: map[uint16][][]byte{
 				1: {[]byte{1, 2}, {}},
 				2: {nil},
 			},
-			State: map[string][]byte{"B": {9, 9}, "S": {}},
+			State:  map[string][]byte{"B": {9, 9}, "S": {}},
+			Resync: true,
 		}},
 		Task{Epoch: 0, Spec: &spi.PartitionSpec{
 			Graph: "empty", Workers: 1, Iterations: 1,

@@ -87,6 +87,18 @@ type DistOptions struct {
 	// standalone ACK stream of UBS edges. Piggybacked counts appear in
 	// the per-edge statistics (EdgeStats.AcksPiggybacked).
 	PiggybackAcks bool
+	// Resync carries the §4 resynchronization verdict onto the wire: the
+	// suppression set is computed from the graph and mapping at setup
+	// (ResyncSuppression), and every link negotiates it with its peer —
+	// UBS acks on edges whose synchronization other sync paths cover are
+	// then never sent, standalone or piggybacked. The feature is mutual:
+	// a peer that did not opt in receives full acking, and a peer whose
+	// computed set disagrees is refused at the handshake. Suppressed
+	// counts appear in the per-edge statistics (EdgeStats.AcksSuppressed).
+	Resync bool
+	// resyncEdges is the computed suppression set handed to connectPeers;
+	// ExecuteDistributed fills it when Resync is set.
+	resyncEdges []uint16
 	// Block is the vectorization blocking factor B: every node fires B
 	// consecutive iterations per super-iteration and block-aligned
 	// cross-node edges carry one packed B-token DATA frame per block.
@@ -347,6 +359,16 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 			return nil, err
 		}
 	}
+	if opts.Resync {
+		// The suppression set is a pure function of graph and mapping, so
+		// every node computes the same one; each link then filters it to
+		// its own edges and verifies the peer agrees before going silent.
+		rp, err := ResyncSuppression(g, m)
+		if err != nil {
+			return nil, err
+		}
+		opts.resyncEdges = rp.SuppressedIDs()
+	}
 	env := &execEnv{
 		g: g, m: m, kernels: kernels, vkernels: opts.VectorKernels, plan: plan,
 		rt:       NewRuntime(),
@@ -519,6 +541,11 @@ func ExecuteDistributed(g *dataflow.Graph, m *sched.Mapping, kernels map[dataflo
 		for edge, n := range l.PiggybackedAcks() {
 			env.rt.addPiggybacked(EdgeID(edge), n)
 		}
+		// And the suppressed-ack counts: acks the receive path issued that
+		// the resynchronization verdict kept off the wire entirely.
+		for edge, n := range l.SuppressedAcks() {
+			env.rt.addSuppressed(EdgeID(edge), n)
+		}
 	}
 
 	stats := &ExecStats{
@@ -600,6 +627,7 @@ func connectPeers(rt *Runtime, peers map[int]*peerPlan, fails *peerFails, opts D
 		Batch:         opts.Batch,
 		PiggybackAcks: opts.PiggybackAcks,
 		Blocked:       opts.Block > 1,
+		ResyncEdges:   opts.resyncEdges,
 		Obs:           opts.Obs,
 	}
 	handlerFor := func(peer int) ([]transport.EdgeDecl, transport.Handler, error) {

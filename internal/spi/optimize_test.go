@@ -1,11 +1,13 @@
 package spi
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/dataflow"
 	"repro/internal/platform"
 	"repro/internal/sched"
+	"repro/internal/syncgraph"
 )
 
 // fanoutSystem: an I/O-interface pair scattering to workers and gathering,
@@ -70,6 +72,80 @@ func TestOptimizeSyncSuppressesRedundantAcks(t *testing.T) {
 	}
 	if st.TotalMessages() >= bst.TotalMessages() {
 		t.Errorf("optimized traffic %d !< baseline %d", st.TotalMessages(), bst.TotalMessages())
+	}
+}
+
+// TestResyncSuppressionKeyedSet checks that the edge-keyed suppression
+// plan agrees with the ResyncReport counts: every removed UBS "ack:"
+// feedback edge maps back to its concrete dataflow edge with a covering
+// witness, and deployment layers can trust the keyed set as the single
+// source of truth.
+func TestResyncSuppressionKeyedSet(t *testing.T) {
+	const workers = 3
+	sys := fanoutSystem(t, workers)
+	plan, err := ResyncSuppression(sys.Graph, sys.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := plan.Report
+	removedAcks := 0
+	for _, e := range append(append([]syncgraph.Edge{}, rep.RemovedFirst...), rep.RemovedByResync...) {
+		if strings.HasPrefix(e.Label, "ack:") {
+			removedAcks++
+		}
+	}
+	// fanoutSystem is all-UBS and fully redundant: the keyed set must
+	// cover exactly the removed ack edges — all 2*workers IPC edges.
+	if removedAcks != 2*workers {
+		t.Fatalf("removed %d ack edges, want %d: %s", removedAcks, 2*workers, rep)
+	}
+	if len(plan.Suppressed) != removedAcks {
+		t.Fatalf("keyed set has %d edges, report removed %d ack edges",
+			len(plan.Suppressed), removedAcks)
+	}
+	if plan.AckFeedback != 2*workers || plan.AckSurviving != 0 {
+		t.Errorf("feedback=%d surviving=%d, want %d and 0",
+			plan.AckFeedback, plan.AckSurviving, 2*workers)
+	}
+	for _, eid := range sys.Graph.Edges() {
+		witness, ok := plan.Suppressed[eid]
+		if !ok {
+			t.Errorf("edge %q missing from suppression set", sys.Graph.Edge(eid).Name)
+			continue
+		}
+		if witness == "" {
+			t.Errorf("edge %q has no covering-path witness", sys.Graph.Edge(eid).Name)
+		}
+	}
+	// Canonical wire order: sorted, no duplicates.
+	ids := plan.SuppressedIDs()
+	if len(ids) != len(plan.Suppressed) {
+		t.Fatalf("SuppressedIDs returned %d ids for %d edges", len(ids), len(plan.Suppressed))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatalf("SuppressedIDs not strictly ascending: %v", ids)
+		}
+	}
+}
+
+// TestResyncSuppressionSingleProc: no IPC edges, empty keyed set.
+func TestResyncSuppressionSingleProc(t *testing.T) {
+	g := dataflow.New("solo")
+	a := g.AddActor("A", 1)
+	b := g.AddActor("B", 1)
+	g.AddEdge("ab", a, b, 1, 1, dataflow.EdgeSpec{})
+	m := &sched.Mapping{
+		NumProcs: 1, Proc: []sched.Processor{0, 0},
+		Order: [][]dataflow.ActorID{{a, b}},
+	}
+	plan, err := ResyncSuppression(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Suppressed) != 0 || plan.AckFeedback != 0 {
+		t.Errorf("single-proc system suppressed %d edges (feedback %d), want none",
+			len(plan.Suppressed), plan.AckFeedback)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -59,6 +60,12 @@ type PartEdge struct {
 	// Peer is the worker hosting the far endpoint of a cross-worker
 	// edge, -1 otherwise.
 	Peer int
+	// SuppressAck marks a UBS edge whose acknowledgement the §4
+	// resynchronization verdict proved redundant (see ResyncSuppression).
+	// BuildPartitions always stamps it — the verdict depends only on the
+	// graph and processor mapping, never on placement — and the spec's
+	// Resync flag decides whether the deployment acts on it.
+	SuppressAck bool
 }
 
 // PartActor is one actor of a partition, with its full edge lists in
@@ -105,6 +112,11 @@ type PartitionSpec struct {
 	// State holds per-actor checkpoint blobs for stateful kernels,
 	// keyed by actor name (see StateHooks).
 	State map[string][]byte
+	// Resync activates ack suppression on the edges BuildPartitions
+	// marked SuppressAck: cross-worker links negotiate the set with
+	// their peers (featResync) and swallow the redundant acks. The
+	// coordinator sets it uniformly for all workers of an epoch.
+	Resync bool
 }
 
 // PartResult reports one epoch of partition execution.
@@ -378,6 +390,7 @@ func ExecutePartition(spec *PartitionSpec, kernels map[string]Kernel, opts PartO
 	}
 	peers := map[int]*peerPlan{}
 	var outs []outEdge
+	var resyncIDs []uint16
 	for i := range spec.Edges {
 		e := &spec.Edges[i]
 		env.edges[e.ID] = e
@@ -414,8 +427,12 @@ func ExecutePartition(spec *PartitionSpec, kernels map[string]Kernel, opts PartO
 				Protocol: e.Protocol, Capacity: e.Capacity,
 			})
 			pp.ids = append(pp.ids, EdgeID(e.ID))
+			if spec.Resync && e.SuppressAck {
+				resyncIDs = append(resyncIDs, e.ID)
+			}
 		}
 	}
+	sort.Slice(resyncIDs, func(i, j int) bool { return resyncIDs[i] < resyncIDs[j] })
 
 	// Establish the per-epoch data links, reusing the distributed-run
 	// connect logic: dial lower-numbered workers, accept higher-numbered
@@ -427,7 +444,7 @@ func ExecutePartition(spec *PartitionSpec, kernels map[string]Kernel, opts PartO
 		Listener: opts.Listener, Retry: opts.Retry, Context: opts.Context,
 		Reconnect: opts.Reconnect, Heartbeat: opts.Heartbeat,
 		PeerTimeout: opts.PeerTimeout, SendTimeout: opts.SendTimeout,
-		Obs: opts.Obs,
+		Obs: opts.Obs, resyncEdges: resyncIDs,
 	})
 	if err != nil {
 		return nil, err
@@ -530,6 +547,14 @@ func ExecutePartition(spec *PartitionSpec, kernels map[string]Kernel, opts PartO
 	finish(true)
 	stopResume()
 
+	// Fold the links' suppressed-ack counts out of the wire-traffic
+	// columns before snapshotting, mirroring ExecuteDistributed.
+	for _, l := range links {
+		for edge, n := range l.SuppressedAcks() {
+			env.rt.addSuppressed(EdgeID(edge), n)
+		}
+	}
+
 	res := &PartResult{
 		Tails:   map[uint16][][]byte{},
 		State:   map[string][]byte{},
@@ -600,6 +625,13 @@ func BuildPartitions(g *dataflow.Graph, m *sched.Mapping, workerOf []int, worker
 	if err != nil {
 		return nil, err
 	}
+	// The resynchronization verdict is placement-independent, so the
+	// SuppressAck marks are stamped unconditionally; the spec's Resync
+	// flag (set by the coordinator) decides whether workers act on them.
+	rp, err := ResyncSuppression(g, m)
+	if err != nil {
+		return nil, err
+	}
 	specs := make([]*PartitionSpec, workers)
 	for w := range specs {
 		specs[w] = &PartitionSpec{
@@ -625,10 +657,11 @@ func BuildPartitions(g *dataflow.Graph, m *sched.Mapping, workerOf []int, worker
 		e := g.Edge(eid)
 		srcW, snkW := workerOf[m.Proc[e.Src]], workerOf[m.Proc[e.Snk]]
 		cfg := plan.edgeConfig(eid)
+		_, suppress := rp.Suppressed[eid]
 		pe := PartEdge{
 			ID: uint16(eid), Name: e.Name, Mode: uint8(cfg.Mode),
 			Protocol: uint8(cfg.Protocol), Capacity: uint32(cfg.Capacity),
-			Delay: uint32(plan.delayIters(eid)), Peer: -1,
+			Delay: uint32(plan.delayIters(eid)), Peer: -1, SuppressAck: suppress,
 		}
 		if cfg.Mode == Dynamic {
 			pe.Bytes = uint32(cfg.MaxBytes)

@@ -97,6 +97,12 @@ type EdgeStats struct {
 	// ACK frames — remote edges on links that negotiated transport-level
 	// piggybacking. Folded in after a distributed run.
 	AcksPiggybacked int64
+	// AcksSuppressed counts acknowledgements the resynchronization
+	// verdict removed from the wire entirely: the receiver issued them,
+	// but the link swallowed them on a negotiated suppressed edge. Folded
+	// in after a distributed run; Acks/AckBytes are reduced by the same
+	// amount so they count only traffic that actually reached the wire.
+	AcksSuppressed int64
 	// CreditWaits counts Send calls that blocked on a full BBS window
 	// before proceeding.
 	CreditWaits int64
@@ -330,6 +336,24 @@ func (r *Runtime) addPiggybacked(id EdgeID, n int64) {
 	e.mu.Unlock()
 }
 
+// addSuppressed folds a transport link's resync-suppressed ack count for
+// one edge into its statistics: the receive path counted each SendAck
+// optimistically, so the n acks the link swallowed are moved out of the
+// wire-traffic columns into AcksSuppressed.
+func (r *Runtime) addSuppressed(id EdgeID, n int64) {
+	r.mu.Lock()
+	e, ok := r.edges[id]
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	e.mu.Lock()
+	e.stats.Acks -= n
+	e.stats.AckBytes -= n * AckMessageBytes
+	e.stats.AcksSuppressed += n
+	e.mu.Unlock()
+}
+
 // TotalStats sums statistics across all edges.
 func (r *Runtime) TotalStats() EdgeStats {
 	r.mu.Lock()
@@ -347,6 +371,7 @@ func (r *Runtime) TotalStats() EdgeStats {
 		t.Acks += e.stats.Acks
 		t.AckBytes += e.stats.AckBytes
 		t.AcksPiggybacked += e.stats.AcksPiggybacked
+		t.AcksSuppressed += e.stats.AcksSuppressed
 		t.CreditWaits += e.stats.CreditWaits
 		if e.stats.MaxQueued > t.MaxQueued {
 			t.MaxQueued = e.stats.MaxQueued

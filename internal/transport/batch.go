@@ -316,3 +316,19 @@ func (l *Link) PiggybackedAcks() map[uint16]int64 {
 	l.recheckCumAck()
 	return out
 }
+
+// SuppressedAcks reports, per inbound edge, how many acknowledgements
+// this link swallowed under the negotiated resync suppression set. The
+// SPI layer folds these out of its per-edge ack counters after a run,
+// and the spinode stats table surfaces them next to the acks that did
+// reach the wire.
+func (l *Link) SuppressedAcks() map[uint16]int64 {
+	l.wmu.Lock()
+	out := make(map[uint16]int64, len(l.suppressedSent))
+	for e, n := range l.suppressedSent {
+		out[e] = n
+	}
+	l.wmu.Unlock()
+	l.recheckCumAck()
+	return out
+}

@@ -26,6 +26,7 @@ import (
 //	DATAACK  := u8 n | n * (u16 edge | u32 count) | SPI-encoded message
 //	PING     := u64 timestamp                       (liveness probe)
 //	PONG     := u64 timestamp                       (probe echo, RTT sample)
+//	RESYNC   := u32 setcrc | u16 n | n * u16 edge   (ack-suppression set)
 //
 // length covers type+seq+crc+body; crc is CRC-32 (IEEE) over type|seq|body.
 // seq is a per-direction monotonic sequence number carried by the session
@@ -58,6 +59,14 @@ const (
 	framePong byte = 17
 	// Control-plane frames use 18 (see ctrl.go).
 
+	// frameResync carries the sender's negotiated ack-suppression set: the
+	// sorted edge IDs whose UBS acknowledgements the §4 resynchronization
+	// verdict proved redundant. Sent once after a HELLO handshake and again
+	// after every RESUME (it is unnumbered, so replay never redelivers it);
+	// each side verifies the peer's set matches its own byte-for-byte
+	// before suppressing anything.
+	frameResync byte = 19
+
 	helloMagic      uint32 = 0x53504931 // "SPI1"
 	helloVersion    byte   = 3
 	helloVersionMin byte   = 2
@@ -76,6 +85,12 @@ const (
 	// when both sides advertised it, and an old peer simply negotiates
 	// heartbeats off.
 	featHeartbeat uint32 = 1 << 3
+	// featResync advertises that this side computed a resynchronization
+	// ack-suppression set and understands RESYNC frames. Mutual-optional:
+	// suppression activates only when both sides advertise it AND their
+	// RESYNC sets match exactly; an old peer simply negotiates it off and
+	// receives full acking.
+	featResync uint32 = 1 << 5
 
 	frameHeaderBytes = 17 // u32 length + u8 type + u64 seq + u32 crc
 	helloFixedBytes  = 17 // magic + version + node + token + nedges
@@ -87,6 +102,7 @@ const (
 	resumeBodyBytes  = 23 // magic + version + node + token + recvSeq
 	piggyEntryBytes  = 6  // u16 edge | u32 count
 	pingBodyBytes    = 8  // u64 sender timestamp, echoed verbatim in PONG
+	resyncFixedBytes = 6  // u32 setcrc | u16 n
 
 	// DefaultMaxFrame bounds one frame; anything larger on the wire is a
 	// framing error, protecting the receiver from hostile length fields.
@@ -463,6 +479,65 @@ func decodePing(body []byte) (ts uint64, err error) {
 		return 0, fmt.Errorf("ping frame of %d bytes, want %d", len(body), pingBodyBytes)
 	}
 	return binary.LittleEndian.Uint64(body), nil
+}
+
+// encodeResyncSet writes a RESYNC body: strictly ascending edge IDs
+// prefixed by their count and a CRC-32 (IEEE) over the ID bytes. The CRC
+// is the "hash" both sides compare before suppressing acks — a cheap,
+// order-sensitive fingerprint of the canonical encoding — and the IDs
+// follow in full so a mismatch can be diagnosed, not just detected.
+// ids must already be sorted ascending with no duplicates.
+func encodeResyncSet(ids []uint16) []byte {
+	body := make([]byte, resyncFixedBytes+2*len(ids))
+	binary.LittleEndian.PutUint16(body[4:], uint16(len(ids)))
+	for i, id := range ids {
+		binary.LittleEndian.PutUint16(body[resyncFixedBytes+2*i:], id)
+	}
+	binary.LittleEndian.PutUint32(body, crcSmall(0, body[resyncFixedBytes:]))
+	return body
+}
+
+// decodeResyncSet validates and decodes a RESYNC body. It enforces the
+// canonical form — exact length, strictly ascending IDs, and a matching
+// set CRC — so every accepted body re-encodes byte-identically and the
+// equality check between both ends' sets cannot be confused by
+// duplicates or ordering.
+func decodeResyncSet(body []byte) (ids []uint16, setcrc uint32, err error) {
+	if len(body) < resyncFixedBytes {
+		return nil, 0, fmt.Errorf("resync frame of %d bytes shorter than fixed header", len(body))
+	}
+	n := int(binary.LittleEndian.Uint16(body[4:]))
+	if len(body) != resyncFixedBytes+2*n {
+		return nil, 0, fmt.Errorf("resync frame declares %d edges but carries %d bytes, want %d",
+			n, len(body), resyncFixedBytes+2*n)
+	}
+	setcrc = binary.LittleEndian.Uint32(body)
+	if got := crcSmall(0, body[resyncFixedBytes:]); got != setcrc {
+		return nil, 0, fmt.Errorf("resync set checksum mismatch: %#x on the wire, computed %#x", setcrc, got)
+	}
+	ids = make([]uint16, n)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint16(body[resyncFixedBytes+2*i:])
+		if i > 0 && ids[i-1] >= ids[i] {
+			return nil, 0, fmt.Errorf("resync set not strictly ascending at entry %d (%d after %d)",
+				i, ids[i], ids[i-1])
+		}
+	}
+	return ids, setcrc, nil
+}
+
+// equalU16 reports whether two edge-ID slices are identical — the
+// suppression-set comparison both link ends run on RESYNC receipt.
+func equalU16(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func encodeResumeOK(recvSeq uint64) []byte {

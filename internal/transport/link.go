@@ -124,6 +124,18 @@ type LinkConfig struct {
 	// blocking factor itself — peers blocked differently disagree on
 	// slab bounds and are rejected by verifyManifest.
 	Blocked bool
+	// ResyncEdges is the node-wide ack-suppression set from the §4
+	// resynchronization verdict: UBS edge IDs whose acknowledgements are
+	// transitively covered by other synchronization paths. A non-empty
+	// set advertises featResync; when the peer advertises it too, each
+	// side filters the set to this link's declared edges, exchanges it in
+	// a RESYNC frame, and refuses the link unless both filtered sets
+	// match exactly. Once negotiated, SendAck on a listed edge is a
+	// no-op (counted in AcksSuppressed) — standalone and piggybacked
+	// alike — while transport-level cumulative acks keep the peer's
+	// resend buffer trimmed. An old or unwilling peer negotiates the
+	// feature off and receives full acking.
+	ResyncEdges []uint16
 	// Obs, when non-nil, exports this link's traffic counters through the
 	// metrics registry (labeled by peer node) and records its session
 	// lifecycle events into the trace ring. Nil keeps the counters
@@ -187,6 +199,10 @@ type LinkStats struct {
 	// the echoes that came back (each one an RTT sample), and
 	// HeartbeatTimeouts the connections declared dead for inbound silence.
 	PingsSent, PongsReceived, HeartbeatTimeouts int64
+	// AcksSuppressed counts SendAck calls swallowed on resync-suppressed
+	// edges: acknowledgements the §4 verdict proved redundant, which
+	// therefore never reached the wire standalone or piggybacked.
+	AcksSuppressed int64
 }
 
 // Link connection states. A link starts up, drops to down when its
@@ -225,6 +241,7 @@ type linkObs struct {
 	resendDepth            *obs.Gauge
 	pingsSent, pongsRecv   *obs.Counter
 	hbTimeouts             *obs.Counter
+	acksSuppressed         *obs.Counter
 	// rtt is the PONG round-trip histogram in microseconds. Unlike the
 	// counters it stays nil without a registry: a zero-value Histogram has
 	// no buckets to observe into, and Stats has the lastRTT atomic anyway.
@@ -251,37 +268,39 @@ func newLinkObs(o *obs.Observer, peer int) linkObs {
 			batchFlushes: &obs.Counter{},
 			resendDepth:  &obs.Gauge{},
 			pingsSent:    &obs.Counter{}, pongsRecv: &obs.Counter{},
-			hbTimeouts: &obs.Counter{},
+			hbTimeouts:     &obs.Counter{},
+			acksSuppressed: &obs.Counter{},
 		}
 	}
 	pl := obs.L("peer", strconv.Itoa(peer))
 	return linkObs{
-		tr:            o.Tracer(),
-		pid:           o.Pid(),
-		sessTid:       sessionRowBase + peer,
-		framesSent:    o.Counter("transport_link_frames_sent_total", "frames written to the peer", pl),
-		framesRecv:    o.Counter("transport_link_frames_received_total", "frames read from the peer", pl),
-		bytesSent:     o.Counter("transport_link_bytes_sent_total", "wire bytes written (headers included)", pl),
-		bytesRecv:     o.Counter("transport_link_bytes_received_total", "wire bytes read (headers included)", pl),
-		dataSent:      o.Counter("transport_link_data_sent_total", "DATA frames sent", pl),
-		dataRecv:      o.Counter("transport_link_data_received_total", "DATA frames received", pl),
-		acksSent:      o.Counter("transport_link_acks_sent_total", "ACK frames sent", pl),
-		acksRecv:      o.Counter("transport_link_acks_received_total", "ACK frames received", pl),
-		finsSent:      o.Counter("transport_link_fins_sent_total", "FIN frames sent", pl),
-		finsRecv:      o.Counter("transport_link_fins_received_total", "FIN frames received", pl),
-		resumes:       o.Counter("transport_link_resumes_total", "successful RESUME handshakes", pl),
-		retransmits:   o.Counter("transport_link_retransmits_total", "frames replayed by RESUME recovery", pl),
-		dups:          o.Counter("transport_link_duplicates_dropped_total", "inbound frames discarded by the sequence filter", pl),
-		reconnects:    o.Counter("transport_link_reconnect_attempts_total", "re-dial attempts during outages", pl),
-		sendStalls:    o.Counter("transport_link_send_stalls_total", "sends that blocked on a down link or full resend buffer", pl),
-		acksPiggy:     o.Counter("transport_link_acks_piggybacked_total", "ack entries carried on outbound DATA frames", pl),
-		acksPiggyRecv: o.Counter("transport_link_acks_piggybacked_received_total", "ack entries received on inbound DATA frames", pl),
-		batchFlushes:  o.Counter("transport_link_batch_flushes_total", "coalesced multi-frame writes", pl),
-		resendDepth:   o.Gauge("transport_link_resend_depth", "unacknowledged frames held for replay", pl),
-		pingsSent:     o.Counter("transport_link_pings_sent_total", "liveness probes sent on idle links", pl),
-		pongsRecv:     o.Counter("transport_link_pongs_received_total", "probe echoes received (RTT samples)", pl),
-		hbTimeouts:    o.Counter("transport_link_heartbeat_timeouts_total", "connections declared dead for inbound silence", pl),
-		rtt:           o.Histogram("transport_link_rtt_us", "PING/PONG round-trip time in microseconds.", nil, pl),
+		tr:             o.Tracer(),
+		pid:            o.Pid(),
+		sessTid:        sessionRowBase + peer,
+		framesSent:     o.Counter("transport_link_frames_sent_total", "frames written to the peer", pl),
+		framesRecv:     o.Counter("transport_link_frames_received_total", "frames read from the peer", pl),
+		bytesSent:      o.Counter("transport_link_bytes_sent_total", "wire bytes written (headers included)", pl),
+		bytesRecv:      o.Counter("transport_link_bytes_received_total", "wire bytes read (headers included)", pl),
+		dataSent:       o.Counter("transport_link_data_sent_total", "DATA frames sent", pl),
+		dataRecv:       o.Counter("transport_link_data_received_total", "DATA frames received", pl),
+		acksSent:       o.Counter("transport_link_acks_sent_total", "ACK frames sent", pl),
+		acksRecv:       o.Counter("transport_link_acks_received_total", "ACK frames received", pl),
+		finsSent:       o.Counter("transport_link_fins_sent_total", "FIN frames sent", pl),
+		finsRecv:       o.Counter("transport_link_fins_received_total", "FIN frames received", pl),
+		resumes:        o.Counter("transport_link_resumes_total", "successful RESUME handshakes", pl),
+		retransmits:    o.Counter("transport_link_retransmits_total", "frames replayed by RESUME recovery", pl),
+		dups:           o.Counter("transport_link_duplicates_dropped_total", "inbound frames discarded by the sequence filter", pl),
+		reconnects:     o.Counter("transport_link_reconnect_attempts_total", "re-dial attempts during outages", pl),
+		sendStalls:     o.Counter("transport_link_send_stalls_total", "sends that blocked on a down link or full resend buffer", pl),
+		acksPiggy:      o.Counter("transport_link_acks_piggybacked_total", "ack entries carried on outbound DATA frames", pl),
+		acksPiggyRecv:  o.Counter("transport_link_acks_piggybacked_received_total", "ack entries received on inbound DATA frames", pl),
+		batchFlushes:   o.Counter("transport_link_batch_flushes_total", "coalesced multi-frame writes", pl),
+		resendDepth:    o.Gauge("transport_link_resend_depth", "unacknowledged frames held for replay", pl),
+		pingsSent:      o.Counter("transport_link_pings_sent_total", "liveness probes sent on idle links", pl),
+		pongsRecv:      o.Counter("transport_link_pongs_received_total", "probe echoes received (RTT samples)", pl),
+		hbTimeouts:     o.Counter("transport_link_heartbeat_timeouts_total", "connections declared dead for inbound silence", pl),
+		acksSuppressed: o.Counter("transport_link_acks_suppressed_total", "acks swallowed on resync-suppressed edges", pl),
+		rtt:            o.Histogram("transport_link_rtt_us", "PING/PONG round-trip time in microseconds.", nil, pl),
 	}
 }
 
@@ -328,6 +347,17 @@ type Link struct {
 	sh      SessionHandler // h's session extension, when it has one
 	ch      CtrlHandler    // h's control-plane extension, when it has one
 
+	// Resync ack suppression, negotiated with the peer. resyncSet and
+	// resyncIDs are ResyncEdges filtered to this link's declared edges
+	// (set form for the SendAck hot path, sorted slice form for the
+	// RESYNC frame and the peer-set comparison); all three are written
+	// once before the reader starts and read-only after. resyncVerified
+	// flips when the peer's RESYNC frame matched ours.
+	resyncOn       bool
+	resyncSet      map[uint16]bool
+	resyncIDs      []uint16
+	resyncVerified atomic.Bool
+
 	// Liveness tracking, lock-free: lastHeard is the UnixNano of the last
 	// tick at which the pinger saw the inbound frame counter move (plus
 	// the RESUME handshake, which stamps it directly), lastRTT the most
@@ -342,11 +372,12 @@ type Link struct {
 	// Coalescer and piggyback state, guarded by wmu: every producer of
 	// wire bytes already holds the writer mutex, so the batch adds no
 	// locks to the hot path.
-	batch        coalescer
-	pendingAcks  map[uint16]uint32 // acks awaiting a DATA frame to ride
-	pendingOrder []uint16          // FIFO of edges with pending acks
-	piggyBuf     []byte            // reusable piggyback-prefix scratch
-	piggySent    map[uint16]int64  // per-edge piggybacked-ack totals
+	batch          coalescer
+	pendingAcks    map[uint16]uint32 // acks awaiting a DATA frame to ride
+	pendingOrder   []uint16          // FIFO of edges with pending acks
+	piggyBuf       []byte            // reusable piggyback-prefix scratch
+	piggySent      map[uint16]int64  // per-edge piggybacked-ack totals
+	suppressedSent map[uint16]int64  // per-edge resync-suppressed ack totals
 
 	mu           sync.Mutex
 	conn         Conn
@@ -437,6 +468,9 @@ func (c *LinkConfig) features() uint32 {
 	}
 	if c.Heartbeat > 0 {
 		f |= featHeartbeat
+	}
+	if len(c.ResyncEdges) > 0 {
+		f |= featResync
 	}
 	return f
 }
@@ -592,7 +626,43 @@ func startLink(conn Conn, cfg LinkConfig, h Handler, peer int, token uint64, dia
 			l.in[d.ID] = d
 		}
 	}
+	// Resync ack suppression is mutual like piggybacking. The node-wide
+	// set is filtered to the edges this link actually carries: both ends
+	// computed the same global verdict from the same graph+mapping, and
+	// verifyManifest pinned identical edge declarations, so the filtered
+	// sets must match — which the RESYNC frame exchange below verifies
+	// before either side trusts the silence.
+	if len(cfg.ResyncEdges) > 0 && peerFeatures&featResync != 0 {
+		l.resyncOn = true
+		l.resyncSet = map[uint16]bool{}
+		for _, id := range cfg.ResyncEdges {
+			if _, ok := l.out[id]; ok {
+				l.resyncSet[id] = true
+			} else if _, ok := l.in[id]; ok {
+				l.resyncSet[id] = true
+			}
+		}
+		l.resyncIDs = make([]uint16, 0, len(l.resyncSet))
+		for id := range l.resyncSet {
+			l.resyncIDs = append(l.resyncIDs, id)
+		}
+		sort.Slice(l.resyncIDs, func(i, j int) bool { return l.resyncIDs[i] < l.resyncIDs[j] })
+	}
 	go l.readLoop(conn, 0, l.readerDone)
+	if l.resyncOn {
+		// Announce our set before any suppressed silence can be observed.
+		// This must come after the read loop starts: both ends announce
+		// simultaneously, and on an unbuffered carrier (net.Pipe loopback)
+		// a write can only complete once the peer is reading. The frame is
+		// unnumbered (install re-sends it after every RESUME), so a write
+		// failure here just feeds the normal failure path.
+		l.wmu.Lock()
+		err := l.writeResyncLocked(conn, 0)
+		l.wmu.Unlock()
+		if err != nil {
+			l.connError(0, &Error{Op: "send", Addr: l.raddr, Transient: isTimeout(err), Err: err})
+		}
+	}
 	if l.hbOn {
 		go l.pinger()
 	}
@@ -678,8 +748,17 @@ func (l *Link) Stats() LinkStats {
 		PingsSent:           l.obs.pingsSent.Value(),
 		PongsReceived:       l.obs.pongsRecv.Value(),
 		HeartbeatTimeouts:   l.obs.hbTimeouts.Value(),
+		AcksSuppressed:      l.obs.acksSuppressed.Value(),
 	}
 }
+
+// ResyncNegotiated reports whether both sides advertised featResync and
+// this link is suppressing acks on its filtered suppression set.
+func (l *Link) ResyncNegotiated() bool { return l.resyncOn }
+
+// ResyncVerified reports whether the peer's RESYNC frame arrived and
+// matched this side's suppression set on the current connection.
+func (l *Link) ResyncVerified() bool { return l.resyncVerified.Load() }
 
 // HeartbeatsNegotiated reports whether both sides advertised
 // featHeartbeat: PINGs are sent only when it returns true.
@@ -837,6 +916,18 @@ func (l *Link) sendPong(conn Conn, gen int, ts uint64) {
 	l.recheckCumAck()
 }
 
+// writeResyncLocked writes this side's filtered suppression set as an
+// unnumbered RESYNC frame. Caller holds wmu. Called once at link start
+// and again by install after every RESUME: unnumbered frames are never
+// replayed, so re-sending is what guarantees the peer re-verifies the
+// set on the fresh connection (the check is idempotent).
+func (l *Link) writeResyncLocked(conn Conn, gen int) error {
+	f := buildFrame(frameResync, 0, nil, encodeResyncSet(l.resyncIDs))
+	err := l.writeWire(conn, gen, f.wire)
+	putWire(f.buf)
+	return err
+}
+
 // SendData transmits one SPI-encoded message on an outbound edge. When
 // ack piggybacking is negotiated and acks are queued, the frame goes out
 // as DATAACK carrying them as a prefix.
@@ -865,6 +956,25 @@ func (l *Link) SendAck(edge uint16, count uint32) error {
 	if _, ok := l.in[edge]; !ok {
 		return &Error{Op: "send", Addr: l.raddr,
 			Err: fmt.Errorf("edge %d is not inbound on this link", edge)}
+	}
+	if l.resyncOn && l.resyncSet[edge] {
+		// The §4 verdict covers this edge's synchronization through other
+		// sync paths: swallow the ack before it can enter the piggyback
+		// queue or the resend buffer, so no later flush, DATA frame, or
+		// RESUME replay can resurrect it. Transport-level cumulative acks
+		// still trim the peer's resend buffer (they ride every frame
+		// direction independently of SPI acks), so suppression never
+		// wedges the peer's sender.
+		l.wmu.Lock()
+		if l.suppressedSent == nil {
+			l.suppressedSent = make(map[uint16]int64)
+		}
+		l.suppressedSent[edge]++
+		l.wmu.Unlock()
+		l.obs.acksSuppressed.Inc()
+		// Holding wmu may have suppressed the reader's cumulative ack.
+		l.recheckCumAck()
+		return nil
 	}
 	if l.piggyOn {
 		l.wmu.Lock()

@@ -171,6 +171,25 @@ func (l *Link) readLoop(conn Conn, gen int, done chan struct{}) {
 				l.obs.rtt.Observe(float64(us))
 			}
 			l.obs.pongsRecv.Inc()
+		case frameResync:
+			ids, setcrc, derr := decodeResyncSet(body)
+			if derr != nil {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr, Err: derr})
+				return
+			}
+			if !l.resyncOn {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("peer sent a resync suppression set but this side did not negotiate one; run both sides with the same -resync")})
+				return
+			}
+			if !equalU16(ids, l.resyncIDs) {
+				l.readError(gen, &Error{Op: "recv", Addr: l.raddr,
+					Err: fmt.Errorf("resync suppression set mismatch (peer set %v crc %#x, local set %v): both sides must compute the verdict from the same graph and mapping; run both sides with the same -resync", ids, setcrc, l.resyncIDs)})
+				return
+			}
+			l.resyncVerified.Store(true)
+			l.obs.tr.Instant("session", "resync-verified", l.obs.pid, l.obs.sessTid,
+				obs.A("edges", int64(len(ids))))
 		case frameGoodbye:
 			// Ack from a separate goroutine — two symmetric closes on
 			// loopback would deadlock if both readers stopped to write —
@@ -590,8 +609,14 @@ func (l *Link) install(conn Conn, peerRecv uint64, gen int) {
 	}
 	// Acks queued during the outage have no session frame yet; flush
 	// them now rather than waiting for the next DATA or deadline tick.
+	// The suppression set rides along: RESYNC is unnumbered, so the
+	// replay above never redelivers it — re-sending here is what lets
+	// the peer re-verify the set on every resumed connection.
 	if werr == nil {
 		werr = l.flushPendingAcksLocked(conn, gen)
+		if werr == nil && l.resyncOn {
+			werr = l.writeResyncLocked(conn, gen)
+		}
 		if werr == nil {
 			werr = l.flushBatchLocked(conn, gen)
 		}
