@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs load orch
+.PHONY: check fmt vet build test race bench bench-smoke bench-compare fuzz-smoke chaos obs load orch fission
 
-check: fmt vet build race bench-smoke fuzz-smoke load orch
+check: fmt vet build race bench-smoke fuzz-smoke load orch fission
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,7 +31,7 @@ bench:
 # each, no timing value, just proof the hot paths still execute. Wired into
 # `make check` so a broken benchmark fails CI, not the next perf run.
 bench-smoke:
-	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch' -benchtime=10x .
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch|BenchmarkFission' -benchtime=10x .
 
 # Tiered link-throughput comparison: batched vs unbatched (frame
 # coalescing, ablation A8), blocked vs batched (vectorized slab
@@ -46,11 +46,16 @@ bench-smoke:
 # stalled) as a first-class metric. The resync_vs_blocked tier compares
 # the blocked rung with the wire-level resynchronization suppression set
 # active — benchdiff requires its acks_suppressed_per_msg evidence to be
-# nonzero, proving the §4 verdict actually removed ack traffic. BENCHOUT
-# is the committed evidence file.
-BENCHOUT ?= BENCH_9.json
+# nonzero, proving the §4 verdict actually removed ack traffic. The
+# fission_vs_single tier compares the serial LPC pipeline against its
+# automatic k=4 fission on the platform model (benchdiff requires the
+# fission side to record replicas > 1), and the shm_vs_tcp tier prices
+# the shared-memory ring transport against localhost TCP on the
+# identical same-host fissioned run. BENCHOUT is the committed evidence
+# file.
+BENCHOUT ?= BENCH_10.json
 bench-compare:
-	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch' -benchmem -benchtime=1s . \
+	$(GO) test -run=NONE -bench 'BenchmarkLinkThroughput|BenchmarkVectorizedExecute|BenchmarkOrch|BenchmarkFission' -benchmem -benchtime=1s . \
 		| $(GO) run ./cmd/benchdiff -o $(BENCHOUT)
 
 # Short fuzz passes over the parsers and wire decoders (the surfaces that
@@ -64,6 +69,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzDecodeSessionFrame -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodePing -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodeResync -fuzztime=5s ./internal/transport
+	$(GO) test -run=NONE -fuzz=FuzzDecodeShmHeader -fuzztime=5s ./internal/transport
 	$(GO) test -run=NONE -fuzz=FuzzDecodeCtrl -fuzztime=5s ./internal/orch
 
 # Multi-tenant load smoke: 100 sessions multiplexed over one shared link
@@ -99,6 +105,26 @@ orch:
 	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 2 -verify
 	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 1 -kill w2@2 -verify
 	$(GO) run ./cmd/spictl -inproc 3 -iters 24 -epoch 6 -seed 11 -migrate-at 2 -resync -verify
+
+# Fission smoke: pipeline.sdf digests must be bit-identical whether the
+# heaviest actor runs whole or fissioned into 3 replicas behind
+# scatter/gather — over the in-process loopback and over the
+# shared-memory ring transport. A digest drift here means the rewrite
+# reordered or resplit tokens, so this gate fails CI before any perf run
+# trusts the pass.
+fission:
+	@base=$$($(GO) run ./cmd/spinode -inproc -graph examples/graphs/pipeline.sdf -assign 0,1,1 -iters 20 -seed 1 | grep '^digest'); \
+	[ -n "$$base" ] || { echo "fission smoke: no baseline digests"; exit 1; }; \
+	for t in loopback shm; do \
+		d=$$(mktemp -d); \
+		fiss=$$($(GO) run ./cmd/spinode -inproc -graph examples/graphs/pipeline.sdf -assign 0,1,1 -iters 20 -seed 1 -fission 3 -transport $$t -shm-dir $$d | grep '^digest'); \
+		rm -rf $$d; \
+		if [ "$$base" != "$$fiss" ]; then \
+			echo "fission digest mismatch over $$t:"; \
+			echo "base: $$base"; echo "fiss: $$fiss"; exit 1; \
+		fi; \
+		echo "fission/$$t digests match: $$fiss"; \
+	done
 
 # Observability suite: the obs package under the race detector, the
 # spinode metrics/trace/HTTP integration tests, and the A7 overhead

@@ -1297,3 +1297,112 @@ func BenchmarkOrch(b *testing.B) {
 		b.ReportMetric(float64(rep.RecoveryNS), "recovery_ns")
 	})
 }
+
+// BenchmarkFission regenerates the paper's speedup methodology for the
+// AUTOMATIC parallelization: the serial actor-D pipeline against its
+// dataflow.Fission rewrite. The modeled pair prices both deployments on
+// the platform simulator — exactly how BenchmarkFig6 produces the
+// figure's hand-parallelized speedup curve, but at a sample size an
+// order of magnitude past the paper's largest point and with the
+// deployment derived by the fission pass instead of written by hand.
+// tokens_per_s is samples over simulated frame time, so the pair's ratio
+// is the speedup curve's y value at this N. The wire pair then runs the
+// fissioned deployment for real across two OS-visible endpoints — I/O on
+// node 0, scatter/gather and replicas on node 1 — over localhost TCP and
+// over the shared-memory ring transport, so the same-host transport
+// choice is priced in wall-clock terms on the identical workload.
+func BenchmarkFission(b *testing.B) {
+	const (
+		sampleN  = 8192 // paper's fig. 6 tops out at 512 samples
+		replicas = 4
+	)
+	b.Run(fmt.Sprintf("modeled-N%d/serial", sampleN), func(b *testing.B) {
+		var us float64
+		for i := 0; i < b.N; i++ {
+			sys, err := lpc.SerialErrorGenSystem(lpc.DefaultDeploy(sampleN, 1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			us = simulateUsPerIter(b, sys)
+		}
+		b.ReportMetric(us, "simulated_us_per_frame")
+		b.ReportMetric(float64(sampleN)*1e6/us, "tokens_per_s")
+	})
+	b.Run(fmt.Sprintf("modeled-N%d/fission", sampleN), func(b *testing.B) {
+		var us float64
+		k := 0
+		for i := 0; i < b.N; i++ {
+			fs, err := lpc.FissionErrorGenSystem(lpc.DefaultDeploy(sampleN, 1), replicas, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k = fs.Plan.K
+			us = simulateUsPerIter(b, &spi.System{Graph: fs.Plan.Graph, Mapping: fs.Mapping})
+		}
+		b.ReportMetric(us, "simulated_us_per_frame")
+		b.ReportMetric(float64(sampleN)*1e6/us, "tokens_per_s")
+		b.ReportMetric(float64(k), "replicas")
+	})
+
+	const wireN = 2048
+	frame := signal.Speech(wireN, 77)
+	model, err := dsp.LPCAnalyze(frame, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wire := func(b *testing.B, tr transport.Transport, listenAddr string) {
+		ln, err := tr.Listen(listenAddr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ln.Close()
+		addrs := []string{ln.Addr(), "unused"}
+		var (
+			errs [2]error
+			got  []float64
+			wg   sync.WaitGroup
+		)
+		b.ResetTimer()
+		for node := 0; node < 2; node++ {
+			wg.Add(1)
+			go func(node int) {
+				defer wg.Done()
+				opts := spi.DistOptions{
+					Transport: tr,
+					Node:      node,
+					Addrs:     addrs,
+					Retry: transport.RetryConfig{Attempts: 20, BaseDelay: time.Millisecond,
+						MaxDelay: 5 * time.Millisecond},
+				}
+				if node == 0 {
+					opts.Listener = ln
+				}
+				var res []float64
+				res, _, errs[node] = lpc.FissionResidual(model, frame, replicas, b.N, opts)
+				if node == 0 {
+					got = res
+				}
+			}(node)
+		}
+		wg.Wait()
+		b.StopTimer()
+		for node, err := range errs {
+			if err != nil {
+				b.Fatalf("node %d: %v", node, err)
+			}
+		}
+		if len(got) != wireN {
+			b.Fatalf("assembled %d samples, want %d", len(got), wireN)
+		}
+		if s := b.Elapsed().Seconds(); s > 0 {
+			b.ReportMetric(float64(wireN)*float64(b.N)/s, "tokens_per_s")
+		}
+		b.ReportMetric(float64(replicas), "replicas")
+	}
+	b.Run(fmt.Sprintf("wire-N%d-k%d/tcp", wireN, replicas), func(b *testing.B) {
+		wire(b, &transport.TCP{}, "127.0.0.1:0")
+	})
+	b.Run(fmt.Sprintf("wire-N%d-k%d/shm", wireN, replicas), func(b *testing.B) {
+		wire(b, transport.NewShm(b.TempDir()), "fission-bench0")
+	})
+}

@@ -9,10 +9,14 @@
 // the §4 sync-graph verdict suppresses the remaining UBS acks entirely),
 // `<name>/sessions` against `<name>/single`
 // (multi-tenant session multiplexing, from cmd/spiload's -bench mode),
-// and `<name>/elastic` against `<name>/static` (orchestrated worker pool
-// with live migration versus the in-process run, from BenchmarkOrch) —
-// computes the throughput/latency/allocation ratios, and writes the
-// whole set as JSON. `make bench-compare` uses it to produce the
+// `<name>/elastic` against `<name>/static` (orchestrated worker pool
+// with live migration versus the in-process run, from BenchmarkOrch),
+// `<name>/fission` against `<name>/serial` (the automatic data-parallel
+// fission of the LPC pipeline versus the serial baseline, from
+// BenchmarkFission), and `<name>/shm` against `<name>/tcp` (the
+// shared-memory ring transport versus localhost TCP on the same-host
+// fissioned deployment) — computes the throughput/latency/allocation
+// ratios, and writes the whole set as JSON. `make bench-compare` uses it to produce the
 // committed evidence file; it has no external dependencies, so it works
 // where benchstat is not installed.
 //
@@ -25,7 +29,10 @@
 // acks_suppressed_per_msg (a "resync" run that suppressed no acks proved
 // nothing about the verdict) — and an elastic-tier result must report a nonzero migrations
 // count plus the migration_downtime_tokens metric, or the "elastic" run
-// never exercised elasticity. Every ratio in the output is finite — no NaN or Inf ever
+// never exercised elasticity — and a fission-tier result must record
+// replicas > 1 on the improved side, or the "fission" run deployed the
+// serial pipeline with extra hops and proved nothing about the rewrite.
+// Every ratio in the output is finite — no NaN or Inf ever
 // reaches the report.
 //
 //	go test -run=NONE -bench BenchmarkLinkThroughput -benchmem . \
@@ -91,6 +98,8 @@ var comparisons = []struct {
 	{label: "resync_vs_blocked", base: "blocked", improved: "resync", improvedOnly: true},
 	{label: "sessions_vs_single", base: "single", improved: "sessions"},
 	{label: "elastic_vs_static", base: "static", improved: "elastic"},
+	{label: "fission_vs_single", base: "serial", improved: "fission"},
+	{label: "shm_vs_tcp", base: "tcp", improved: "shm"},
 }
 
 func main() {
@@ -262,6 +271,18 @@ func build(results []result, ctx map[string]string) (report, []error) {
 				if c.label == "resync_vs_blocked" && side.Name == impName {
 					if v, have := side.Metrics["acks_suppressed_per_msg"]; !have || v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 						errs = append(errs, fmt.Errorf("pair %s (%s): acks_suppressed_per_msg missing or zero in %s",
+							prefix, c.label, side.Name))
+						ok = false
+					}
+				}
+				// A "fission" run that kept one replica never fissioned: the
+				// pair would price the serial pipeline against itself plus
+				// scatter/gather overhead and present the noise as automatic
+				// parallelization. The improved side must record the replica
+				// count the pass actually deployed, and it must exceed one.
+				if c.label == "fission_vs_single" && side.Name == impName {
+					if v, have := side.Metrics["replicas"]; !have || v <= 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+						errs = append(errs, fmt.Errorf("pair %s (%s): replicas missing or <= 1 in %s",
 							prefix, c.label, side.Name))
 						ok = false
 					}

@@ -72,6 +72,8 @@ func main() {
 	killSpec := flag.String("kill", "", "in-proc fault: cancel worker NAME as epoch E dispatches, e.g. w1@2")
 	chokeSpec := flag.String("choke", "", "in-proc fault: silence worker NAME's transport at epoch E (heartbeat-only death), e.g. w1@2")
 	flag.BoolVar(&cfg.Resync, "resync", false, "suppress UBS acks on edges the sync graph proves redundant; workers negotiate the suppression set per link and every epoch's re-placement recomputes it")
+	flag.IntVar(&cfg.Fission, "fission", 0, "rewrite the heaviest fissionable actor (or -fission-actor) into this many replicas behind scatter/gather stages before orchestrating; the replicas place and migrate like ordinary actors (0 = off)")
+	flag.StringVar(&cfg.FissionActor, "fission-actor", "", "with -fission: name of the actor to fission (default: the heaviest fissionable one)")
 	flag.BoolVar(&cfg.Verify, "verify", false, "run the static single-node reference in-process and require bit-identical sink digests")
 	flag.DurationVar(&cfg.Heartbeat, "heartbeat", 25*time.Millisecond, "control/data link liveness probe interval")
 	flag.DurationVar(&cfg.PeerTimeout, "peer-timeout", 0, "declare a worker dead after this much control-link silence (0 = 4x heartbeat)")
@@ -177,6 +179,8 @@ type ctlConfig struct {
 	Kill         *fault
 	Choke        *fault
 	Resync       bool
+	Fission      int
+	FissionActor string
 	Verify       bool
 	Heartbeat    time.Duration
 	PeerTimeout  time.Duration
@@ -212,6 +216,32 @@ func runCtl(cfg ctlConfig, w io.Writer) error {
 	m, err := demo.Mapping(cfg.Graph, cfg.Assign)
 	if err != nil {
 		return err
+	}
+	// -fission rewrites the graph before orchestration: the replicas are
+	// ordinary actors from the coordinator's point of view, so they place,
+	// checkpoint, and live-migrate exactly like the rest of the graph.
+	if cfg.Fission > 0 {
+		var target dataflow.ActorID
+		if cfg.FissionActor != "" {
+			a, ok := cfg.Graph.ActorByName(cfg.FissionActor)
+			if !ok {
+				return fmt.Errorf("-fission-actor: graph %q has no actor %q", cfg.Graph.Name(), cfg.FissionActor)
+			}
+			target = a
+		} else {
+			if target, err = dataflow.HeaviestFissionable(cfg.Graph); err != nil {
+				return err
+			}
+		}
+		plan, err := dataflow.Fission(cfg.Graph, target, dataflow.FissionOptions{K: cfg.Fission})
+		if err != nil {
+			return err
+		}
+		if m, err = sched.ExtendFission(m, plan); err != nil {
+			return err
+		}
+		cfg.Graph = plan.Graph
+		fmt.Fprintf(w, "%s\n", plan)
 	}
 	min := cfg.MinWorkers
 	if min == 0 {

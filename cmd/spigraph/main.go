@@ -39,6 +39,12 @@ func main() {
 	dot := flag.Bool("dot", false, "print the graph in Graphviz DOT format instead of the analysis")
 	resync := flag.Bool("resync", false, "emit the wire-level ack-suppression verdict: per-edge suppress/keep with covering-path witnesses (needs a mapping: app1, app2, or -file with -assign)")
 	format := flag.String("format", "wire", "with -resync: output format (only \"wire\")")
+	flag.IntVar(&fissionK, "fission", 0,
+		"rewrite the heaviest fissionable actor (or -fission-actor) into k replicas behind scatter/gather stages and print the plan; -1 chooses k and the block factor jointly under -fission-mem (0 = off)")
+	flag.StringVar(&fissionActor, "fission-actor", "",
+		"with -fission: name of the actor to fission (default: the heaviest fissionable one)")
+	flag.Int64Var(&fissionMem, "fission-mem", 0,
+		"with -fission: buffer-memory bound in bytes for the joint (k, block) selection (0 = unbounded)")
 	flag.Parse()
 	emitDOT = *dot
 	resyncWire = *resync
@@ -85,11 +91,73 @@ func main() {
 }
 
 // emitDOT switches printVTS-style analyses to Graphviz output; resyncWire
-// appends the wire-level ack-suppression verdict where a mapping exists.
+// appends the wire-level ack-suppression verdict where a mapping exists;
+// fissionK/fissionActor/fissionMem drive the -fission plan printout.
 var (
-	emitDOT    bool
-	resyncWire bool
+	emitDOT      bool
+	resyncWire   bool
+	fissionK     int
+	fissionActor string
+	fissionMem   int64
 )
+
+// printFission rewrites the requested actor into replicas and renders the
+// plan: the chosen (k, block) point with its memory bound, the per-replica
+// scatter/gather rates, and the rewritten graph with its analysis — so a
+// deployment can be inspected before anything runs.
+func printFission(g *dataflow.Graph) error {
+	var target dataflow.ActorID
+	if fissionActor != "" {
+		a, ok := g.ActorByName(fissionActor)
+		if !ok {
+			return fmt.Errorf("-fission-actor: graph %q has no actor %q", g.Name(), fissionActor)
+		}
+		target = a
+	} else {
+		a, err := dataflow.HeaviestFissionable(g)
+		if err != nil {
+			return err
+		}
+		target = a
+	}
+	opts := dataflow.FissionOptions{MemBound: fissionMem}
+	if fissionK > 0 {
+		opts.K = fissionK
+	}
+	plan, err := dataflow.Fission(g, target, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(plan)
+	for _, eid := range g.In(target) {
+		e := g.Edge(eid)
+		mode := "broadcast"
+		if plan.SplitIn[eid] {
+			mode = "split"
+		}
+		fmt.Printf("  scatter in  %-10s %d tokens/iter x %d bytes, %s\n",
+			e.Name, plan.InTokens[eid], e.TokenBytes, mode)
+		for _, sid := range plan.ScatterEdges[eid] {
+			se := plan.Graph.Edge(sid)
+			fmt.Printf("    %-20s -> %-12s bound %d tokens\n",
+				se.Name, plan.Graph.Actor(se.Snk).Name, se.Produce.Rate)
+		}
+	}
+	for _, eid := range g.Out(target) {
+		e := g.Edge(eid)
+		counts := dataflow.SplitCounts(int(plan.OutTokens[eid]), plan.K)
+		fmt.Printf("  gather out  %-10s %d tokens/iter x %d bytes, split %v\n",
+			e.Name, plan.OutTokens[eid], e.TokenBytes, counts)
+		for _, gid := range plan.GatherEdges[eid] {
+			ge := plan.Graph.Edge(gid)
+			fmt.Printf("    %-20s <- %-12s bound %d tokens\n",
+				ge.Name, plan.Graph.Actor(ge.Src).Name, ge.Produce.Rate)
+		}
+	}
+	fmt.Println("rewritten graph:")
+	fmt.Print(plan.Graph)
+	return printVTS(plan.Graph)
+}
 
 func analyzeFile(path, assign string) error {
 	f, err := os.Open(path)
@@ -108,6 +176,11 @@ func analyzeFile(path, assign string) error {
 	fmt.Print(g)
 	if err := printVTS(g); err != nil {
 		return err
+	}
+	if fissionK != 0 {
+		if err := printFission(g); err != nil {
+			return err
+		}
 	}
 	if !resyncWire {
 		return nil
@@ -253,6 +326,11 @@ func analyzeSystem(build func() (*dataflow.Graph, *sched.Mapping, error)) error 
 	fmt.Print(g)
 	if err := printVTS(g); err != nil {
 		return err
+	}
+	if fissionK != 0 {
+		if err := printFission(g); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("mapping: %d processors, %d interprocessor edges\n",
 		m.NumProcs, len(m.InterprocessorEdges(g)))

@@ -89,6 +89,16 @@ func main() {
 		"vectorization blocking factor B: fire B iterations per block and pack B tokens per message on block-aligned edges; all nodes must agree (0 = off, bit-identical digests either way)")
 	flag.BoolVar(&cfg.Resync, "resync", false,
 		"suppress UBS acks on edges whose synchronization the sync graph proves another path already covers; negotiated per link, all nodes must agree (bit-identical digests either way)")
+	trans := flag.String("transport", "tcp",
+		"byte transport: tcp, shm (same-host shared-memory rings; -addrs are segment names under -shm-dir), or loopback (in-memory, only useful with -inproc)")
+	shmDir := flag.String("shm-dir", os.TempDir(),
+		"with -transport shm: directory holding the shared-memory rendezvous segments; all nodes must use the same one")
+	flag.IntVar(&cfg.Fission, "fission", 0,
+		"rewrite the heaviest fissionable actor (or -fission-actor) into this many replicas behind scatter/gather stages before executing; digests stay bit-identical to the unfissioned run (0 = off)")
+	flag.StringVar(&cfg.FissionActor, "fission-actor", "",
+		"with -fission: name of the actor to fission (default: the heaviest fissionable one)")
+	inproc := flag.Bool("inproc", false,
+		"run every node of the graph inside this one process over the selected transport and print all digests — the single-command digest-verify mode (-addrs and -node are synthesized)")
 	flag.StringVar(&cfg.HTTPAddr, "http", "",
 		"serve live introspection (GET /metrics, /healthz, /trace) on this address, e.g. 127.0.0.1:9090")
 	flag.DurationVar(&cfg.StatsInterval, "stats-interval", 0,
@@ -169,11 +179,13 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *addrs == "" {
+	if *addrs == "" && !*inproc {
 		fmt.Fprintln(os.Stderr, "spinode: -addrs is required")
 		os.Exit(2)
 	}
-	cfg.Addrs = strings.Split(*addrs, ",")
+	if *addrs != "" {
+		cfg.Addrs = strings.Split(*addrs, ",")
+	}
 	if *reconnect > 0 {
 		cfg.Reconnect = transport.ReconnectConfig{
 			Attempts: *reconnect,
@@ -181,7 +193,21 @@ func main() {
 		}
 	}
 
-	var tr transport.Transport = &transport.TCP{}
+	var tr transport.Transport
+	switch *trans {
+	case "tcp":
+		tr = &transport.TCP{}
+	case "shm":
+		// The same-host composite: -addrs stay ordinary host:port
+		// addresses, links whose peer is this machine ride the shm
+		// rings, everything else falls back to TCP.
+		tr = &transport.SameHost{Shm: transport.NewShm(*shmDir)}
+	case "loopback":
+		tr = transport.NewLoopback()
+	default:
+		fmt.Fprintf(os.Stderr, "spinode: unknown -transport %q (tcp, shm, or loopback)\n", *trans)
+		os.Exit(2)
+	}
 	if *chaosSpec != "" {
 		fc, err := transport.ParseFaultSpec(*chaosSpec)
 		if err != nil {
@@ -189,6 +215,14 @@ func main() {
 			os.Exit(2)
 		}
 		tr = transport.NewFaultTransport(tr, fc)
+	}
+
+	if *inproc {
+		if err := runInproc(cfg, *trans, tr, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "spinode:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *serve {
@@ -278,6 +312,13 @@ type nodeConfig struct {
 	// Resync suppresses redundant UBS acks per the §4 sync-graph verdict;
 	// all nodes must agree (enforced per link at handshake).
 	Resync bool
+	// Fission > 0 rewrites FissionActor (default: the heaviest fissionable
+	// actor) into that many replicas behind scatter/gather stages; the demo
+	// kernels run in transparent replication mode, so sink digests stay
+	// bit-identical to the unfissioned run. All nodes must use the same
+	// values.
+	Fission      int
+	FissionActor string
 	// HTTPAddr, when set, serves GET /metrics (Prometheus text),
 	// /healthz (JSON status), and /trace (Chrome trace_event JSON) for
 	// the duration of the run.
@@ -303,16 +344,122 @@ func demoKernels(g *dataflow.Graph, seed uint64, digests map[string]*uint64, mu 
 	return demo.Kernels(g, seed, digests, mu)
 }
 
+// buildSystem turns the configured graph and assignment into the system to
+// execute: the mapping, and — when -fission is on — the rewritten graph
+// with its extended mapping and the plan the kernels are wrapped with.
+func buildSystem(cfg nodeConfig) (*dataflow.Graph, *sched.Mapping, *dataflow.FissionPlan, error) {
+	m, err := buildMapping(cfg.Graph, cfg.Assign)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cfg.Fission <= 0 {
+		return cfg.Graph, m, nil, nil
+	}
+	var target dataflow.ActorID
+	if cfg.FissionActor != "" {
+		a, ok := cfg.Graph.ActorByName(cfg.FissionActor)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("-fission-actor: graph %q has no actor %q", cfg.Graph.Name(), cfg.FissionActor)
+		}
+		target = a
+	} else {
+		if target, err = dataflow.HeaviestFissionable(cfg.Graph); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	plan, err := dataflow.Fission(cfg.Graph, target, dataflow.FissionOptions{K: cfg.Fission})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	fm, err := sched.ExtendFission(m, plan)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return plan.Graph, fm, plan, nil
+}
+
+// runInproc executes every node of the run inside this process over the
+// selected transport — the digest-verify mode the fission smoke test uses.
+// Each node's report is buffered and printed in node order so digest lines
+// stay greppable.
+func runInproc(cfg nodeConfig, trans string, tr transport.Transport, w io.Writer) error {
+	_, m, _, err := buildSystem(cfg)
+	if err != nil {
+		return err
+	}
+	nodes := m.NumProcs
+	if cfg.NodeOf != nil {
+		nodes = 0
+		for _, n := range cfg.NodeOf {
+			if n+1 > nodes {
+				nodes = n + 1
+			}
+		}
+	}
+	addrs := make([]string, nodes)
+	lns := make([]transport.Listener, nodes)
+	for i := range addrs {
+		name := fmt.Sprintf("inproc-n%d", i)
+		if trans == "tcp" || trans == "shm" {
+			// Network-style addresses: the shm composite derives its
+			// rendezvous from the resolved port and auto-selects the
+			// rings because the host is local.
+			name = "127.0.0.1:0"
+		}
+		ln, err := tr.Listen(name)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		addrs[i], lns[i] = ln.Addr(), ln
+	}
+	outs := make([]strings.Builder, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for i := 0; i < nodes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ncfg := cfg
+			ncfg.Node = i
+			ncfg.Addrs = addrs
+			errs[i] = runNode(ncfg, tr, lns[i], &outs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		io.WriteString(w, outs[i].String())
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // runNode executes one node of the distributed run and reports the sink
 // digests and communication statistics on w. tr and ln (optional pre-bound
 // listener for Addrs[Node]) are injectable for tests.
 func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io.Writer) error {
-	g := cfg.Graph
-	m, err := buildMapping(g, cfg.Assign)
+	g, m, plan, err := buildSystem(cfg)
 	if err != nil {
 		return err
 	}
 	nodeOf := cfg.NodeOf
+	if plan != nil && nodeOf != nil && len(nodeOf) == m.NumProcs-plan.K {
+		// -nodeof names the serial graph's processors; the fission pass
+		// appended one fresh processor per replica. Co-locate those with
+		// the scatter stage's node so fission never changes the node
+		// layout the user asked for — replicas are a same-host concern.
+		ext := make([]int, m.NumProcs)
+		copy(ext, nodeOf)
+		home := ext[m.Proc[plan.Scatter]]
+		for p := m.NumProcs - plan.K; p < m.NumProcs; p++ {
+			ext[p] = home
+		}
+		nodeOf = ext
+	}
 	if nodeOf == nil {
 		nodeOf = make([]int, m.NumProcs)
 		for p := range nodeOf {
@@ -329,13 +476,27 @@ func runNode(cfg nodeConfig, tr transport.Transport, ln transport.Listener, w io
 			digests[g.Actor(a).Name] = new(uint64)
 		}
 	}
-	kernels, err := demoKernels(g, cfg.Seed, digests, &mu)
-	if err != nil {
+	var kernels map[dataflow.ActorID]spi.Kernel
+	if plan != nil {
+		// Transparent replication: every replica runs the original demo
+		// kernel and emits its chunk, so the digests match the unfissioned
+		// run bit for bit.
+		base, kerr := demoKernels(plan.Source, cfg.Seed, digests, &mu)
+		if kerr != nil {
+			return kerr
+		}
+		if kernels, err = spi.FissionKernels(plan, base, nil); err != nil {
+			return err
+		}
+	} else if kernels, err = demoKernels(g, cfg.Seed, digests, &mu); err != nil {
 		return err
 	}
 
 	fmt.Fprintf(w, "spinode: graph %s, node %d/%d, %d iterations\n",
 		g.Name(), cfg.Node, len(cfg.Addrs), cfg.Iterations)
+	if plan != nil {
+		fmt.Fprintf(w, "%s\n", plan)
+	}
 	for p := 0; p < m.NumProcs; p++ {
 		if nodeOf[p] != cfg.Node {
 			continue

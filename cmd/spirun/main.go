@@ -34,7 +34,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "deterministic seed")
 	adaptive := flag.Float64("adaptive", 0, "crack: ESS resampling threshold fraction (0 = resample every step)")
 	hw := flag.Bool("hw", false, "speech: also run the bit-true Q15 hardware model of actor D")
-	trans := flag.String("transport", "chan", "speech actor-D run: chan (in-process SPI runtime), loopback (in-memory byte transport), tcp (two nodes over localhost TCP)")
+	trans := flag.String("transport", "chan", "speech actor-D run: chan (in-process SPI runtime), loopback (in-memory byte transport), tcp (two nodes over localhost TCP), shm (two nodes over same-host shared-memory rings)")
+	fission := flag.Int("fission", 0, "speech actor-D run: derive the parallel deployment automatically by fissioning the serial error generator into this many replicas behind scatter/gather stages (0 = use the hand-built n-PE deployment)")
 	flag.IntVar(&netBatch.MaxFrames, "batch-frames", 0,
 		"networked runs: coalesce up to this many frames per link write (0 = no batching)")
 	flag.IntVar(&netBatch.MaxBytes, "batch-bytes", 0,
@@ -62,7 +63,7 @@ func main() {
 	var err error
 	switch *app {
 	case "speech":
-		err = runSpeech(*pes, *frames, *seed, *hw, *trans, *sessions)
+		err = runSpeech(*pes, *frames, *seed, *hw, *trans, *sessions, *fission)
 	case "crack":
 		err = runCrack(*pes, *particles, *steps, *seed, *adaptive)
 	default:
@@ -87,7 +88,7 @@ var (
 	netStallTimeout time.Duration
 )
 
-func runSpeech(pes, frames int, seed uint64, hw bool, trans string, sessions int) error {
+func runSpeech(pes, frames int, seed uint64, hw bool, trans string, sessions, fission int) error {
 	p := lpc.DefaultParams()
 	codec, err := lpc.NewCodec(p)
 	if err != nil {
@@ -127,12 +128,14 @@ func runSpeech(pes, frames int, seed uint64, hw bool, trans string, sessions int
 	switch {
 	case sessions > 0:
 		parallel, stats, err = sessionsResidual(model, frame, pes, sessions, trans)
+	case fission > 0:
+		parallel, stats, err = fissionedResidual(model, frame, fission, trans)
 	case trans == "chan":
 		parallel, stats, err = lpc.ParallelResidual(model, frame, pes)
-	case trans == "loopback" || trans == "tcp":
+	case trans == "loopback" || trans == "tcp" || trans == "shm":
 		parallel, stats, err = networkedResidual(model, frame, pes, trans)
 	default:
-		return fmt.Errorf("unknown transport %q (chan, loopback, or tcp)", trans)
+		return fmt.Errorf("unknown transport %q (chan, loopback, tcp, or shm)", trans)
 	}
 	if err != nil {
 		return err
@@ -147,6 +150,10 @@ func runSpeech(pes, frames int, seed uint64, hw bool, trans string, sessions int
 	case sessions > 0:
 		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges (%s transport, %d sessions on one shared link)\n",
 			stats.PEs, trans, sessions)
+	case fission > 0 && trans == "chan":
+		fmt.Printf("actor D auto-fissioned into %d replicas behind scatter/gather stages (in-process)\n", stats.PEs)
+	case fission > 0:
+		fmt.Printf("actor D auto-fissioned into %d replicas behind scatter/gather stages (%s transport, 2 nodes)\n", stats.PEs, trans)
 	case trans == "chan":
 		fmt.Printf("actor D parallelized on %d PEs over SPI_dynamic edges\n", stats.PEs)
 	default:
@@ -206,14 +213,11 @@ func runCrack(pes, particles, steps int, seed uint64, adaptive float64) error {
 // PEs on node 1 — over the selected byte transport, exercising the same
 // code path as two spinode processes.
 func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans string) ([]float64, *lpc.ParallelStats, error) {
-	var tr transport.Transport
-	var listenAddr string
-	switch trans {
-	case "loopback":
-		tr, listenAddr = transport.NewLoopback(), "node0"
-	case "tcp":
-		tr, listenAddr = &transport.TCP{}, "127.0.0.1:0"
+	tr, listenAddr, cleanup, err := pickTransport(trans)
+	if err != nil {
+		return nil, nil, err
 	}
+	defer cleanup()
 	ln, err := tr.Listen(listenAddr)
 	if err != nil {
 		return nil, nil, err
@@ -267,6 +271,108 @@ func networkedResidual(model *dsp.LPCModel, frame []float64, pes int, trans stri
 	// node, so summing does not double count; per-edge rows merge the two
 	// halves of each cross-node edge the same way.
 	total := &lpc.ParallelStats{PEs: pes}
+	for _, st := range stats {
+		total.Messages += st.SPI.Messages
+		total.WireBytes += st.SPI.WireBytes
+		total.Acks += st.SPI.Acks
+		total.AckBytes += st.SPI.AckBytes
+	}
+	total.Edges = mergeEdgeTraffic(stats[0].Edges, stats[1].Edges)
+	return results[0], total, nil
+}
+
+// pickTransport maps the -transport flag to a byte transport and its node-0
+// listen address; the cleanup removes the shm rendezvous directory.
+func pickTransport(trans string) (tr transport.Transport, listenAddr string, cleanup func(), err error) {
+	cleanup = func() {}
+	switch trans {
+	case "loopback":
+		return transport.NewLoopback(), "node0", cleanup, nil
+	case "tcp":
+		return &transport.TCP{}, "127.0.0.1:0", cleanup, nil
+	case "shm":
+		dir, derr := os.MkdirTemp("", "spirun-shm-")
+		if derr != nil {
+			return nil, "", cleanup, derr
+		}
+		return &transport.SameHost{Shm: transport.NewShm(dir)}, "127.0.0.1:0",
+			func() { os.RemoveAll(dir) }, nil
+	}
+	return nil, "", cleanup, fmt.Errorf("unknown transport %q", trans)
+}
+
+// fissionedResidual runs actor D through the automatic fission pass — the
+// serial error generator rewritten into k replicas behind scatter/gather
+// stages — in-process for chan, as a two-node distributed run otherwise.
+func fissionedResidual(model *dsp.LPCModel, frame []float64, k int, trans string) ([]float64, *lpc.ParallelStats, error) {
+	if trans == "chan" {
+		p := lpc.DefaultDeploy(len(frame), 1)
+		p.SampleBytes = 8
+		fs, err := lpc.FissionErrorGenSystem(p, k, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []float64
+		kernels, err := lpc.FissionResidualKernels(fs, model, frame, func(e []float64) { out = e })
+		if err != nil {
+			return nil, nil, err
+		}
+		st, err := spi.Execute(fs.Plan.Graph, fs.Mapping, kernels, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, &lpc.ParallelStats{
+			PEs:      k,
+			Messages: st.SPI.Messages, WireBytes: st.SPI.WireBytes,
+			Acks: st.SPI.Acks, AckBytes: st.SPI.AckBytes,
+			Edges: st.Edges,
+		}, nil
+	}
+	tr, listenAddr, cleanup, err := pickTransport(trans)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cleanup()
+	ln, err := tr.Listen(listenAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := []string{ln.Addr(), "unused"}
+	var (
+		results [2][]float64
+		stats   [2]*spi.ExecStats
+		errs    [2]error
+		wg      sync.WaitGroup
+	)
+	for node := 0; node < 2; node++ {
+		wg.Add(1)
+		go func(node int) {
+			defer wg.Done()
+			opts := spi.DistOptions{
+				Transport:     tr,
+				Node:          node,
+				Addrs:         addrs,
+				Batch:         netBatch,
+				PiggybackAcks: netPiggyback,
+				Block:         netBlock,
+				Resync:        netResync,
+				Heartbeat:     netHeartbeat,
+				PeerTimeout:   netPeerTimeout,
+				StallTimeout:  netStallTimeout,
+			}
+			if node == 0 {
+				opts.Listener = ln
+			}
+			results[node], stats[node], errs[node] = lpc.FissionResidual(model, frame, k, 1, opts)
+		}(node)
+	}
+	wg.Wait()
+	for node, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("node %d: %w", node, err)
+		}
+	}
+	total := &lpc.ParallelStats{PEs: k}
 	for _, st := range stats {
 		total.Messages += st.SPI.Messages
 		total.WireBytes += st.SPI.WireBytes

@@ -1,0 +1,247 @@
+package lpc
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/dsp"
+	"repro/internal/sched"
+	"repro/internal/spi"
+)
+
+// Automatic fission of actor D: where deploy.go hand-builds the paper's
+// n-PE error-generation system, this file starts from the SERIAL pipeline
+// (io_send -> error_gen -> io_recv) and lets dataflow.Fission derive the
+// data-parallel deployment — k replicas behind scatter/gather stages — so
+// the LPC residual workload exercises the rewrite end to end. The frame
+// and coefficients are broadcast (each replica's range needs up to Order
+// samples of history from before its split point, and the full frame is
+// the simplest superset), while the error stream is split on float64
+// tokens: replica r computes ResidualRange over its dataflow.SplitCounts
+// share, so the gather's concatenation is bit-identical to the serial
+// Residual — uneven tails included.
+
+// SerialErrorGenSystem builds the unfissioned actor-D pipeline: the I/O
+// interface scatters nothing — one worker actor receives the predictor
+// coefficients and the whole frame and returns the whole error signal.
+// Feed it to dataflow.Fission to derive the parallel deployments.
+func SerialErrorGenSystem(p DeployParams) (*spi.System, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := dataflow.New(fmt.Sprintf("actorD-serial-N%d", p.SampleSize))
+	ioSend := g.AddActor("io_send", int64(p.SampleSize)+100)
+	d := g.AddActor("error_gen", int64(p.SampleSize)*int64(p.Order)*p.MACCyclesPerTap+50)
+	ioRecv := g.AddActor("io_recv", 50)
+
+	coeffBytes := p.Order * p.SampleBytes
+	frameBytes := p.SampleSize * p.SampleBytes
+	dyn := func(tokenBytes int) dataflow.EdgeSpec {
+		return dataflow.EdgeSpec{ProduceDynamic: true, ConsumeDynamic: true, TokenBytes: tokenBytes}
+	}
+	ce := g.AddEdge("coeffs", ioSend, d, coeffBytes, coeffBytes, dyn(1))
+	fe := g.AddEdge("frame", ioSend, d, frameBytes, frameBytes, dyn(p.SampleBytes))
+	ee := g.AddEdge("errs", d, ioRecv, frameBytes, frameBytes, dyn(p.SampleBytes))
+
+	m := &sched.Mapping{
+		NumProcs: 2,
+		Proc:     make([]sched.Processor, g.NumActors()),
+		Order:    make([][]dataflow.ActorID, 2),
+	}
+	m.Proc[ioSend], m.Proc[ioRecv] = 0, 0
+	m.Proc[d] = 1
+	m.Order[0] = []dataflow.ActorID{ioSend, ioRecv}
+	m.Order[1] = []dataflow.ActorID{d}
+	return &spi.System{
+		Graph: g, Mapping: m,
+		PayloadFn: map[dataflow.EdgeID]func(int) int{
+			ce: func(int) int { return coeffBytes },
+			fe: func(int) int { return frameBytes },
+			ee: func(int) int { return frameBytes },
+		},
+	}, nil
+}
+
+// FissionSystem is a fissioned serial error-generation deployment: the
+// rewritten graph with its extended mapping, ready for any executor.
+type FissionSystem struct {
+	Plan    *dataflow.FissionPlan
+	Mapping *sched.Mapping
+	Params  DeployParams
+}
+
+// FissionErrorGenSystem derives the k-replica deployment of the serial
+// pipeline via the fission pass. k = 0 lets the pass choose replica count
+// and block factor jointly under memBound (0 = unbounded).
+func FissionErrorGenSystem(p DeployParams, k int, memBound int64) (*FissionSystem, error) {
+	sys, err := SerialErrorGenSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := sys.Graph.ActorByName("error_gen")
+	if !ok {
+		return nil, fmt.Errorf("lpc: serial system has no error_gen actor")
+	}
+	plan, err := dataflow.Fission(sys.Graph, d, dataflow.FissionOptions{K: k, MemBound: memBound})
+	if err != nil {
+		return nil, err
+	}
+	fm, err := sched.ExtendFission(sys.Mapping, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &FissionSystem{Plan: plan, Mapping: fm, Params: p}, nil
+}
+
+// serialResidualKernels builds the functional kernels of the serial
+// pipeline. The worker computes the full-frame residual; collect observes
+// each assembled frame on the node hosting io_recv.
+func serialResidualKernels(g *dataflow.Graph, model *dsp.LPCModel, frame []float64, collect func([]float64)) (map[dataflow.ActorID]spi.Kernel, error) {
+	ids, err := serialEdgeIDs(g)
+	if err != nil {
+		return nil, err
+	}
+	ioSend, _ := g.ActorByName("io_send")
+	d, _ := g.ActorByName("error_gen")
+	ioRecv, _ := g.ActorByName("io_recv")
+	return map[dataflow.ActorID]spi.Kernel{
+		ioSend: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			return map[dataflow.EdgeID][]byte{
+				ids.coeffs: encodeFloats(model.Coeffs),
+				ids.frame:  encodeFloats(frame),
+			}, nil
+		},
+		d: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			coeffs, err := decodeFloats(in[ids.coeffs])
+			if err != nil {
+				return nil, err
+			}
+			x, err := decodeFloats(in[ids.frame])
+			if err != nil {
+				return nil, err
+			}
+			wm := &dsp.LPCModel{Coeffs: coeffs}
+			return map[dataflow.EdgeID][]byte{ids.errs: encodeFloats(wm.Residual(x))}, nil
+		},
+		ioRecv: func(iter int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+			e, err := decodeFloats(in[ids.errs])
+			if err != nil {
+				return nil, err
+			}
+			collect(e)
+			return nil, nil
+		},
+	}, nil
+}
+
+type serialEdges struct {
+	coeffs, frame, errs dataflow.EdgeID
+}
+
+func serialEdgeIDs(g *dataflow.Graph) (serialEdges, error) {
+	var ids serialEdges
+	found := 0
+	for _, eid := range g.Edges() {
+		switch g.Edge(eid).Name {
+		case "coeffs":
+			ids.coeffs, found = eid, found+1
+		case "frame":
+			ids.frame, found = eid, found+1
+		case "errs":
+			ids.errs, found = eid, found+1
+		}
+	}
+	if found != 3 {
+		return ids, fmt.Errorf("lpc: serial graph lacks coeffs/frame/errs edges")
+	}
+	return ids, nil
+}
+
+// FissionResidualKernels builds the kernel set of a fissioned deployment:
+// the serial kernels plus a FissionWorker in which replica r computes
+// ResidualRange over its SplitCounts share of the frame — 1/k of the
+// multiply-accumulate work, against the broadcast frame for history.
+func FissionResidualKernels(fs *FissionSystem, model *dsp.LPCModel, frame []float64, collect func([]float64)) (map[dataflow.ActorID]spi.Kernel, error) {
+	src := fs.Plan.Source
+	serial, err := serialResidualKernels(src, model, frame, collect)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := serialEdgeIDs(src)
+	if err != nil {
+		return nil, err
+	}
+	k := fs.Plan.K
+	worker := func(iter, replica int, in map[dataflow.EdgeID][]byte) (map[dataflow.EdgeID][]byte, error) {
+		coeffs, err := decodeFloats(in[ids.coeffs])
+		if err != nil {
+			return nil, err
+		}
+		x, err := decodeFloats(in[ids.frame])
+		if err != nil {
+			return nil, err
+		}
+		counts := dataflow.SplitCounts(len(x), k)
+		start := 0
+		for i := 0; i < replica; i++ {
+			start += counts[i]
+		}
+		wm := &dsp.LPCModel{Coeffs: coeffs}
+		part := wm.ResidualRange(x, start, start+counts[replica])
+		return map[dataflow.EdgeID][]byte{ids.errs: encodeFloats(part)}, nil
+	}
+	return spi.FissionKernels(fs.Plan, serial, worker)
+}
+
+// SerialResidual runs this node's share of the UNfissioned serial pipeline
+// distributed over opts.Addrs — the baseline the fissioned deployment is
+// benchmarked against. The node hosting io_recv returns the last frame's
+// residual.
+func SerialResidual(model *dsp.LPCModel, frame []float64, iters int, opts spi.DistOptions) ([]float64, *spi.ExecStats, error) {
+	p := DefaultDeploy(len(frame), 1)
+	p.SampleBytes = 8
+	sys, err := SerialErrorGenSystem(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.NodeOf == nil {
+		opts.NodeOf = SplitIOWorkers(sys.Mapping.NumProcs, len(opts.Addrs))
+	}
+	var result []float64
+	kernels, err := serialResidualKernels(sys.Graph, model, frame, func(e []float64) { result = e })
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := spi.ExecuteDistributed(sys.Graph, sys.Mapping, kernels, iters, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return result, st, nil
+}
+
+// FissionResidual fissions the serial pipeline into k replicas and runs
+// this node's share distributed over opts.Addrs. opts.NodeOf defaults to
+// SplitIOWorkers over the extended mapping (I/O on node 0, scatter/gather
+// and replicas spread over the rest). The node hosting io_recv returns the
+// last frame's residual — bit-identical to the serial pipeline's.
+func FissionResidual(model *dsp.LPCModel, frame []float64, k, iters int, opts spi.DistOptions) ([]float64, *spi.ExecStats, error) {
+	p := DefaultDeploy(len(frame), 1)
+	p.SampleBytes = 8
+	fs, err := FissionErrorGenSystem(p, k, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.NodeOf == nil {
+		opts.NodeOf = SplitIOWorkers(fs.Mapping.NumProcs, len(opts.Addrs))
+	}
+	var result []float64
+	kernels, err := FissionResidualKernels(fs, model, frame, func(e []float64) { result = e })
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := spi.ExecuteDistributed(fs.Plan.Graph, fs.Mapping, kernels, iters, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return result, st, nil
+}

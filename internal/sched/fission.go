@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// ExtendFission lifts a mapping of a fission plan's source graph onto
+// the rewritten graph: every source actor keeps its processor and order
+// slot (the fissioned actor's slot now runs the scatter stage), the
+// gather stage joins the scatter's processor immediately after it, and
+// each replica gets a fresh processor of its own — the whole point of
+// the rewrite is that the replicas compute in parallel. The result is an
+// ordinary Mapping: spi.ExecuteDistributed, spi.BuildPartitions, and the
+// orchestration layer place and migrate the replicas like any other
+// actor.
+func ExtendFission(m *Mapping, plan *dataflow.FissionPlan) (*Mapping, error) {
+	if err := m.Validate(plan.Source); err != nil {
+		return nil, fmt.Errorf("sched: fission source mapping: %w", err)
+	}
+	g := plan.Graph
+	out := &Mapping{
+		NumProcs: m.NumProcs + plan.K,
+		Proc:     make([]Processor, g.NumActors()),
+		Order:    make([][]dataflow.ActorID, m.NumProcs+plan.K),
+	}
+	for a, p := range m.Proc {
+		out.Proc[a] = p
+	}
+	scatterProc := m.Proc[plan.Actor]
+	out.Proc[plan.Gather] = scatterProc
+	for i, r := range plan.Replicas {
+		out.Proc[r] = Processor(m.NumProcs + i)
+		out.Order[m.NumProcs+i] = []dataflow.ActorID{r}
+	}
+	for p := range m.Order {
+		for _, a := range m.Order[p] {
+			out.Order[p] = append(out.Order[p], a)
+			if a == plan.Actor {
+				// The gather follows the scatter within the iteration:
+				// self-timed execution blocks it until the replicas
+				// deliver, exactly like the paper's io_recv task.
+				out.Order[p] = append(out.Order[p], plan.Gather)
+			}
+		}
+	}
+	if err := out.Validate(g); err != nil {
+		return nil, fmt.Errorf("sched: fission-extended mapping: %w", err)
+	}
+	return out, nil
+}

@@ -135,6 +135,7 @@ func transports(t *testing.T) map[string]Transport {
 	return map[string]Transport{
 		"loopback": NewLoopback(),
 		"tcp":      &TCP{},
+		"shm":      NewShm(t.TempDir()),
 	}
 }
 
